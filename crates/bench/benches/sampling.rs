@@ -1,0 +1,75 @@
+//! Microbenchmarks for the sampling substrate: alias vs CDF samplers,
+//! hard-instance construction, and histogram statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_core::probability::{
+    empirical, families, PairedDomain, PerturbationVector, Sampler,
+};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Keep whole-suite wall time reasonable: criterion defaults (3s warmup,
+/// 5s measurement, 100 samples) are overkill for these stable kernels.
+fn fast(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(20);
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler_draw");
+    fast(&mut group);
+    for &n in &[1usize << 8, 1 << 12, 1 << 16] {
+        let dist = families::zipf(n, 1.0).expect("valid zipf");
+        let alias = dist.alias_sampler();
+        let cdf = dist.cdf_sampler();
+        group.bench_with_input(BenchmarkId::new("alias", n), &n, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| black_box(alias.sample(&mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("cdf", n), &n, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| black_box(cdf.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_instance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hard_instance_build");
+    fast(&mut group);
+    for &ell in &[6u32, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("perturbed", ell), &ell, |b, &ell| {
+            let dom = PairedDomain::new(ell);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let z = PerturbationVector::random(dom.cube_size(), &mut rng);
+                black_box(dom.perturbed_distribution(&z, 0.5).expect("valid"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_statistics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_statistics");
+    fast(&mut group);
+    for &q in &[64usize, 1024, 16384] {
+        let dist = families::uniform(1 << 12);
+        let sampler = dist.alias_sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let samples = sampler.sample_many(q, &mut rng);
+        group.bench_with_input(BenchmarkId::new("collision_count", q), &q, |b, _| {
+            b.iter(|| black_box(empirical::collision_count_of(&samples)));
+        });
+        group.bench_with_input(BenchmarkId::new("coincidence_count", q), &q, |b, _| {
+            b.iter(|| black_box(empirical::coincidence_count_of(&samples)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_hard_instance, bench_statistics);
+criterion_main!(benches);

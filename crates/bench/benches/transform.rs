@@ -1,0 +1,64 @@
+//! Microbenchmarks for the Boolean-analysis substrate: the fast
+//! Walsh–Hadamard transform, spectra and even-cover counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_core::fourier::{evencover, transform, BooleanFunction};
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Keep whole-suite wall time reasonable: criterion defaults (3s warmup,
+/// 5s measurement, 100 samples) are overkill for these stable kernels.
+fn fast(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(20);
+}
+
+fn bench_wht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walsh_hadamard");
+    fast(&mut group);
+    for &m in &[8u32, 12, 16, 20] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let table: Vec<f64> = (0..1usize << m).map(|_| rng.random()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut t = table.clone();
+                transform::walsh_hadamard(&mut t);
+                black_box(t[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum");
+    fast(&mut group);
+    for &m in &[8u32, 12, 16] {
+        let f = BooleanFunction::majority(m);
+        group.bench_with_input(BenchmarkId::new("full", m), &m, |b, _| {
+            b.iter(|| black_box(f.spectrum().variance()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evencover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evencover");
+    fast(&mut group);
+    group.bench_function("even_word_count_d32_l20", |b| {
+        b.iter(|| black_box(evencover::even_word_count(32, 20)));
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let xs: Vec<u32> = (0..16).map(|_| rng.random_range(0..64)).collect();
+    group.bench_function("a_r_count_q16_r2", |b| {
+        b.iter(|| black_box(evencover::a_r_count(&xs, 2)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wht, bench_spectrum, bench_evencover);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! A1 — ablation: the centralized tester zoo on equal footing.
+//!
+//! All five fixed-budget statistics (collisions, coincidences, χ²,
+//! unique elements, empirical ℓ₁) measure `q*` on the same instances,
+//! and the adaptive SPRT reports its *average* stopping cost on both
+//! sides. The ablation shows (a) every √n-statistic lands within a
+//! small constant of the others, (b) the learning-style ℓ₁ tester pays
+//! the full `n/ε²`, and (c) the disjoint-pair SPRT trades the birthday
+//! advantage (`~n/ε⁴` under uniform) for exact error control and
+//! instant rejection of blatant violations.
+//!
+//! ```bash
+//! cargo run --release -p dut-bench --bin a1_tester_ablation
+//! ```
+
+use dut_bench::{q_star, two_sided_success, workload, Harness};
+use dut_core::probability::Sampler;
+use dut_core::stats::seed::derive_seed2;
+use dut_core::stats::table::Table;
+use dut_core::testers::centralized::CentralizedTester;
+use dut_core::testers::{
+    Chi2Tester, CollisionTester, EmpiricalL1Tester, PaninskiTester,
+    SequentialUniformityTester, UniqueElementsTester,
+};
+use rand::SeedableRng;
+
+fn measure<T: CentralizedTester + Sync>(
+    tester: &T,
+    n: usize,
+    eps: f64,
+    harness: &Harness,
+    stream: u64,
+) -> usize {
+    let (uniform, far) = workload(n, eps);
+    q_star(2, 1 << 19, |q| {
+        let probe_seed = derive_seed2(harness.seed, stream, q as u64);
+        two_sided_success(harness.trials, probe_seed, &uniform, &far, |s, r| {
+            tester.test(&s.sample_many(q, r)).is_accept()
+        })
+    })
+    .minimal
+}
+
+fn main() {
+    let harness = Harness::from_env();
+    let n = 1 << 10;
+    let eps = 0.5;
+    println!("# A1 — centralized tester ablation (n = {n}, eps = {eps})\n");
+
+    let mut table = Table::new(vec![
+        "tester".into(),
+        "statistic".into(),
+        "measured q*".into(),
+    ]);
+
+    let collision = measure(&CollisionTester::new(n, eps), n, eps, &harness, 3000);
+    table.push_row(vec!["collision".into(), "pairs colliding".into(), collision.to_string()]);
+    println!("collision:    q* = {collision}");
+
+    let paninski = measure(&PaninskiTester::new(n, eps), n, eps, &harness, 3001);
+    table.push_row(vec![
+        "coincidence (Paninski)".into(),
+        "q - distinct".into(),
+        paninski.to_string(),
+    ]);
+    println!("coincidence:  q* = {paninski}");
+
+    let chi2 = measure(&Chi2Tester::uniform(n, eps), n, eps, &harness, 3002);
+    table.push_row(vec![
+        "chi-squared".into(),
+        "corrected Pearson".into(),
+        chi2.to_string(),
+    ]);
+    println!("chi-squared:  q* = {chi2}");
+
+    let unique = measure(&UniqueElementsTester::new(n, eps), n, eps, &harness, 3003);
+    table.push_row(vec![
+        "unique elements".into(),
+        "singleton count".into(),
+        unique.to_string(),
+    ]);
+    println!("unique:       q* = {unique}");
+
+    let l1 = measure(&EmpiricalL1Tester::new(n, eps), n, eps, &harness, 3004);
+    table.push_row(vec![
+        "empirical l1 (learning)".into(),
+        "||emp - U||_1".into(),
+        l1.to_string(),
+    ]);
+    println!("empirical l1: q* = {l1}");
+    harness.save("a1_fixed_budget", &table);
+
+    // The sqrt(n) statistics must cluster; the learner must not.
+    let sqrt_family = [collision, paninski, chi2, unique];
+    let min = *sqrt_family.iter().min().expect("non-empty");
+    let max = *sqrt_family.iter().max().expect("non-empty");
+    println!("\nsqrt(n)-statistics spread: max/min = {:.2}", max as f64 / min as f64);
+    println!(
+        "learning-style tester pays {}x the best testing statistic\n",
+        l1 / min
+    );
+
+    // --- adaptive stopping costs ---
+    println!("## adaptive (SPRT) average stopping cost\n");
+    let sprt = SequentialUniformityTester::with_default_errors(n, eps);
+    let (uniform, far) = workload(n, eps);
+    let point = dut_core::probability::families::point_mass(n, 0)
+        .expect("valid point mass")
+        .alias_sampler();
+    let mut table2 = Table::new(vec![
+        "input".into(),
+        "mean samples to decision".into(),
+        "decision".into(),
+    ]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(harness.seed);
+    for (name, sampler) in [("uniform", &uniform), ("two-level far", &far), ("point mass", &point)]
+    {
+        let trials = harness.trials.max(50);
+        let mut samples = 0usize;
+        let mut rejects = 0usize;
+        for _ in 0..trials {
+            let out = sprt.run(sampler, &mut rng);
+            samples += out.samples_used;
+            if out.verdict.is_reject() {
+                rejects += 1;
+            }
+        }
+        let mean = samples as f64 / trials as f64;
+        let verdict = if rejects * 2 > trials as usize { "reject" } else { "accept" };
+        println!("{name:<14} mean samples = {mean:>10.0}  ({verdict})");
+        table2.push_row(vec![name.into(), format!("{mean:.0}"), verdict.into()]);
+    }
+    harness.save("a1_adaptive", &table2);
+    println!(
+        "adaptivity collapses the cost on blatant violations (point mass); \
+         under uniform the disjoint-pair SPRT pays ~n/eps^4 — pairing \
+         forfeits the birthday-paradox advantage that gives the batch \
+         statistics their sqrt(n): exact error control traded for a \
+         quadratically worse null-side budget."
+    );
+}

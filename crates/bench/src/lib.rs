@@ -1,0 +1,194 @@
+//! Shared experiment plumbing for the E1–E11 reproduction binaries.
+//!
+//! Every binary follows the same pattern:
+//!
+//! 1. read the harness configuration from the environment
+//!    ([`Harness::from_env`]: `DUT_TRIALS`, `DUT_SEED`, `DUT_RESULTS`),
+//! 2. measure — usually the minimal per-player sample count `q*` at
+//!    which a protocol reaches the paper's two-sided 2/3 guarantee
+//!    ([`q_star`]),
+//! 3. print a Markdown table next to the paper's prediction and write
+//!    the same rows as CSV under the results directory
+//!    ([`Harness::save`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dut_core::probability::AliasSampler;
+use dut_core::stats::runner::run_trials;
+use dut_core::stats::search::{minimal_sufficient, SearchResult};
+use dut_core::stats::seed::derive_seed;
+use dut_core::stats::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Experiment configuration, read from the environment.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Trials per success-probability estimate (`DUT_TRIALS`, default 200).
+    pub trials: u64,
+    /// Master seed (`DUT_SEED`, default 20190729 — the paper's first day).
+    pub seed: u64,
+    /// Output directory for CSV tables (`DUT_RESULTS`, default `results`).
+    pub results_dir: PathBuf,
+}
+
+impl Harness {
+    /// Reads the configuration from the environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let trials = std::env::var("DUT_TRIALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        let seed = std::env::var("DUT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_190_729);
+        let results_dir = std::env::var("DUT_RESULTS")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        Self {
+            trials,
+            seed,
+            results_dir,
+        }
+    }
+
+    /// Prints the table as Markdown and writes `<name>.csv` to the
+    /// results directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSV cannot be written.
+    pub fn save(&self, name: &str, table: &Table) {
+        println!("{}", table.to_markdown());
+        let path = self.results_dir.join(format!("{name}.csv"));
+        table.write_csv(&path).expect("failed to write results CSV");
+        println!("[csv written to {}]", path.display());
+    }
+}
+
+/// Estimates, in parallel, whether a protocol achieves the two-sided
+/// 2/3 guarantee: accepts the uniform sampler and rejects the far
+/// sampler, each with probability ≥ 2/3 over `trials` executions.
+///
+/// `accepts(sampler, rng)` runs the protocol once and reports whether
+/// it accepted.
+pub fn two_sided_success<F>(
+    trials: u64,
+    seed: u64,
+    uniform: &AliasSampler,
+    far: &AliasSampler,
+    accepts: F,
+) -> bool
+where
+    F: Fn(&AliasSampler, &mut StdRng) -> bool + Sync,
+{
+    let completeness = run_trials(trials, derive_seed(seed, 0), |s| {
+        let mut rng = StdRng::seed_from_u64(s);
+        accepts(uniform, &mut rng)
+    });
+    if completeness.point() < 2.0 / 3.0 {
+        return false;
+    }
+    let soundness = run_trials(trials, derive_seed(seed, 1), |s| {
+        let mut rng = StdRng::seed_from_u64(s);
+        !accepts(far, &mut rng)
+    });
+    soundness.point() >= 2.0 / 3.0
+}
+
+/// Binary-searches the minimal `q` (or `k`, or `τ` — any monotone
+/// integer resource) at which `succeeds_at` holds.
+pub fn q_star<F>(min: usize, max: usize, succeeds_at: F) -> SearchResult
+where
+    F: FnMut(usize) -> bool,
+{
+    minimal_sufficient(min, max, succeeds_at)
+}
+
+/// Builds the standard workload pair for `(n, ε)`: the uniform sampler
+/// and the canonical extremal far instance.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or `ε ∉ [0, 1]`.
+#[must_use]
+pub fn workload(n: usize, epsilon: f64) -> (AliasSampler, AliasSampler) {
+    let uniform = dut_core::probability::families::uniform(n).alias_sampler();
+    let far = dut_core::probability::families::two_level(n, epsilon)
+        .expect("valid far instance")
+        .alias_sampler();
+    (uniform, far)
+}
+
+/// Mean of a statistic over parallel trials.
+pub fn mean_of<F>(trials: u64, seed: u64, f: F) -> f64
+where
+    F: Fn(&mut StdRng) -> f64 + Sync,
+{
+    let values = dut_core::stats::runner::run_measurements(trials, seed, |s| {
+        let mut rng = StdRng::seed_from_u64(s);
+        f(&mut rng)
+    });
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Formats a fitted slope with its target for table cells.
+#[must_use]
+pub fn slope_cell(measured: f64, predicted: f64) -> String {
+    format!("{measured:+.2} (theory {predicted:+.2})")
+}
+
+/// Re-exported for binaries.
+pub use dut_core::stats::sweep::{geometric_grid, log_log_slope, r_squared};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_core::probability::Sampler as _;
+
+    #[test]
+    fn harness_defaults() {
+        // Do not set env vars (tests may run in parallel); defaults only.
+        let h = Harness {
+            trials: 200,
+            seed: 1,
+            results_dir: PathBuf::from("results"),
+        };
+        assert_eq!(h.trials, 200);
+    }
+
+    #[test]
+    fn two_sided_success_separates() {
+        let (uniform, far) = workload(64, 1.0);
+        // A "protocol" with 12 samples and a collision test.
+        let tester = dut_core::testers::CollisionTester::new(64, 1.0);
+        use dut_core::testers::centralized::CentralizedTester as _;
+        let ok = two_sided_success(200, 7, &uniform, &far, |sampler, rng| {
+            let samples = sampler.sample_many(60, rng);
+            tester.test(&samples).is_accept()
+        });
+        assert!(ok, "collision tester with generous q should pass");
+        let weak = two_sided_success(200, 9, &uniform, &far, |sampler, rng| {
+            let samples = sampler.sample_many(2, rng);
+            tester.test(&samples).is_accept()
+        });
+        assert!(!weak, "two samples cannot test eps=1 on n=64 reliably");
+    }
+
+    #[test]
+    fn q_star_monotone_search() {
+        let r = q_star(1, 1024, |q| q >= 37);
+        assert_eq!(r.minimal, 37);
+    }
+
+    #[test]
+    fn workload_distances() {
+        let (u, f) = workload(32, 0.5);
+        assert_eq!(u.support_size(), 32);
+        assert_eq!(f.support_size(), 32);
+    }
+}

@@ -1,0 +1,177 @@
+//! Protocol selection guidance derived from the paper's theorems.
+//!
+//! Given `(n, k, ε)` and a locality requirement, recommends a decision
+//! rule and reports the predicted per-player sample cost of every rule
+//! — the practical digest of Theorems 1.1–1.3.
+
+use crate::config::Rule;
+use dut_lowerbound::theory;
+
+/// How local must the network's decision be?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalityRequirement {
+    /// Any node may raise the alarm on its own (AND rule semantics):
+    /// required for proof-labeling-style deployments.
+    FullyLocal,
+    /// The referee may count alarms but the threshold must stay below
+    /// the given value (e.g. alarm-storm limits).
+    AtMostThreshold(usize),
+    /// Any decision function is acceptable.
+    Unrestricted,
+}
+
+/// A recommendation with its predicted cost and the costs of the
+/// alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended rule.
+    pub rule: Rule,
+    /// Predicted per-player samples for the recommended rule.
+    pub predicted_samples: f64,
+    /// Predicted per-player samples under the AND rule (Theorem 1.2
+    /// scale).
+    pub and_rule_samples: f64,
+    /// Predicted per-player samples under the optimal rule
+    /// (Theorem 1.1 scale).
+    pub optimal_samples: f64,
+    /// Predicted samples for the centralized baseline.
+    pub centralized_samples: f64,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Recommends a decision rule for `(n, k, ε)` under a locality
+/// requirement.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (zero sizes, `ε ∉ (0, 1]`).
+#[must_use]
+pub fn recommend(
+    n: usize,
+    k: usize,
+    epsilon: f64,
+    locality: LocalityRequirement,
+) -> Recommendation {
+    // Both lower bounds apply to the AND rule; report their max.
+    let and_rule_samples =
+        theory::theorem_1_2(n, k, epsilon).max(theory::theorem_1_1(n, k, epsilon));
+    let optimal_samples = theory::fmo_threshold_upper(n, k, epsilon);
+    let centralized_samples = theory::centralized(n, epsilon);
+    let (rule, predicted_samples, rationale) = match locality {
+        LocalityRequirement::FullyLocal => {
+            let within_range = (k as f64) <= theory::theorem_1_2_k_range(epsilon);
+            let note = if within_range {
+                format!(
+                    "AND rule requested; with k={k} <= 2^(1/eps) the cost is \
+                     Theta(sqrt(n))/(log^2 k * eps^2) — only log-factor savings \
+                     over centralized (Theorem 1.2)"
+                )
+            } else {
+                format!(
+                    "AND rule requested; k={k} exceeds 2^(1/eps) so real savings \
+                     are possible (the [7] tester gains k^Theta(eps^2))"
+                )
+            };
+            (Rule::And, and_rule_samples, note)
+        }
+        LocalityRequirement::AtMostThreshold(t_max) => {
+            let t = t_max.max(1).min(k);
+            let needed = theory::theorem_1_3_threshold_range(k, epsilon);
+            let note = if (t as f64) < needed {
+                format!(
+                    "threshold T={t} is below ~1/(eps^2 log^2(k/eps)) ≈ {needed:.0}; \
+                     Theorem 1.3 predicts cost ~sqrt(n)/(T log^2(k/eps) eps^2) — \
+                     consider raising T"
+                )
+            } else {
+                format!(
+                    "threshold T={t} is large enough to approach the optimal \
+                     sqrt(n/k)/eps^2 cost"
+                )
+            };
+            (
+                Rule::TThreshold { t },
+                theory::theorem_1_3(n, k, epsilon, t),
+                note,
+            )
+        }
+        LocalityRequirement::Unrestricted => {
+            if k == 1 || optimal_samples >= centralized_samples {
+                (
+                    Rule::Centralized,
+                    centralized_samples,
+                    "a single machine is as cheap as distributing".to_owned(),
+                )
+            } else {
+                (
+                    Rule::Balanced,
+                    optimal_samples,
+                    format!(
+                        "the calibrated threshold rule achieves the optimal \
+                         sqrt(n/k)/eps^2 = {optimal_samples:.0} samples per player \
+                         (Theorem 1.1 shows no rule does better)"
+                    ),
+                )
+            }
+        }
+    };
+    Recommendation {
+        rule,
+        predicted_samples,
+        and_rule_samples,
+        optimal_samples,
+        centralized_samples,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrestricted_prefers_balanced_for_many_players() {
+        let r = recommend(1 << 14, 64, 0.25, LocalityRequirement::Unrestricted);
+        assert_eq!(r.rule, Rule::Balanced);
+        assert!(r.predicted_samples < r.centralized_samples);
+        assert!(!r.rationale.is_empty());
+    }
+
+    #[test]
+    fn unrestricted_single_player_is_centralized() {
+        let r = recommend(1 << 10, 1, 0.5, LocalityRequirement::Unrestricted);
+        assert_eq!(r.rule, Rule::Centralized);
+    }
+
+    #[test]
+    fn fully_local_returns_and_rule() {
+        let r = recommend(1 << 10, 16, 0.5, LocalityRequirement::FullyLocal);
+        assert_eq!(r.rule, Rule::And);
+        // The AND lower bound exceeds the any-rule bound once k is large
+        // enough that sqrt(k) beats log^2(k).
+        let big = recommend(1 << 10, 1 << 20, 0.5, LocalityRequirement::FullyLocal);
+        assert!(big.and_rule_samples > big.optimal_samples);
+    }
+
+    #[test]
+    fn fully_local_notes_exponential_regime() {
+        // Huge k relative to 2^{1/eps}: the rationale should flip.
+        let r = recommend(1 << 10, 1 << 12, 0.9, LocalityRequirement::FullyLocal);
+        assert!(r.rationale.contains("exceeds"));
+    }
+
+    #[test]
+    fn threshold_recommendation_clamps_t() {
+        let r = recommend(1 << 10, 8, 0.5, LocalityRequirement::AtMostThreshold(100));
+        assert_eq!(r.rule, Rule::TThreshold { t: 8 });
+        let r0 = recommend(1 << 10, 8, 0.5, LocalityRequirement::AtMostThreshold(0));
+        assert_eq!(r0.rule, Rule::TThreshold { t: 1 });
+    }
+
+    #[test]
+    fn small_threshold_warns() {
+        let r = recommend(1 << 16, 256, 0.05, LocalityRequirement::AtMostThreshold(1));
+        assert!(r.rationale.contains("consider raising"));
+    }
+}

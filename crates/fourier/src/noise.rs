@@ -1,0 +1,133 @@
+//! The noise operator `T_ρ` and coordinate influences.
+//!
+//! Not used directly by the paper's proofs, but standard companions of the
+//! level-weight machinery: `T_ρ` damps level `r` by `ρ^r`, which gives an
+//! alternative view of why biased functions (whose weight sits at high
+//! levels after KKL) lose their signal under sampling noise.
+
+use crate::{BooleanFunction, Spectrum};
+
+/// Applies the noise operator `T_ρ` to a function via its spectrum:
+/// `T̂_ρf(S) = ρ^{|S|}·f̂(S)`.
+///
+/// # Panics
+///
+/// Panics if `rho ∉ [-1, 1]`.
+#[must_use]
+pub fn noise_operator(f: &BooleanFunction, rho: f64) -> BooleanFunction {
+    assert!((-1.0..=1.0).contains(&rho), "rho out of range: {rho}");
+    let spec = f.spectrum();
+    let damped: Vec<f64> = spec
+        .coefficients()
+        .iter()
+        .enumerate()
+        .map(|(s, &c)| c * rho.powi((s as u32).count_ones() as i32))
+        .collect();
+    BooleanFunction::from_values(Spectrum::from_coefficients(damped).to_values())
+}
+
+/// Noise stability `Stab_ρ[f] = Σ_S ρ^{|S|} f̂(S)²`.
+///
+/// # Panics
+///
+/// Panics if `rho ∉ [-1, 1]`.
+#[must_use]
+pub fn noise_stability(spec: &Spectrum, rho: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&rho), "rho out of range: {rho}");
+    spec.coefficients()
+        .iter()
+        .enumerate()
+        .map(|(s, &c)| c * c * rho.powi((s as u32).count_ones() as i32))
+        .sum()
+}
+
+/// Influence of coordinate `i`: `Inf_i[f] = Σ_{S ∋ i} f̂(S)²`.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+#[must_use]
+pub fn influence(spec: &Spectrum, i: u32) -> f64 {
+    assert!(i < spec.num_vars(), "coordinate {i} out of range");
+    spec.coefficients()
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| (*s >> i) & 1 == 1)
+        .map(|(_, &c)| c * c)
+        .sum()
+}
+
+/// Total influence `I[f] = Σ_S |S|·f̂(S)²`.
+#[must_use]
+pub fn total_influence(spec: &Spectrum) -> f64 {
+    spec.coefficients()
+        .iter()
+        .enumerate()
+        .map(|(s, &c)| f64::from((s as u32).count_ones()) * c * c)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_one_is_identity() {
+        let f = BooleanFunction::majority(5);
+        let g = noise_operator(&f, 1.0);
+        for (a, b) in f.values().iter().zip(g.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_zero_is_mean() {
+        let f = BooleanFunction::majority(3);
+        let g = noise_operator(&f, 0.0);
+        for &v in g.values() {
+            assert!((v - f.mean()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_stability_at_one_is_total_weight() {
+        let spec = BooleanFunction::threshold(4, 2).spectrum();
+        assert!((noise_stability(&spec, 1.0) - spec.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_stability_monotone_for_monotone_weights() {
+        let spec = BooleanFunction::majority(5).spectrum();
+        assert!(noise_stability(&spec, 0.9) > noise_stability(&spec, 0.5));
+    }
+
+    #[test]
+    fn dictator_influence_concentrated() {
+        let spec = BooleanFunction::dictator(4, 2).spectrum();
+        assert!((influence(&spec, 2) - 0.25).abs() < 1e-12);
+        assert!(influence(&spec, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_influence_sums_coordinates() {
+        let spec = BooleanFunction::majority(5).spectrum();
+        let by_coord: f64 = (0..5).map(|i| influence(&spec, i)).sum();
+        assert!((by_coord - total_influence(&spec)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_has_maximal_level() {
+        let spec = BooleanFunction::parity(4, 0b1111).spectrum();
+        // 0/1 parity = (1 - chi)/2: total influence = 4 * (1/4) = 1.
+        assert!((total_influence(&spec) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_symmetric_influences() {
+        let spec = BooleanFunction::majority(5).spectrum();
+        let base = influence(&spec, 0);
+        for i in 1..5 {
+            assert!((influence(&spec, i) - base).abs() < 1e-12);
+        }
+    }
+}

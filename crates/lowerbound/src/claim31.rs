@@ -1,0 +1,216 @@
+//! Numeric verification of the spectral structure of the hard family
+//! (Section 3 of the paper).
+//!
+//! * **Claim 3.1**: the product density factorizes over characters,
+//!   `ν_z^q(x, s) = n^{-q} · Σ_{S⊆[q]} ε^{|S|} χ_S(s) Π_{j∈S} z(x_j)`.
+//! * **Spectrum support**: averaging over random `z`, the coefficient
+//!   `b_x(T) = E_z[Π_{j∈T} z(x_j)]` is `1` when the multiset
+//!   `{x_j}_{j∈T}` is evenly covered and `0` otherwise — the "odd
+//!   cancelation" driving the whole lower bound.
+
+use dut_fourier::evencover::is_evenly_covered;
+use dut_probability::{PairedDomain, PerturbationVector};
+
+/// Evaluates the density `ν_z^q` on a tuple directly from the product
+/// definition.
+#[must_use]
+pub fn density_product(
+    dom: &PairedDomain,
+    z: &PerturbationVector,
+    epsilon: f64,
+    xs: &[u32],
+    ss: &[i8],
+) -> f64 {
+    assert_eq!(xs.len(), ss.len(), "tuple parts must have equal length");
+    let n = dom.universe_size() as f64;
+    xs.iter()
+        .zip(ss)
+        .map(|(&x, &s)| (1.0 + f64::from(s) * f64::from(z.sign(x)) * epsilon) / n)
+        .product()
+}
+
+/// Evaluates the density via the character expansion of Claim 3.1.
+///
+/// # Panics
+///
+/// Panics if `q > 20` (subset enumeration guard).
+#[must_use]
+pub fn density_expansion(
+    dom: &PairedDomain,
+    z: &PerturbationVector,
+    epsilon: f64,
+    xs: &[u32],
+    ss: &[i8],
+) -> f64 {
+    assert_eq!(xs.len(), ss.len(), "tuple parts must have equal length");
+    let q = xs.len();
+    assert!(q <= 20, "subset enumeration limited to q <= 20");
+    let n = dom.universe_size() as f64;
+    let mut total = 0.0f64;
+    for subset in 0u64..(1 << q) {
+        let size = subset.count_ones();
+        // chi_S(s) = prod_{j in S} s_j  and the z product.
+        let mut sign = 1.0f64;
+        let mut bits = subset;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            sign *= f64::from(ss[j]) * f64::from(z.sign(xs[j]));
+        }
+        total += epsilon.powi(size as i32) * sign;
+    }
+    total / n.powi(q as i32)
+}
+
+/// The averaged coefficient `b_x(T) = E_z[Π_{j∈T} z(x_j)]`, computed
+/// exactly over all perturbation vectors.
+///
+/// # Panics
+///
+/// Panics if the cube has more than 20 vertices.
+#[must_use]
+pub fn b_x_exact(dom: &PairedDomain, xs: &[u32], subset: u64) -> f64 {
+    let cube = dom.cube_size();
+    assert!(cube <= 20, "z enumeration limited to 2^20 vectors");
+    let count = 1u64 << cube;
+    let mut total = 0.0f64;
+    for code in 0..count {
+        let z = PerturbationVector::from_code(cube, code);
+        let mut prod = 1.0f64;
+        let mut bits = subset;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            prod *= f64::from(z.sign(xs[j]));
+        }
+        total += prod;
+    }
+    total / count as f64
+}
+
+/// The paper's prediction for `b_x(T)`: `1` iff `{x_j}_{j∈T}` is evenly
+/// covered, else `0`.
+#[must_use]
+pub fn b_x_predicted(xs: &[u32], subset: u64) -> f64 {
+    if is_evenly_covered(xs, subset) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn claim_3_1_exhaustive_small() {
+        // All tuples, a few z's, ell = 2, q = 2.
+        let dom = PairedDomain::new(2);
+        let q = 2;
+        for code in [0u64, 0b0101, 0b1111, 0b0010] {
+            let z = PerturbationVector::from_code(dom.cube_size(), code);
+            for eps in [0.0, 0.3, 1.0] {
+                for a in 0..dom.universe_size() {
+                    for b in 0..dom.universe_size() {
+                        let (xa, sa) = dom.decode(a);
+                        let (xb, sb) = dom.decode(b);
+                        let xs = [xa, xb];
+                        let ss = [sa, sb];
+                        let lhs = density_product(&dom, &z, eps, &xs, &ss);
+                        let rhs = density_expansion(&dom, &z, eps, &xs, &ss);
+                        assert!(
+                            (lhs - rhs).abs() < 1e-12,
+                            "z={code:b} eps={eps} tuple=({a},{b}): {lhs} vs {rhs}"
+                        );
+                    }
+                }
+            }
+        }
+        let _ = q;
+    }
+
+    #[test]
+    fn claim_3_1_randomized_larger() {
+        let dom = PairedDomain::new(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for _ in 0..50 {
+            let z = PerturbationVector::random(dom.cube_size(), &mut rng);
+            let q = 1 + rng.random_range(0..5usize);
+            let xs: Vec<u32> = (0..q)
+                .map(|_| rng.random_range(0..dom.cube_size()) as u32)
+                .collect();
+            let ss: Vec<i8> = (0..q)
+                .map(|_| if rng.random::<bool>() { 1 } else { -1 })
+                .collect();
+            let eps = rng.random::<f64>();
+            let lhs = density_product(&dom, &z, eps, &xs, &ss);
+            let rhs = density_expansion(&dom, &z, eps, &xs, &ss);
+            assert!((lhs - rhs).abs() < 1e-12, "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let dom = PairedDomain::new(2);
+        let z = PerturbationVector::from_code(4, 0b1001);
+        let eps = 0.6;
+        let mut total = 0.0;
+        for a in 0..dom.universe_size() {
+            for b in 0..dom.universe_size() {
+                let (xa, sa) = dom.decode(a);
+                let (xb, sb) = dom.decode(b);
+                total += density_expansion(&dom, &z, eps, &[xa, xb], &[sa, sb]);
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn b_x_matches_even_cover_prediction_exhaustively() {
+        // ell = 2 (4 cube vertices), q = 4: every tuple, every subset.
+        let dom = PairedDomain::new(2);
+        let q = 4usize;
+        let cube = dom.cube_size() as u32;
+        let mut tuples_checked = 0u64;
+        for t0 in 0..cube {
+            for t1 in 0..cube {
+                for t2 in 0..cube {
+                    for t3 in 0..cube {
+                        let xs = [t0, t1, t2, t3];
+                        for subset in 0u64..(1 << q) {
+                            let exact = b_x_exact(&dom, &xs, subset);
+                            let predicted = b_x_predicted(&xs, subset);
+                            assert!(
+                                (exact - predicted).abs() < 1e-12,
+                                "xs={xs:?} subset={subset:b}: {exact} vs {predicted}"
+                            );
+                        }
+                        tuples_checked += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(tuples_checked, 256);
+    }
+
+    #[test]
+    fn empty_subset_coefficient_is_one() {
+        let dom = PairedDomain::new(2);
+        assert_eq!(b_x_exact(&dom, &[0, 1, 2], 0), 1.0);
+        assert_eq!(b_x_predicted(&[0, 1, 2], 0), 1.0);
+    }
+
+    #[test]
+    fn odd_multiplicity_cancels() {
+        let dom = PairedDomain::new(2);
+        // Subset {0}: single occurrence -> 0.
+        assert_eq!(b_x_exact(&dom, &[3, 3], 0b01), 0.0);
+        // Subset {0,1} with equal values -> 1.
+        assert_eq!(b_x_exact(&dom, &[3, 3], 0b11), 1.0);
+        // Subset {0,1} with distinct values -> 0.
+        assert_eq!(b_x_exact(&dom, &[3, 2], 0b11), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The KL-budget argument of Section 6.1 (Theorem 6.1), executable.
+//!
+//! For the referee to distinguish uniform from a random `ν_z` with
+//! success probability `1 − δ`, the players' bit distributions must
+//! accumulate total divergence
+//! `Σ_j E_z[D(ν_{G_j} ‖ μ_{G_j})] > (1/10)·log(1/δ)` — while Fact 6.3
+//! plus Lemma 4.2 cap every player's contribution at
+//! `(1/ln 2)·(20q²ε⁴/n + qε²/n)`. Rearranging yields the sample-
+//! complexity lower bound, equation (13).
+
+use crate::exact;
+use crate::player::PlayerFunction;
+use dut_probability::distance::bernoulli_kl;
+use dut_probability::{PairedDomain, PerturbationVector};
+
+/// Required total divergence (bits) for two-sided error `δ`:
+/// `(1/10)·log₂(1/δ)` — the left-hand side of equation (10).
+///
+/// # Panics
+///
+/// Panics if `delta ∉ (0, 1)`.
+#[must_use]
+pub fn required_budget(delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    0.1 * (1.0 / delta).log2()
+}
+
+/// The per-player divergence cap from Fact 6.3 + Lemma 4.2 (equation
+/// (12)): `(1/ln 2)·(20q²ε⁴/n + 2qε²/n)` — with the corrected
+/// linear-term constant, see [`crate::lemmas::lemma_4_2_rhs`].
+#[must_use]
+pub fn per_player_cap(n: usize, q: usize, epsilon: f64) -> f64 {
+    let n_f = n as f64;
+    let q_f = q as f64;
+    let e2 = epsilon * epsilon;
+    (20.0 * q_f * q_f * e2 * e2 / n_f + 2.0 * q_f * e2 / n_f) / std::f64::consts::LN_2
+}
+
+/// The minimal number of players implied by equation (13) for two-sided
+/// error `δ = 1/3`: `k ≥ Ω(log(1/δ)) / per_player_cap`.
+#[must_use]
+pub fn min_players(n: usize, q: usize, epsilon: f64) -> f64 {
+    required_budget(1.0 / 3.0) / per_player_cap(n, q, epsilon)
+}
+
+/// The divergence a single player function `G` actually achieves,
+/// averaged exactly over the full perturbation ensemble:
+/// `E_z[D(B(ν_z(G)) ‖ B(μ(G)))]` in bits.
+///
+/// Degenerate cases (`ν_z(G) ∈ {0,1}` against interior `μ(G)`) use the
+/// exact (possibly infinite) Bernoulli KL.
+///
+/// # Panics
+///
+/// Panics if the exact-enumeration guards of [`crate::exact`] trip.
+#[must_use]
+pub fn average_divergence_exact<G: PlayerFunction + ?Sized>(
+    dom: &PairedDomain,
+    q: usize,
+    epsilon: f64,
+    g: &G,
+) -> f64 {
+    let cube = dom.cube_size();
+    assert!(cube <= 20, "z enumeration limited");
+    let count = 1u64 << cube;
+    let mu = exact::mu_g(dom, q, g);
+    let mut total = 0.0f64;
+    for code in 0..count {
+        let z = PerturbationVector::from_code(cube, code);
+        let nu = exact::nu_g(dom, q, g, &z, epsilon).clamp(0.0, 1.0);
+        // Guard against enumeration round-off producing nu = mu ± 1e-16
+        // at the boundary, where the exact KL is 0 but the formula sees
+        // a support violation.
+        if (nu - mu).abs() > 1e-12 {
+            total += bernoulli_kl(nu, mu);
+        }
+    }
+    total / count as f64
+}
+
+/// The Fact 6.3 upper bound on the same average divergence, computed
+/// from the exact second moment:
+/// `E_z[(ν_z(G) − μ(G))²] / (var(G)·ln 2)`.
+///
+/// # Panics
+///
+/// Panics if the exact-enumeration guards trip.
+#[must_use]
+pub fn average_divergence_fact_6_3_bound<G: PlayerFunction + ?Sized>(
+    dom: &PairedDomain,
+    q: usize,
+    epsilon: f64,
+    g: &G,
+) -> f64 {
+    let m = exact::z_moments_exact(dom, q, g, epsilon);
+    let var = exact::var_g_from_mu(m.mu);
+    if var == 0.0 {
+        return if m.second_moment == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    m.second_moment / (var * std::f64::consts::LN_2)
+}
+
+/// Sample-complexity lower bound from equation (13), solved for `q`:
+/// the largest `q` for which `k` players at `(n, ε)` cannot accumulate
+/// the required budget, i.e.
+/// `k·(20q²ε⁴/n + qε²/n)/ln2 ≤ (1/10)·log₂(3)`.
+///
+/// Matches Theorem 6.1's `Ω(min(√(n/k), n/k)/ε²)` shape.
+#[must_use]
+pub fn q_lower_bound(n: usize, k: usize, epsilon: f64) -> f64 {
+    // Solve 20 q^2 e4/n + 2 q e2/n = B/k (with B in nats) for q > 0.
+    let budget_nats = required_budget(1.0 / 3.0) * std::f64::consts::LN_2;
+    let n_f = n as f64;
+    let e2 = epsilon * epsilon;
+    let a = 20.0 * e2 * e2 / n_f;
+    let b = 2.0 * e2 / n_f;
+    let c = -budget_nats / k as f64;
+    // Positive root of a q^2 + b q + c = 0.
+    (-b + (b * b - 4.0 * a * c).sqrt()) / (2.0 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::player::{CollisionIndicator, SignParity};
+
+    #[test]
+    fn budget_grows_with_confidence() {
+        assert!(required_budget(0.01) > required_budget(1.0 / 3.0));
+        assert!((required_budget(0.5) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fact_6_3_dominates_actual_divergence() {
+        // The chain KL <= chi^2-style bound must hold player-by-player.
+        let dom = PairedDomain::new(2);
+        for q in 1..=3usize {
+            for &eps in &[0.2, 0.5, 0.9] {
+                let g = CollisionIndicator::new(1);
+                let actual = average_divergence_exact(&dom, q, eps, &g);
+                let bound = average_divergence_fact_6_3_bound(&dom, q, eps, &g);
+                assert!(
+                    actual <= bound * (1.0 + 1e-9) + 1e-12,
+                    "q={q} eps={eps}: {actual} > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_cap_dominates_fact_6_3_bound_within_precondition() {
+        let dom = PairedDomain::new(2);
+        let n = dom.universe_size();
+        let q = 1;
+        let eps = 0.3;
+        assert!(crate::lemmas::lemma_4_2_precondition(n, q, eps));
+        let g = CollisionIndicator::new(1);
+        let observed = average_divergence_fact_6_3_bound(&dom, q, eps, &g);
+        let cap = per_player_cap(n, q, eps);
+        assert!(
+            observed <= cap * (1.0 + 1e-9),
+            "observed {observed} > cap {cap}"
+        );
+    }
+
+    #[test]
+    fn uninformative_players_have_zero_divergence() {
+        let dom = PairedDomain::new(2);
+        // Parity of a single sign: E_z symmetric, and per-z it IS biased,
+        // so divergence is positive but small; the constant function is 0.
+        let constant = |_: &[crate::player::PairedSample]| true;
+        assert_eq!(average_divergence_exact(&dom, 2, 0.8, &constant), 0.0);
+        let parity = average_divergence_exact(&dom, 1, 0.8, &SignParity);
+        assert!(parity > 0.0);
+    }
+
+    #[test]
+    fn divergence_increases_with_epsilon() {
+        let dom = PairedDomain::new(2);
+        let g = CollisionIndicator::new(1);
+        let weak = average_divergence_exact(&dom, 3, 0.2, &g);
+        let strong = average_divergence_exact(&dom, 3, 0.8, &g);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn q_lower_bound_shapes() {
+        let eps = 0.5;
+        let n = 1 << 16;
+        // sqrt(n/k) regime: quadrupling k halves the bound.
+        let q16 = q_lower_bound(n, 16, eps);
+        let q64 = q_lower_bound(n, 64, eps);
+        assert!(
+            (q16 / q64 - 2.0).abs() < 0.35,
+            "q16={q16} q64={q64} ratio={}",
+            q16 / q64
+        );
+        // Bound decreases with k and increases with n.
+        assert!(q_lower_bound(n, 256, eps) < q16);
+        assert!(q_lower_bound(n * 4, 16, eps) > q16);
+    }
+
+    #[test]
+    fn q_lower_bound_epsilon_scaling() {
+        let n = 1 << 16;
+        let k = 16;
+        // In the sqrt regime, q* ~ 1/eps^2.
+        let q_half = q_lower_bound(n, k, 0.5);
+        let q_quarter = q_lower_bound(n, k, 0.25);
+        assert!(
+            (q_quarter / q_half - 4.0).abs() < 1.0,
+            "ratio = {}",
+            q_quarter / q_half
+        );
+    }
+
+    #[test]
+    fn min_players_matches_single_sample_regime() {
+        // q = 1: k = Omega(n / eps^2) (the ACT18 recovery noted in 6.1).
+        let eps = 0.5;
+        let a = min_players(1 << 10, 1, eps);
+        let b = min_players(1 << 12, 1, eps);
+        assert!((b / a - 4.0).abs() < 0.2, "n-scaling ratio {}", b / a);
+    }
+
+    #[test]
+    fn bernoulli_kl_bound_sanity() {
+        // Fact 6.3 on raw Bernoullis, used throughout: spot check here
+        // so the dependency is exercised from this crate too.
+        use dut_probability::distance::bernoulli_kl_chi2_bound;
+        assert!(bernoulli_kl(0.4, 0.5) <= bernoulli_kl_chi2_bound(0.4, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn budget_validates_delta() {
+        let _ = required_budget(0.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! The main lemmas (4.2, 4.3, 4.4, 5.1) as executable checks: each
+//! lemma bounds how differently a player function `G` behaves on the
+//! hard family versus uniform, in terms of `var(G)`.
+//!
+//! The left-hand sides are computed exactly ([`crate::exact`]); the
+//! right-hand sides are the paper's closed-form expressions. A
+//! [`LemmaCheck`] packages both with the observed/bound ratio.
+
+use crate::exact::{self, ZMoments};
+use crate::player::PlayerFunction;
+use dut_probability::PairedDomain;
+
+/// The outcome of checking one lemma instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LemmaCheck {
+    /// The exact left-hand side.
+    pub lhs: f64,
+    /// The paper's right-hand side.
+    pub rhs: f64,
+    /// Whether the precondition on `q` was satisfied (checks with a
+    /// violated precondition are reported but vacuous).
+    pub precondition: bool,
+}
+
+impl LemmaCheck {
+    /// `lhs ≤ rhs` (with numeric slack), or the precondition failed.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        !self.precondition || self.lhs <= self.rhs * (1.0 + 1e-9) + 1e-15
+    }
+
+    /// `lhs / rhs` — how much slack the bound has (`≤ 1` means holds).
+    /// Degenerate instances (`rhs = 0`, e.g. constant players with zero
+    /// variance) report 0 when the lhs is enumeration round-off.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.rhs == 0.0 {
+            if self.lhs.abs() < 1e-12 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.lhs / self.rhs
+        }
+    }
+}
+
+/// Right-hand side of Lemma 5.1: `(4qε²/√n)·√var(G)`.
+#[must_use]
+pub fn lemma_5_1_rhs(n: usize, q: usize, epsilon: f64, var: f64) -> f64 {
+    4.0 * q as f64 * epsilon * epsilon / (n as f64).sqrt() * var.sqrt()
+}
+
+/// Precondition of Lemma 5.1: `q ≤ √n/(4ε²)`.
+#[must_use]
+pub fn lemma_5_1_precondition(n: usize, q: usize, epsilon: f64) -> bool {
+    (q as f64) <= (n as f64).sqrt() / (4.0 * epsilon * epsilon)
+}
+
+/// Right-hand side of Lemma 4.2:
+/// `(20·q²ε⁴/n + 2·qε²/n)·var(G)`.
+///
+/// **Constant correction.** The paper states the linear term as
+/// `qε²/n·var(G)`, but exact enumeration falsifies that constant: for
+/// the sign-dictator `G(s₁) = 1[s₁ = −1]` at `q = 1`, the exact
+/// left-hand side is `ε²/(2n) = 2·qε²·var(G)/n` (`var = 1/4`), which
+/// exceeds `qε²·var(G)/n`. A Cauchy–Schwarz pass over the level-1 term
+/// of the expansion gives the tight general constant 2 (the dictator is
+/// extremal), so this implementation uses `2·qε²/n`. The `20q²ε⁴/n`
+/// quadratic term is kept as stated. See EXPERIMENTS.md (E5).
+#[must_use]
+pub fn lemma_4_2_rhs(n: usize, q: usize, epsilon: f64, var: f64) -> f64 {
+    let n_f = n as f64;
+    let q_f = q as f64;
+    let e2 = epsilon * epsilon;
+    (20.0 * q_f * q_f * e2 * e2 / n_f + 2.0 * q_f * e2 / n_f) * var
+}
+
+/// Precondition of Lemma 4.2: `q ≤ √n/(20ε²)`.
+#[must_use]
+pub fn lemma_4_2_precondition(n: usize, q: usize, epsilon: f64) -> bool {
+    (q as f64) <= (n as f64).sqrt() / (20.0 * epsilon * epsilon)
+}
+
+/// Right-hand side of Lemma 4.3 for bias parameter `m`:
+/// `(q/√n + (q/√n)^{1/(2m+2)}) · 40m²ε² · var(G)^{(2m+1)/(2m+2)}`.
+#[must_use]
+pub fn lemma_4_3_rhs(n: usize, q: usize, epsilon: f64, m: u32, var: f64) -> f64 {
+    let ratio = q as f64 / (n as f64).sqrt();
+    let exponent = 1.0 / f64::from(2 * m + 2);
+    let var_exponent = f64::from(2 * m + 1) / f64::from(2 * m + 2);
+    (ratio + ratio.powf(exponent))
+        * 40.0
+        * f64::from(m * m)
+        * epsilon
+        * epsilon
+        * var.powf(var_exponent)
+}
+
+/// Precondition of Lemma 4.3:
+/// `q ≤ min(√n/(40m²ε²), √n/(40m²ε²)^{m+1})`.
+#[must_use]
+pub fn lemma_4_3_precondition(n: usize, q: usize, epsilon: f64, m: u32) -> bool {
+    let sqrt_n = (n as f64).sqrt();
+    let base = 40.0 * f64::from(m * m) * epsilon * epsilon;
+    let first = sqrt_n / base;
+    let second = sqrt_n / base.powi(m as i32 + 1);
+    (q as f64) <= first.min(second)
+}
+
+/// Right-hand side of Lemma 4.4 with its (unspecified-in-the-paper)
+/// constant `c`:
+/// `2ε²q/n·var + c·(q/√n + (q/√n)^{1/(m+1)})·m²ε²·var^{2−1/(m+1)}`.
+#[must_use]
+pub fn lemma_4_4_rhs(n: usize, q: usize, epsilon: f64, m: u32, var: f64, c: f64) -> f64 {
+    let n_f = n as f64;
+    let q_f = q as f64;
+    let e2 = epsilon * epsilon;
+    let ratio = q_f / n_f.sqrt();
+    let exponent = 1.0 / f64::from(m + 1);
+    2.0 * e2 * q_f / n_f * var
+        + c * (ratio + ratio.powf(exponent))
+            * f64::from(m * m)
+            * e2
+            * var.powf(2.0 - exponent)
+}
+
+/// Precondition of Lemma 4.4:
+/// `q ≤ min(√n/((40m)²ε²)^{m+1}, √n/((40m)²ε²))`.
+#[must_use]
+pub fn lemma_4_4_precondition(n: usize, q: usize, epsilon: f64, m: u32) -> bool {
+    let sqrt_n = (n as f64).sqrt();
+    let base = (40.0 * f64::from(m)).powi(2) * epsilon * epsilon;
+    let first = sqrt_n / base.powi(m as i32 + 1);
+    let second = sqrt_n / base;
+    (q as f64) <= first.min(second)
+}
+
+/// Checks Lemma 5.1 exactly:
+/// `|E_z[ν_z(G)] − μ(G)| ≤ (4qε²/√n)·√var(G)`.
+///
+/// # Panics
+///
+/// Panics if the exact-enumeration guards trip (see [`crate::exact`]).
+#[must_use]
+pub fn check_lemma_5_1<G: PlayerFunction + ?Sized>(
+    dom: &PairedDomain,
+    q: usize,
+    epsilon: f64,
+    g: &G,
+) -> LemmaCheck {
+    let n = dom.universe_size();
+    let m = exact::z_moments_exact(dom, q, g, epsilon);
+    LemmaCheck {
+        lhs: m.first_moment_abs(),
+        rhs: lemma_5_1_rhs(n, q, epsilon, exact::var_g_from_mu(m.mu)),
+        precondition: lemma_5_1_precondition(n, q, epsilon),
+    }
+}
+
+/// Checks Lemma 4.2 exactly:
+/// `E_z[(ν_z(G) − μ(G))²] ≤ (20q²ε⁴/n + qε²/n)·var(G)`.
+///
+/// # Panics
+///
+/// Panics if the exact-enumeration guards trip.
+#[must_use]
+pub fn check_lemma_4_2<G: PlayerFunction + ?Sized>(
+    dom: &PairedDomain,
+    q: usize,
+    epsilon: f64,
+    g: &G,
+) -> LemmaCheck {
+    let n = dom.universe_size();
+    let m = exact::z_moments_exact(dom, q, g, epsilon);
+    LemmaCheck {
+        lhs: m.second_moment,
+        rhs: lemma_4_2_rhs(n, q, epsilon, exact::var_g_from_mu(m.mu)),
+        precondition: lemma_4_2_precondition(n, q, epsilon),
+    }
+}
+
+/// Checks Lemma 4.3 exactly for bias parameter `m`:
+/// `|E_z[ν_z(G)] − μ(G)| ≤ rhs(m)`.
+///
+/// # Panics
+///
+/// Panics if the exact-enumeration guards trip.
+#[must_use]
+pub fn check_lemma_4_3<G: PlayerFunction + ?Sized>(
+    dom: &PairedDomain,
+    q: usize,
+    epsilon: f64,
+    m: u32,
+    g: &G,
+) -> LemmaCheck {
+    let n = dom.universe_size();
+    let moments = exact::z_moments_exact(dom, q, g, epsilon);
+    LemmaCheck {
+        lhs: moments.first_moment_abs(),
+        rhs: lemma_4_3_rhs(n, q, epsilon, m, exact::var_g_from_mu(moments.mu)),
+        precondition: lemma_4_3_precondition(n, q, epsilon, m),
+    }
+}
+
+/// Checks Lemma 4.4 exactly with constant `c`.
+///
+/// # Panics
+///
+/// Panics if the exact-enumeration guards trip.
+#[must_use]
+pub fn check_lemma_4_4<G: PlayerFunction + ?Sized>(
+    dom: &PairedDomain,
+    q: usize,
+    epsilon: f64,
+    m: u32,
+    c: f64,
+    g: &G,
+) -> LemmaCheck {
+    let n = dom.universe_size();
+    let moments = exact::z_moments_exact(dom, q, g, epsilon);
+    LemmaCheck {
+        lhs: moments.second_moment,
+        rhs: lemma_4_4_rhs(n, q, epsilon, m, exact::var_g_from_mu(moments.mu), c),
+        precondition: lemma_4_4_precondition(n, q, epsilon, m),
+    }
+}
+
+/// Pre-packaged moments variant: builds all four checks from already
+/// computed [`ZMoments`] (avoids re-enumerating for each lemma).
+#[must_use]
+pub fn checks_from_moments(
+    n: usize,
+    q: usize,
+    epsilon: f64,
+    m_bias: u32,
+    c: f64,
+    moments: &ZMoments,
+) -> [LemmaCheck; 4] {
+    let var = exact::var_g_from_mu(moments.mu);
+    [
+        LemmaCheck {
+            lhs: moments.first_moment_abs(),
+            rhs: lemma_5_1_rhs(n, q, epsilon, var),
+            precondition: lemma_5_1_precondition(n, q, epsilon),
+        },
+        LemmaCheck {
+            lhs: moments.second_moment,
+            rhs: lemma_4_2_rhs(n, q, epsilon, var),
+            precondition: lemma_4_2_precondition(n, q, epsilon),
+        },
+        LemmaCheck {
+            lhs: moments.first_moment_abs(),
+            rhs: lemma_4_3_rhs(n, q, epsilon, m_bias, var),
+            precondition: lemma_4_3_precondition(n, q, epsilon, m_bias),
+        },
+        LemmaCheck {
+            lhs: moments.second_moment,
+            rhs: lemma_4_4_rhs(n, q, epsilon, m_bias, var, c),
+            precondition: lemma_4_4_precondition(n, q, epsilon, m_bias),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::player::{
+        CollisionIndicator, CubeDictator, PairedSample, SignDictator, SignMajority,
+        SignParity, TableFunction,
+    };
+    use rand::SeedableRng;
+
+    fn small_domain() -> PairedDomain {
+        PairedDomain::new(2) // universe 8, 16 perturbation vectors
+    }
+
+    #[test]
+    fn lemma_5_1_holds_for_canonical_players() {
+        let dom = small_domain();
+        for q in 1..=3usize {
+            for &eps in &[0.1, 0.3, 0.5] {
+                let checks = [
+                    check_lemma_5_1(&dom, q, eps, &CollisionIndicator::new(1)),
+                    check_lemma_5_1(&dom, q, eps, &SignDictator::new(0)),
+                    check_lemma_5_1(&dom, q, eps, &SignParity),
+                    check_lemma_5_1(&dom, q, eps, &SignMajority),
+                    check_lemma_5_1(&dom, q, eps, &CubeDictator::new(0, 1)),
+                ];
+                for (i, c) in checks.iter().enumerate() {
+                    assert!(c.holds(), "player {i} q={q} eps={eps}: {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_holds_for_canonical_players() {
+        let dom = small_domain();
+        for q in 1..=3usize {
+            for &eps in &[0.1, 0.3] {
+                let checks = [
+                    check_lemma_4_2(&dom, q, eps, &CollisionIndicator::new(1)),
+                    check_lemma_4_2(&dom, q, eps, &SignDictator::new(0)),
+                    check_lemma_4_2(&dom, q, eps, &SignParity),
+                ];
+                for (i, c) in checks.iter().enumerate() {
+                    assert!(c.holds(), "player {i} q={q} eps={eps}: {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_holds_for_random_functions() {
+        let dom = small_domain();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for &density in &[0.1, 0.5, 0.9] {
+            for _ in 0..3 {
+                let g = TableFunction::random(dom, 2, density, &mut rng);
+                let check = check_lemma_4_2(&dom, 2, 0.25, &g);
+                assert!(check.holds(), "density {density}: {check:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_3_holds_for_biased_functions() {
+        // The AND-type regime: highly biased functions, small variance.
+        let dom = small_domain();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        for m in 1..=3u32 {
+            for _ in 0..3 {
+                let g = TableFunction::random(dom, 2, 0.03, &mut rng);
+                let check = check_lemma_4_3(&dom, 2, 0.1, m, &g);
+                assert!(check.holds(), "m={m}: {check:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_4_holds_with_unit_constant_on_small_instances() {
+        let dom = small_domain();
+        let g = CollisionIndicator::new(1);
+        let check = check_lemma_4_4(&dom, 1, 0.05, 1, 1.0, &g);
+        assert!(check.holds(), "{check:?}");
+    }
+
+    #[test]
+    fn exhaustive_all_player_functions_tiny_instance() {
+        // ell=1, q=1: player functions are over 2 bits -> 16 functions.
+        // Check Lemma 5.1 and 4.2 for every single one.
+        let dom = PairedDomain::new(1);
+        let q = 1;
+        for code in 0u32..16 {
+            let table = dut_fourier::BooleanFunction::from_fn(2, |x| {
+                f64::from((code >> x) & 1)
+            });
+            let g = TableFunction::new(dom, q, table);
+            for &eps in &[0.1, 0.4] {
+                let c1 = check_lemma_5_1(&dom, q, eps, &g);
+                assert!(c1.holds(), "code={code} eps={eps}: {c1:?}");
+                let c2 = check_lemma_4_2(&dom, q, eps, &g);
+                assert!(c2.holds(), "code={code} eps={eps}: {c2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_reports_slack_correctly() {
+        let check = LemmaCheck {
+            lhs: 0.5,
+            rhs: 1.0,
+            precondition: true,
+        };
+        assert!((check.ratio() - 0.5).abs() < 1e-15);
+        assert!(check.holds());
+        let violated = LemmaCheck {
+            lhs: 2.0,
+            rhs: 1.0,
+            precondition: true,
+        };
+        assert!(!violated.holds());
+        let vacuous = LemmaCheck {
+            lhs: 2.0,
+            rhs: 1.0,
+            precondition: false,
+        };
+        assert!(vacuous.holds());
+        let degenerate = LemmaCheck {
+            lhs: 0.0,
+            rhs: 0.0,
+            precondition: true,
+        };
+        assert_eq!(degenerate.ratio(), 0.0);
+    }
+
+    #[test]
+    fn preconditions_bite_for_large_q() {
+        assert!(!lemma_5_1_precondition(16, 100, 0.5));
+        assert!(lemma_5_1_precondition(1 << 20, 100, 0.5));
+        assert!(!lemma_4_3_precondition(16, 100, 0.5, 2));
+    }
+
+    #[test]
+    fn checks_from_moments_consistent_with_direct() {
+        let dom = small_domain();
+        let q = 2;
+        let eps = 0.3;
+        let g = CollisionIndicator::new(1);
+        let moments = crate::exact::z_moments_exact(&dom, q, &g, eps);
+        let packed = checks_from_moments(dom.universe_size(), q, eps, 1, 1.0, &moments);
+        let direct_5_1 = check_lemma_5_1(&dom, q, eps, &g);
+        assert!((packed[0].lhs - direct_5_1.lhs).abs() < 1e-15);
+        assert!((packed[0].rhs - direct_5_1.rhs).abs() < 1e-15);
+        let direct_4_2 = check_lemma_4_2(&dom, q, eps, &g);
+        assert!((packed[1].rhs - direct_4_2.rhs).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_functions_have_zero_lhs() {
+        let dom = small_domain();
+        let always = |_: &[PairedSample]| true;
+        let c = check_lemma_4_2(&dom, 2, 0.5, &always);
+        assert_eq!(c.lhs, 0.0);
+        assert_eq!(c.rhs, 0.0); // var = 0
+        assert!(c.holds());
+    }
+}

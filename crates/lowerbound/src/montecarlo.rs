@@ -1,0 +1,229 @@
+//! Monte-Carlo estimators of the lower-bound quantities, for parameter
+//! ranges where exact enumeration ([`crate::exact`]) is infeasible.
+//!
+//! Sampling from `ν_z` is direct: the cube part `x` is uniform and,
+//! given `x`, the sign is `+1` with probability `(1 + z(x)·ε)/2` — no
+//! alias table over the `2^{ℓ+1}` universe is needed.
+
+use crate::player::{PairedSample, PlayerFunction};
+use dut_probability::{PairedDomain, PerturbationVector};
+use rand::Rng;
+
+/// Draws one sample from `ν_z`.
+///
+/// # Panics
+///
+/// Panics (debug) on a length mismatch between `z` and the domain.
+pub fn sample_nu_z<R: Rng + ?Sized>(
+    dom: &PairedDomain,
+    z: &PerturbationVector,
+    epsilon: f64,
+    rng: &mut R,
+) -> PairedSample {
+    debug_assert_eq!(z.len(), dom.cube_size());
+    let x = rng.random_range(0..dom.cube_size()) as u32;
+    let p_plus = (1.0 + f64::from(z.sign(x)) * epsilon) / 2.0;
+    let s = if rng.random::<f64>() < p_plus { 1 } else { -1 };
+    (x, s)
+}
+
+/// Draws one sample from the uniform distribution on the paired domain.
+pub fn sample_uniform<R: Rng + ?Sized>(dom: &PairedDomain, rng: &mut R) -> PairedSample {
+    let x = rng.random_range(0..dom.cube_size()) as u32;
+    let s = if rng.random::<bool>() { 1 } else { -1 };
+    (x, s)
+}
+
+/// Monte-Carlo estimate of `μ(G)` from `trials` uniform tuples.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn mu_g_monte_carlo<G, R>(
+    dom: &PairedDomain,
+    q: usize,
+    g: &G,
+    trials: u32,
+    rng: &mut R,
+) -> f64
+where
+    G: PlayerFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(trials > 0, "need at least one trial");
+    let mut hits = 0u32;
+    let mut tuple = Vec::with_capacity(q);
+    for _ in 0..trials {
+        tuple.clear();
+        for _ in 0..q {
+            tuple.push(sample_uniform(dom, rng));
+        }
+        if g.output(&tuple) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(trials)
+}
+
+/// Monte-Carlo estimate of `ν_z(G)` from `trials` tuples drawn from
+/// `ν_z^q`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `ε ∉ [0, 1]`.
+pub fn nu_g_monte_carlo<G, R>(
+    dom: &PairedDomain,
+    q: usize,
+    g: &G,
+    z: &PerturbationVector,
+    epsilon: f64,
+    trials: u32,
+    rng: &mut R,
+) -> f64
+where
+    G: PlayerFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(trials > 0, "need at least one trial");
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon out of range");
+    let mut hits = 0u32;
+    let mut tuple = Vec::with_capacity(q);
+    for _ in 0..trials {
+        tuple.clear();
+        for _ in 0..q {
+            tuple.push(sample_nu_z(dom, z, epsilon, rng));
+        }
+        if g.output(&tuple) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(trials)
+}
+
+/// Monte-Carlo estimate of the `z`-ensemble moments: draws `z_draws`
+/// random perturbation vectors and, for each, estimates `ν_z(G)` from
+/// `tuple_trials` tuples. Returns `(mean_deviation, second_moment)`
+/// of `ν_z(G) − μ̂(G)`.
+///
+/// The second moment is debiased by subtracting the within-`z` binomial
+/// sampling variance `ν̂(1−ν̂)/tuple_trials`, so it estimates the true
+/// `E_z[(ν_z(G) − μ(G))²]` rather than inflating it with Monte-Carlo
+/// noise.
+///
+/// # Panics
+///
+/// Panics if any trial count is zero or `ε ∉ [0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn z_moments_monte_carlo<G, R>(
+    dom: &PairedDomain,
+    q: usize,
+    g: &G,
+    epsilon: f64,
+    z_draws: u32,
+    tuple_trials: u32,
+    mu_trials: u32,
+    rng: &mut R,
+) -> (f64, f64)
+where
+    G: PlayerFunction + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(z_draws > 0, "need at least one z draw");
+    let mu = mu_g_monte_carlo(dom, q, g, mu_trials, rng);
+    let mut sum_dev = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..z_draws {
+        let z = PerturbationVector::random(dom.cube_size(), rng);
+        let nu = nu_g_monte_carlo(dom, q, g, &z, epsilon, tuple_trials, rng);
+        let dev = nu - mu;
+        let within_var = nu * (1.0 - nu) / f64::from(tuple_trials);
+        sum_dev += dev;
+        sum_sq += (dev * dev - within_var).max(0.0);
+    }
+    (
+        sum_dev / f64::from(z_draws),
+        sum_sq / f64::from(z_draws),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::player::CollisionIndicator;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nu_z_sampler_matches_exact_distribution() {
+        let dom = PairedDomain::new(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let z = PerturbationVector::random(dom.cube_size(), &mut rng);
+        let eps = 0.6;
+        let nu = dom.perturbed_distribution(&z, eps).unwrap();
+        let trials = 60_000;
+        let mut counts = vec![0u64; dom.universe_size()];
+        for _ in 0..trials {
+            let (x, s) = sample_nu_z(&dom, &z, eps, &mut rng);
+            counts[dom.encode(x, s)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = nu.prob(i) * trials as f64;
+            let sd = (nu.prob(i) * trials as f64).sqrt();
+            assert!(
+                (c as f64 - expected).abs() < 6.0 * sd + 5.0,
+                "index {i}: count {c}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_covers_domain() {
+        let dom = PairedDomain::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let (x, s) = sample_uniform(&dom, &mut rng);
+            seen.insert(dom.encode(x, s));
+        }
+        assert_eq!(seen.len(), dom.universe_size());
+    }
+
+    #[test]
+    fn mc_mu_matches_exact() {
+        let dom = PairedDomain::new(2);
+        let g = CollisionIndicator::new(1);
+        let exact_mu = exact::mu_g(&dom, 3, &g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(35);
+        let mc = mu_g_monte_carlo(&dom, 3, &g, 40_000, &mut rng);
+        assert!((mc - exact_mu).abs() < 0.01, "mc {mc} vs exact {exact_mu}");
+    }
+
+    #[test]
+    fn mc_nu_matches_exact() {
+        let dom = PairedDomain::new(2);
+        let g = CollisionIndicator::new(1);
+        let z = PerturbationVector::from_code(4, 0b0101);
+        let eps = 0.8;
+        let exact_nu = exact::nu_g(&dom, 3, &g, &z, eps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let mc = nu_g_monte_carlo(&dom, 3, &g, &z, eps, 40_000, &mut rng);
+        assert!((mc - exact_nu).abs() < 0.01, "mc {mc} vs exact {exact_nu}");
+    }
+
+    #[test]
+    fn mc_second_moment_tracks_exact() {
+        let dom = PairedDomain::new(2);
+        let q = 2;
+        let eps = 0.7;
+        let g = CollisionIndicator::new(1);
+        let exact_m = exact::z_moments_exact(&dom, q, &g, eps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(39);
+        let (_, second) =
+            z_moments_monte_carlo(&dom, q, &g, eps, 300, 4000, 200_000, &mut rng);
+        assert!(
+            (second - exact_m.second_moment).abs() < 0.3 * exact_m.second_moment + 1e-4,
+            "mc {second} vs exact {}",
+            exact_m.second_moment
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Every theorem's predicted sample complexity, as formulas (constants
+//! set to 1 unless the paper specifies them). The benchmark harness
+//! prints these columns next to the measured values so the *shape*
+//! comparison — slopes, crossovers — is direct.
+
+/// Centralized uniformity testing: `q = Θ(√n/ε²)` (Paninski).
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn centralized(n: usize, epsilon: f64) -> f64 {
+    validate(n, 1, epsilon);
+    (n as f64).sqrt() / (epsilon * epsilon)
+}
+
+/// Theorem 1.1 / 6.1: any decision rule needs
+/// `q = Ω(min(√(n/k), n/k)/ε²)`.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn theorem_1_1(n: usize, k: usize, epsilon: f64) -> f64 {
+    validate(n, k, epsilon);
+    let n_f = n as f64;
+    let k_f = k as f64;
+    ((n_f / k_f).sqrt()).min(n_f / k_f) / (epsilon * epsilon)
+}
+
+/// Theorem 1.2: the AND rule needs `q = Ω(√n/(log²k · ε²))`, valid for
+/// `k ≤ 2^{c/ε}`. Uses `log₂(k) + 2` to stay finite at `k = 1`.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn theorem_1_2(n: usize, k: usize, epsilon: f64) -> f64 {
+    validate(n, k, epsilon);
+    let log_k = (k as f64).log2() + 2.0;
+    (n as f64).sqrt() / (log_k * log_k * epsilon * epsilon)
+}
+
+/// The validity range of Theorem 1.2: `k ≤ 2^{c/ε}` with `c = 1`.
+#[must_use]
+pub fn theorem_1_2_k_range(epsilon: f64) -> f64 {
+    (1.0 / epsilon).exp2()
+}
+
+/// Theorem 1.3: the `T`-threshold rule with
+/// `T < c/(ε²·log²(k/ε))` needs
+/// `q = Ω(√n/(T·log²(k/ε)·ε²))`.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments or `t == 0`.
+#[must_use]
+pub fn theorem_1_3(n: usize, k: usize, epsilon: f64, t: usize) -> f64 {
+    validate(n, k, epsilon);
+    assert!(t >= 1, "threshold must be at least 1");
+    let log_term = (k as f64 / epsilon).log2().max(1.0);
+    (n as f64).sqrt() / (t as f64 * log_term * log_term * epsilon * epsilon)
+}
+
+/// The small-threshold condition of Theorem 1.3 (`c = 1`):
+/// `T < 1/(ε²·log²(k/ε))`.
+#[must_use]
+pub fn theorem_1_3_threshold_range(k: usize, epsilon: f64) -> f64 {
+    let log_term = (k as f64 / epsilon).log2().max(1.0);
+    1.0 / (epsilon * epsilon * log_term * log_term)
+}
+
+/// Theorem 1.4: learning a `δ`-approximation with `q` queries per node
+/// needs `k = Ω(n²/q²)` nodes.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn theorem_1_4_min_players(n: usize, q: usize) -> f64 {
+    assert!(n >= 1 && q >= 1, "degenerate parameters");
+    (n as f64 / q as f64).powi(2)
+}
+
+/// Theorem 6.4: with `r`-bit messages the bound becomes
+/// `q = Ω(min(√(n/(2^r·k)), n/(2^r·k))/ε²)`.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments or `r == 0`.
+#[must_use]
+pub fn theorem_6_4(n: usize, k: usize, epsilon: f64, r: u32) -> f64 {
+    validate(n, k, epsilon);
+    assert!(r >= 1, "messages carry at least one bit");
+    let effective_k = (k as f64) * (r as f64).exp2();
+    let n_f = n as f64;
+    ((n_f / effective_k).sqrt()).min(n_f / effective_k) / (epsilon * epsilon)
+}
+
+/// The `\[7\]` AND-rule **upper** bound: `q = O(√n/(k^{Θ(ε²)}·ε²))`
+/// (constant in the exponent set to 1).
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn fmo_and_upper(n: usize, k: usize, epsilon: f64) -> f64 {
+    validate(n, k, epsilon);
+    (n as f64).sqrt() / ((k as f64).powf(epsilon * epsilon) * epsilon * epsilon)
+}
+
+/// The `\[7\]` threshold-rule **upper** bound: `q = O(√(n/k)/ε²)` —
+/// matched by Theorem 1.1, hence optimal.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn fmo_threshold_upper(n: usize, k: usize, epsilon: f64) -> f64 {
+    validate(n, k, epsilon);
+    (n as f64 / k as f64).sqrt() / (epsilon * epsilon)
+}
+
+/// The `\[1\]` single-sample node count: `k = Θ(n/(2^{ℓ/2}·ε²))` for
+/// `ℓ`-bit messages.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments or `ell == 0`.
+#[must_use]
+pub fn act_single_sample_nodes(n: usize, epsilon: f64, ell: u32) -> f64 {
+    validate(n, 1, epsilon);
+    assert!(ell >= 1, "messages carry at least one bit");
+    n as f64 / ((f64::from(ell) / 2.0).exp2() * epsilon * epsilon)
+}
+
+/// The asymmetric-cost optimal time (§6.2): `τ = Θ(√n/(ε²·‖T‖₂))`.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn asymmetric_time(n: usize, epsilon: f64, rate_l2_norm: f64) -> f64 {
+    validate(n, 1, epsilon);
+    assert!(
+        rate_l2_norm.is_finite() && rate_l2_norm > 0.0,
+        "rate norm must be positive"
+    );
+    (n as f64).sqrt() / (epsilon * epsilon * rate_l2_norm)
+}
+
+/// Section 6.2 remark: minimal players for fixed `q`:
+/// `k ≥ n/(q·ε²)` when `q ≤ 1/ε²`, and `k ≥ n/(q²·ε⁴)` when larger.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+#[must_use]
+pub fn min_players_for_fixed_q(n: usize, q: usize, epsilon: f64) -> f64 {
+    validate(n, q, epsilon);
+    let e2 = epsilon * epsilon;
+    if (q as f64) <= 1.0 / e2 {
+        n as f64 / (q as f64 * e2)
+    } else {
+        n as f64 / ((q * q) as f64 * e2 * e2)
+    }
+}
+
+fn validate(n: usize, k: usize, epsilon: f64) {
+    assert!(n >= 1, "domain must be non-empty");
+    assert!(k >= 1, "need at least one player");
+    assert!(
+        epsilon > 0.0 && epsilon <= 1.0,
+        "epsilon must be in (0, 1], got {epsilon}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_1_1_reduces_to_centralized_at_k1() {
+        let n = 1 << 12;
+        assert!((theorem_1_1(n, 1, 0.5) - centralized(n, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_1_1_switches_regimes() {
+        // For k <= n: sqrt(n/k); for k > n the n/k branch is smaller.
+        let n = 256;
+        let small_k = theorem_1_1(n, 16, 1.0);
+        assert!((small_k - 4.0).abs() < 1e-12); // sqrt(256/16)
+        let large_k = theorem_1_1(n, 1024, 1.0);
+        assert!((large_k - 0.25).abs() < 1e-12); // 256/1024
+    }
+
+    #[test]
+    fn and_rule_bound_nearly_flat_in_k() {
+        // Theorem 1.2: only log^2 decay in k — contrast with sqrt decay.
+        let n = 1 << 16;
+        let eps = 0.25;
+        let q1 = theorem_1_2(n, 2, eps);
+        let q2 = theorem_1_2(n, 1024, eps);
+        // Three orders of magnitude more players, less than 20x cheaper.
+        assert!(q1 / q2 < 20.0);
+        // While the any-rule bound drops by sqrt(512) ≈ 22.6x.
+        let any1 = theorem_1_1(n, 2, eps);
+        let any2 = theorem_1_1(n, 1024, eps);
+        assert!(any1 / any2 > 20.0);
+    }
+
+    #[test]
+    fn and_rule_dominates_any_rule() {
+        // The AND lower bound is at least the any-rule bound up to
+        // log factors; check simple dominance in a regime where it holds.
+        let n = 1 << 20;
+        let eps = 0.1;
+        for k in [4usize, 64, 1024] {
+            assert!(
+                theorem_1_2(n, k, eps) >= theorem_1_1(n, k, eps) / 10.0,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_bound_decays_in_t() {
+        let n = 1 << 16;
+        let k = 64;
+        let eps = 0.2;
+        let t1 = theorem_1_3(n, k, eps, 1);
+        let t4 = theorem_1_3(n, k, eps, 4);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_range_shrinks_with_epsilon() {
+        assert!(
+            theorem_1_3_threshold_range(64, 0.1) > theorem_1_3_threshold_range(64, 0.5)
+        );
+    }
+
+    #[test]
+    fn learning_bound_quadratic() {
+        assert!((theorem_1_4_min_players(100, 10) - 100.0).abs() < 1e-12);
+        assert!(
+            (theorem_1_4_min_players(1000, 10) / theorem_1_4_min_players(100, 10)
+                - 100.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn message_bits_act_like_extra_players() {
+        let n = 1 << 14;
+        let eps = 0.5;
+        // r bits multiply k by 2^r inside the bound.
+        assert!(
+            (theorem_6_4(n, 16, eps, 2) - theorem_1_1(n, 64, eps)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn fmo_upper_bounds_dominate_lower_bounds() {
+        // Upper >= lower (constants 1): threshold case is exactly equal.
+        let n = 1 << 12;
+        let eps = 0.5;
+        for k in [2usize, 16, 256] {
+            assert!(
+                fmo_threshold_upper(n, k, eps) >= theorem_1_1(n, k, eps) - 1e-9,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_upper_vs_lower_gap_is_the_open_question() {
+        // The paper leaves a quadratic gap in the exponent of k; at
+        // least the ordering upper >= lower must hold for small k.
+        let n = 1 << 20;
+        let eps = 0.2;
+        let k = 16;
+        assert!(fmo_and_upper(n, k, eps) >= theorem_1_2(n, k, eps) / 8.0);
+    }
+
+    #[test]
+    fn single_sample_node_count_scaling() {
+        let n = 1 << 12;
+        let eps = 0.5;
+        // 2 extra message bits halve the node count.
+        let l2 = act_single_sample_nodes(n, eps, 2);
+        let l4 = act_single_sample_nodes(n, eps, 4);
+        assert!((l2 / l4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_time_matches_symmetric_case() {
+        // Unit rates: ||T||_2 = sqrt(k), recovering sqrt(n/k)/eps^2.
+        let n = 1 << 10;
+        let k = 16;
+        let eps = 0.5;
+        let tau = asymmetric_time(n, eps, (k as f64).sqrt());
+        assert!((tau - fmo_threshold_upper(n, k, eps)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_q_remark_regimes() {
+        let n = 1 << 10;
+        let eps = 0.5; // 1/eps^2 = 4
+        // q <= 4: k ~ n/(q eps^2).
+        assert!((min_players_for_fixed_q(n, 1, eps) - n as f64 / 0.25).abs() < 1e-9);
+        // q > 4: k ~ n/(q^2 eps^4).
+        let k8 = min_players_for_fixed_q(n, 8, eps);
+        assert!((k8 - n as f64 / (64.0 * 0.0625)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validity_range_is_exponential() {
+        assert!(theorem_1_2_k_range(0.1) > theorem_1_2_k_range(0.5));
+        assert!((theorem_1_2_k_range(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn formulas_validate_epsilon() {
+        let _ = theorem_1_1(16, 4, 0.0);
+    }
+}

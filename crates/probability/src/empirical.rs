@@ -1,0 +1,369 @@
+//! Empirical statistics of sample multisets: histograms, collision counts,
+//! coincidence counts and empirical distributions.
+//!
+//! These are the raw statistics every tester in this repository is built
+//! from: the collision tester thresholds [`Histogram::collision_count`],
+//! Paninski's coincidence tester thresholds [`Histogram::coincidence_count`].
+
+use crate::dense::DenseDistribution;
+use crate::error::DistributionError;
+
+/// A histogram of samples over the domain `{0, .., n-1}`.
+///
+/// # Example
+///
+/// ```
+/// use dut_probability::Histogram;
+///
+/// let h = Histogram::from_samples(4, &[0, 1, 1, 3, 1]);
+/// assert_eq!(h.count(1), 3);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.collision_count(), 3); // C(3,2) pairs of 1s
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over a domain of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "histogram needs a non-empty domain");
+        Self {
+            counts: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from a sample slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any sample is out of range.
+    #[must_use]
+    pub fn from_samples(n: usize, samples: &[usize]) -> Self {
+        let mut h = Self::new(n);
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample >= n`.
+    pub fn record(&mut self, sample: usize) {
+        assert!(sample < self.counts.len(), "sample {sample} out of range");
+        self.counts[sample] += 1;
+        self.total += 1;
+    }
+
+    /// Domain size.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of samples recorded so far.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// The raw count vector.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of colliding pairs, `Σ_i C(c_i, 2)`.
+    ///
+    /// Under a distribution `μ` with `q` samples its expectation is
+    /// `C(q,2) · ‖μ‖₂²` — the statistic of the collision tester.
+    #[must_use]
+    pub fn collision_count(&self) -> u64 {
+        self.counts.iter().map(|&c| c * c.saturating_sub(1) / 2).sum()
+    }
+
+    /// Paninski's coincidence count: `q − (#distinct elements observed)`.
+    #[must_use]
+    pub fn coincidence_count(&self) -> u64 {
+        let distinct = self.counts.iter().filter(|&&c| c > 0).count() as u64;
+        self.total - distinct
+    }
+
+    /// Number of elements observed exactly once.
+    #[must_use]
+    pub fn singleton_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c == 1).count()
+    }
+
+    /// Number of distinct elements observed.
+    #[must_use]
+    pub fn distinct_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Pearson's χ² statistic against a reference distribution, using the
+    /// "collision-corrected" form `Σ ((c_i − q·p_i)² − c_i) / (q·p_i)` from
+    /// the identity-testing literature (mean zero under the reference).
+    /// Elements with `p_i = 0` contribute `+∞` if observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain sizes differ or no samples were recorded.
+    #[must_use]
+    pub fn corrected_chi2_statistic(&self, reference: &DenseDistribution) -> f64 {
+        assert_eq!(
+            self.domain_size(),
+            reference.support_size(),
+            "histogram and reference must share a domain"
+        );
+        assert!(self.total > 0, "no samples recorded");
+        let q = self.total as f64;
+        let mut stat = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let e = q * reference.prob(i);
+            if e == 0.0 {
+                if c > 0 {
+                    return f64::INFINITY;
+                }
+                continue;
+            }
+            let d = c as f64 - e;
+            stat += (d * d - c as f64) / e;
+        }
+        stat
+    }
+
+    /// The empirical distribution `c_i / q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::NotNormalized`] if no samples were
+    /// recorded.
+    pub fn empirical_distribution(&self) -> Result<DenseDistribution, DistributionError> {
+        DenseDistribution::from_weights(self.counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Laplace (add-`alpha`) smoothed empirical distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `alpha` is negative or not finite, or if
+    /// `alpha == 0` and no samples were recorded.
+    pub fn smoothed_distribution(
+        &self,
+        alpha: f64,
+    ) -> Result<DenseDistribution, DistributionError> {
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(DistributionError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        DenseDistribution::from_weights(
+            self.counts.iter().map(|&c| c as f64 + alpha).collect(),
+        )
+    }
+
+    /// ℓ₁ distance between the empirical distribution and a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ or no samples were recorded.
+    #[must_use]
+    pub fn l1_to(&self, reference: &DenseDistribution) -> f64 {
+        assert_eq!(
+            self.domain_size(),
+            reference.support_size(),
+            "histogram and reference must share a domain"
+        );
+        assert!(self.total > 0, "no samples recorded");
+        let q = self.total as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c as f64 / q - reference.prob(i)).abs())
+            .sum()
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain sizes differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.domain_size(),
+            other.domain_size(),
+            "histograms must share a domain"
+        );
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Counts colliding pairs directly from a sample slice without allocating a
+/// full-domain histogram (sorts a copy; O(q log q), independent of `n`).
+#[must_use]
+pub fn collision_count_of(samples: &[usize]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mut collisions = 0u64;
+    let mut run = 1u64;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            collisions += run * (run - 1) / 2;
+            run = 1;
+        }
+    }
+    collisions + run * (run - 1) / 2
+}
+
+/// Coincidence count (`q` minus number of distinct values) directly from a
+/// sample slice.
+#[must_use]
+pub fn coincidence_count_of(samples: &[usize]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    samples.len() as u64 - sorted.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new(3);
+        h.record(0);
+        h.record(2);
+        h.record(2);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 0);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.domain_size(), 3);
+    }
+
+    #[test]
+    fn collision_count_matches_pairs() {
+        // counts: [3, 2, 0, 1] -> C(3,2)+C(2,2) = 3+1 = 4
+        let h = Histogram::from_samples(4, &[0, 0, 0, 1, 1, 3]);
+        assert_eq!(h.collision_count(), 4);
+    }
+
+    #[test]
+    fn collision_count_of_agrees_with_histogram() {
+        let samples = [5, 1, 5, 5, 2, 1, 7, 7];
+        let h = Histogram::from_samples(8, &samples);
+        assert_eq!(h.collision_count(), collision_count_of(&samples));
+    }
+
+    #[test]
+    fn coincidence_count_matches_definition() {
+        let samples = [0, 0, 1, 2, 2, 2];
+        let h = Histogram::from_samples(3, &samples);
+        // 6 samples, 3 distinct -> 3 coincidences.
+        assert_eq!(h.coincidence_count(), 3);
+        assert_eq!(coincidence_count_of(&samples), 3);
+    }
+
+    #[test]
+    fn singleton_and_distinct_counts() {
+        let h = Histogram::from_samples(5, &[0, 1, 1, 4]);
+        assert_eq!(h.singleton_count(), 2);
+        assert_eq!(h.distinct_count(), 3);
+    }
+
+    #[test]
+    fn empirical_distribution_normalizes() {
+        let h = Histogram::from_samples(2, &[0, 0, 1, 0]);
+        let d = h.empirical_distribution().unwrap();
+        assert!((d.prob(0) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_distribution_of_empty_fails() {
+        let h = Histogram::new(2);
+        assert!(h.empirical_distribution().is_err());
+    }
+
+    #[test]
+    fn smoothed_distribution_covers_unseen() {
+        let h = Histogram::from_samples(3, &[0]);
+        let d = h.smoothed_distribution(1.0).unwrap();
+        assert!(d.prob(1) > 0.0);
+        assert!((d.prob(0) - 2.0 / 4.0).abs() < 1e-15);
+        assert!(h.smoothed_distribution(-1.0).is_err());
+    }
+
+    #[test]
+    fn corrected_chi2_is_zero_mean_shape() {
+        // For counts exactly equal to expectation e=1 with c=1:
+        // ((1-1)^2 - 1)/1 = -1 per element.
+        let h = Histogram::from_samples(4, &[0, 1, 2, 3]);
+        let u = DenseDistribution::uniform(4);
+        assert!((h.corrected_chi2_statistic(&u) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrected_chi2_infinite_off_support() {
+        let h = Histogram::from_samples(2, &[1]);
+        let p = DenseDistribution::new(vec![1.0, 0.0]).unwrap();
+        assert!(h.corrected_chi2_statistic(&p).is_infinite());
+    }
+
+    #[test]
+    fn l1_to_uniform() {
+        let h = Histogram::from_samples(2, &[0, 0]);
+        let u = DenseDistribution::uniform(2);
+        assert!((h.l1_to(&u) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::from_samples(3, &[0, 1]);
+        let b = Histogram::from_samples(3, &[1, 2]);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2, 1]);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_out_of_range_panics() {
+        let mut h = Histogram::new(2);
+        h.record(2);
+    }
+
+    #[test]
+    fn collision_count_of_no_collisions() {
+        assert_eq!(collision_count_of(&[1, 2, 3]), 0);
+        assert_eq!(collision_count_of(&[]), 0);
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing or combining distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistributionError {
+    /// The probability vector was empty.
+    EmptySupport,
+    /// A probability entry was negative or not finite.
+    InvalidMass {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The probabilities did not sum to one (within tolerance).
+    NotNormalized {
+        /// The observed sum of the entries.
+        sum: f64,
+    },
+    /// Two distributions that must share a domain had different sizes.
+    DomainMismatch {
+        /// Support size of the left operand.
+        left: usize,
+        /// Support size of the right operand.
+        right: usize,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::EmptySupport => write!(f, "distribution support is empty"),
+            DistributionError::InvalidMass { index, value } => {
+                write!(f, "probability at index {index} is invalid: {value}")
+            }
+            DistributionError::NotNormalized { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+            DistributionError::DomainMismatch { left, right } => {
+                write!(f, "domain sizes differ: {left} vs {right}")
+            }
+            DistributionError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for DistributionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DistributionError::NotNormalized { sum: 0.5 };
+        assert!(err.to_string().contains("0.5"));
+        let err = DistributionError::InvalidMass { index: 3, value: -0.1 };
+        assert!(err.to_string().contains("index 3"));
+        let err = DistributionError::DomainMismatch { left: 4, right: 8 };
+        assert!(err.to_string().contains("4 vs 8"));
+        let err = DistributionError::InvalidParameter { name: "epsilon", value: 2.0 };
+        assert!(err.to_string().contains("epsilon"));
+        let err = DistributionError::EmptySupport;
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DistributionError>();
+    }
+}

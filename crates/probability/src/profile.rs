@@ -1,0 +1,221 @@
+//! Sample fingerprints (profiles): the counts-of-counts statistic.
+//!
+//! The fingerprint `F` of a sample maps each multiplicity `j ≥ 1` to
+//! the number of domain elements observed exactly `j` times. It is a
+//! sufficient statistic for every *symmetric* property (uniformity
+//! among them — the collision, coincidence and singleton statistics
+//! are all linear functionals of it), which is why the paper's hard
+//! instances are built to make fingerprints uninformative until
+//! `q ≈ √n`.
+
+use crate::empirical::Histogram;
+
+/// The fingerprint (profile) of a sample multiset.
+///
+/// # Example
+///
+/// ```
+/// use dut_probability::profile::Fingerprint;
+///
+/// // Sample {a, a, b, c}: two singletons, one doubleton.
+/// let f = Fingerprint::from_samples(8, &[0, 0, 1, 2]);
+/// assert_eq!(f.count_of(1), 2);
+/// assert_eq!(f.count_of(2), 1);
+/// assert_eq!(f.total_samples(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `counts[j]` = number of elements seen exactly `j+1` times.
+    counts: Vec<u64>,
+    domain_size: usize,
+}
+
+impl Fingerprint {
+    /// Builds the fingerprint of a sample slice over `{0,..,n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or a sample is out of range.
+    #[must_use]
+    pub fn from_samples(n: usize, samples: &[usize]) -> Self {
+        Self::from_histogram(&Histogram::from_samples(n, samples))
+    }
+
+    /// Builds the fingerprint from a histogram.
+    #[must_use]
+    pub fn from_histogram(histogram: &Histogram) -> Self {
+        let max = histogram.counts().iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u64; max];
+        for &c in histogram.counts() {
+            if c > 0 {
+                counts[(c - 1) as usize] += 1;
+            }
+        }
+        Self {
+            counts,
+            domain_size: histogram.domain_size(),
+        }
+    }
+
+    /// Number of elements observed exactly `multiplicity` times
+    /// (`multiplicity ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplicity == 0` (ask
+    /// [`Self::unseen_elements`] instead).
+    #[must_use]
+    pub fn count_of(&self, multiplicity: u64) -> u64 {
+        assert!(multiplicity >= 1, "multiplicities start at 1");
+        self.counts
+            .get((multiplicity - 1) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The largest observed multiplicity (0 for an empty sample).
+    #[must_use]
+    pub fn max_multiplicity(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Total samples represented, `Σ j·F_j`.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum()
+    }
+
+    /// Number of distinct elements observed, `Σ F_j`.
+    #[must_use]
+    pub fn distinct_elements(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of domain elements never observed.
+    #[must_use]
+    pub fn unseen_elements(&self) -> u64 {
+        self.domain_size as u64 - self.distinct_elements()
+    }
+
+    /// Collision pairs, `Σ C(j,2)·F_j` — equals
+    /// [`Histogram::collision_count`].
+    #[must_use]
+    pub fn collision_count(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let j = i as u64 + 1;
+                j * (j - 1) / 2 * c
+            })
+            .sum()
+    }
+
+    /// Coincidences (`q` minus distinct), the Paninski statistic.
+    #[must_use]
+    pub fn coincidence_count(&self) -> u64 {
+        self.total_samples() - self.distinct_elements()
+    }
+
+    /// The Good–Turing estimate of the total probability mass on
+    /// *unseen* elements: `F₁ / q` (0 for an empty sample).
+    #[must_use]
+    pub fn good_turing_missing_mass(&self) -> f64 {
+        let q = self.total_samples();
+        if q == 0 {
+            return 0.0;
+        }
+        self.count_of(1) as f64 / q as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::Sampler;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fingerprint_of_known_sample() {
+        // counts: a:3, b:2, c:1 -> F1=1, F2=1, F3=1.
+        let f = Fingerprint::from_samples(5, &[0, 0, 0, 1, 1, 2]);
+        assert_eq!(f.count_of(1), 1);
+        assert_eq!(f.count_of(2), 1);
+        assert_eq!(f.count_of(3), 1);
+        assert_eq!(f.count_of(4), 0);
+        assert_eq!(f.max_multiplicity(), 3);
+        assert_eq!(f.total_samples(), 6);
+        assert_eq!(f.distinct_elements(), 3);
+        assert_eq!(f.unseen_elements(), 2);
+    }
+
+    #[test]
+    fn statistics_agree_with_histogram() {
+        let samples = [3usize, 3, 3, 3, 1, 1, 7, 2, 2, 2];
+        let h = Histogram::from_samples(8, &samples);
+        let f = Fingerprint::from_histogram(&h);
+        assert_eq!(f.collision_count(), h.collision_count());
+        assert_eq!(f.coincidence_count(), h.coincidence_count());
+        assert_eq!(f.count_of(1), h.singleton_count() as u64);
+        assert_eq!(f.distinct_elements(), h.distinct_count() as u64);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let f = Fingerprint::from_samples(4, &[]);
+        assert_eq!(f.max_multiplicity(), 0);
+        assert_eq!(f.total_samples(), 0);
+        assert_eq!(f.good_turing_missing_mass(), 0.0);
+        assert_eq!(f.unseen_elements(), 4);
+    }
+
+    #[test]
+    fn good_turing_estimates_missing_mass_under_uniform() {
+        // Uniform over n with q = n/2 samples: missing mass = fraction
+        // unseen ~ e^{-1/2}; Good-Turing F1/q should track it.
+        let n = 4096;
+        let q = n / 2;
+        let d = families::uniform(n);
+        let sampler = d.alias_sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(109);
+        let mut gt = 0.0;
+        let mut truth = 0.0;
+        let reps = 20;
+        for _ in 0..reps {
+            let samples = sampler.sample_many(q, &mut rng);
+            let f = Fingerprint::from_samples(n, &samples);
+            gt += f.good_turing_missing_mass();
+            truth += f.unseen_elements() as f64 / n as f64;
+        }
+        gt /= f64::from(reps);
+        truth /= f64::from(reps);
+        assert!((gt - truth).abs() < 0.02, "GT {gt} vs truth {truth}");
+    }
+
+    #[test]
+    fn skewed_distributions_shift_the_profile() {
+        // Point-mass-heavy inputs produce higher multiplicities than
+        // uniform at the same q.
+        let n = 256;
+        let q = 128;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(113);
+        let uniform = families::uniform(n).alias_sampler();
+        let skewed = families::uniform_on_prefix(n, 8).unwrap().alias_sampler();
+        let fu = Fingerprint::from_samples(n, &uniform.sample_many(q, &mut rng));
+        let fs = Fingerprint::from_samples(n, &skewed.sample_many(q, &mut rng));
+        assert!(fs.max_multiplicity() > fu.max_multiplicity());
+        assert!(fs.distinct_elements() < fu.distinct_elements());
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn multiplicity_zero_panics() {
+        let f = Fingerprint::from_samples(4, &[0]);
+        let _ = f.count_of(0);
+    }
+}

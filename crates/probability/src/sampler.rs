@@ -1,0 +1,272 @@
+//! Samplers for drawing iid samples from a [`DenseDistribution`].
+//!
+//! Two implementations are provided:
+//!
+//! * [`AliasSampler`] — Vose's alias method: O(n) construction, O(1) per
+//!   sample. This is what the protocol simulations use, since they draw
+//!   millions of samples from a fixed distribution.
+//! * [`CdfSampler`] — inverse-CDF with binary search: O(n) construction,
+//!   O(log n) per sample. Used as an independently-implemented oracle in
+//!   tests to cross-check the alias method.
+
+use crate::dense::DenseDistribution;
+use rand::Rng;
+
+/// A source of iid samples from a fixed discrete distribution.
+pub trait Sampler {
+    /// Draws one sample (an element of `{0, .., n-1}`).
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize;
+
+    /// Number of elements in the sampled domain.
+    fn support_size(&self) -> usize;
+
+    /// Draws `count` iid samples into a fresh vector.
+    fn sample_many<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Vose's alias method: constant-time sampling from a discrete distribution.
+///
+/// # Example
+///
+/// ```
+/// use dut_probability::{DenseDistribution, Sampler};
+/// use rand::SeedableRng;
+///
+/// let d = DenseDistribution::uniform(10);
+/// let sampler = d.alias_sampler();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let xs = sampler.sample_many(100, &mut rng);
+/// assert!(xs.iter().all(|&x| x < 10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table for `dist`.
+    #[must_use]
+    pub fn new(dist: &DenseDistribution) -> Self {
+        let n = dist.support_size();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = dist.probs().iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever is left is numerically 1.
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+}
+
+impl Sampler for AliasSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    fn support_size(&self) -> usize {
+        self.prob.len()
+    }
+}
+
+/// Inverse-CDF sampler with binary search.
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    /// `cdf[i]` = P(X <= i); the last entry is forced to exactly 1.
+    cdf: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Builds the cumulative table for `dist`.
+    #[must_use]
+    pub fn new(dist: &DenseDistribution) -> Self {
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = dist
+            .probs()
+            .iter()
+            .map(|&p| {
+                acc += p;
+                acc
+            })
+            .collect();
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+}
+
+impl Sampler for CdfSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.random::<f64>();
+        // First index with cdf[i] >= u.
+        match self.cdf.binary_search_by(|c| {
+            c.partial_cmp(&u).expect("cdf entries are finite")
+        }) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    fn support_size(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// A trivial sampler for the uniform distribution, avoiding table setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformSampler {
+    n: usize,
+}
+
+impl UniformSampler {
+    /// Uniform sampler over `{0, .., n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "uniform sampler needs a non-empty domain");
+        Self { n }
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.random_range(0..self.n)
+    }
+
+    fn support_size(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chi2_uniformity_ok(counts: &[u64], total: u64, probs: &[f64]) -> bool {
+        // Generous chi-squared goodness-of-fit guard: statistic should be
+        // within ~5 sigma of its mean (df) for correct samplers.
+        let mut stat = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = probs[i] * total as f64;
+            if expected > 0.0 {
+                let d = c as f64 - expected;
+                stat += d * d / expected;
+            }
+        }
+        let df = (counts.len() - 1) as f64;
+        stat < df + 5.0 * (2.0 * df).sqrt() + 10.0
+    }
+
+    fn frequencies<S: Sampler>(s: &S, trials: u64, seed: u64) -> Vec<u64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; s.support_size()];
+        for _ in 0..trials {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn alias_matches_target_frequencies() {
+        let d = DenseDistribution::new(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let counts = frequencies(&d.alias_sampler(), 40_000, 11);
+        assert!(chi2_uniformity_ok(&counts, 40_000, d.probs()));
+    }
+
+    #[test]
+    fn cdf_matches_target_frequencies() {
+        let d = DenseDistribution::new(vec![0.7, 0.05, 0.05, 0.2]).unwrap();
+        let counts = frequencies(&d.cdf_sampler(), 40_000, 13);
+        assert!(chi2_uniformity_ok(&counts, 40_000, d.probs()));
+    }
+
+    #[test]
+    fn uniform_sampler_matches_frequencies() {
+        let s = UniformSampler::new(8);
+        let counts = frequencies(&s, 40_000, 17);
+        let probs = vec![1.0 / 8.0; 8];
+        assert!(chi2_uniformity_ok(&counts, 40_000, &probs));
+    }
+
+    #[test]
+    fn alias_never_emits_zero_mass_elements() {
+        let d = DenseDistribution::new(vec![0.5, 0.0, 0.5, 0.0]).unwrap();
+        let counts = frequencies(&d.alias_sampler(), 10_000, 19);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[3], 0);
+    }
+
+    #[test]
+    fn cdf_never_emits_zero_mass_elements() {
+        let d = DenseDistribution::new(vec![0.0, 1.0]).unwrap();
+        let counts = frequencies(&d.cdf_sampler(), 5_000, 23);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 5_000);
+    }
+
+    #[test]
+    fn point_mass_always_sampled() {
+        let d = DenseDistribution::new(vec![0.0, 0.0, 1.0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = d.alias_sampler();
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn sample_many_length() {
+        let d = DenseDistribution::uniform(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(d.alias_sampler().sample_many(17, &mut rng).len(), 17);
+    }
+
+    #[test]
+    fn alias_and_cdf_agree_in_distribution() {
+        // Cross-check two independent implementations on a skewed target.
+        let d = DenseDistribution::from_weights(vec![1.0, 2.0, 4.0, 8.0, 16.0]).unwrap();
+        let a = frequencies(&d.alias_sampler(), 60_000, 29);
+        let c = frequencies(&d.cdf_sampler(), 60_000, 31);
+        for i in 0..5 {
+            let fa = a[i] as f64 / 60_000.0;
+            let fc = c[i] as f64 / 60_000.0;
+            assert!((fa - fc).abs() < 0.02, "index {i}: {fa} vs {fc}");
+        }
+    }
+}

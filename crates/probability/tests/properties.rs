@@ -1,0 +1,162 @@
+//! Property-based tests for the probability substrate.
+
+use dut_probability::{
+    distance, empirical, families, DenseDistribution, Histogram, PairedDomain,
+    PerturbationVector, Sampler,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Strategy producing a valid probability vector of length 2..=32.
+fn arb_distribution() -> impl Strategy<Value = DenseDistribution> {
+    prop::collection::vec(0.0f64..1.0, 2..32).prop_filter_map(
+        "weights must not be all ~zero",
+        |w| {
+            let sum: f64 = w.iter().sum();
+            if sum < 1e-6 {
+                None
+            } else {
+                DenseDistribution::from_weights(w).ok()
+            }
+        },
+    )
+}
+
+/// A pair of distributions on the same domain.
+fn arb_pair() -> impl Strategy<Value = (DenseDistribution, DenseDistribution)> {
+    (2usize..24).prop_flat_map(|n| {
+        let left = prop::collection::vec(0.01f64..1.0, n)
+            .prop_map(|w| DenseDistribution::from_weights(w).expect("positive weights"));
+        let right = prop::collection::vec(0.01f64..1.0, n)
+            .prop_map(|w| DenseDistribution::from_weights(w).expect("positive weights"));
+        (left, right)
+    })
+}
+
+proptest! {
+    #[test]
+    fn probabilities_sum_to_one(d in arb_distribution()) {
+        let sum: f64 = d.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collision_probability_at_least_uniform(d in arb_distribution()) {
+        // For any distribution on n elements, sum p_i^2 >= 1/n.
+        let n = d.support_size() as f64;
+        prop_assert!(d.collision_probability() >= 1.0 / n - 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_is_a_metric((p, q) in arb_pair()) {
+        let d_pq = distance::l1_distance(&p, &q);
+        let d_qp = distance::l1_distance(&q, &p);
+        prop_assert!((d_pq - d_qp).abs() < 1e-12);        // symmetry
+        prop_assert!((0.0..=2.0 + 1e-12).contains(&d_pq)); // bounded
+        prop_assert!(distance::l1_distance(&p, &p) < 1e-12); // identity
+    }
+
+    #[test]
+    fn triangle_inequality((p, q) in arb_pair(), w in prop::collection::vec(0.01f64..1.0, 2..24)) {
+        // Build a third distribution on the same domain as p, q when lengths match.
+        if w.len() == p.support_size() {
+            let r = DenseDistribution::from_weights(w).expect("positive weights");
+            let lhs = distance::l1_distance(&p, &q);
+            let rhs = distance::l1_distance(&p, &r) + distance::l1_distance(&r, &q);
+            prop_assert!(lhs <= rhs + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kl_divergence_nonnegative((p, q) in arb_pair()) {
+        prop_assert!(distance::kl_divergence(&p, &q) >= 0.0);
+    }
+
+    #[test]
+    fn hellinger_bounded((p, q) in arb_pair()) {
+        let h = distance::hellinger_distance(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+    }
+
+    #[test]
+    fn tv_dominates_hellinger_squared((p, q) in arb_pair()) {
+        // h^2 <= tv (standard inequality).
+        let h = distance::hellinger_distance(&p, &q);
+        let tv = distance::total_variation(&p, &q);
+        prop_assert!(h * h <= tv + 1e-9);
+    }
+
+    #[test]
+    fn sampler_emits_in_range(d in arb_distribution(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = d.alias_sampler();
+        for _ in 0..64 {
+            prop_assert!(s.sample(&mut rng) < d.support_size());
+        }
+    }
+
+    #[test]
+    fn histogram_total_matches(samples in prop::collection::vec(0usize..16, 0..128)) {
+        let h = Histogram::from_samples(16, &samples);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    #[test]
+    fn collision_functions_agree(samples in prop::collection::vec(0usize..8, 0..64)) {
+        let h = Histogram::from_samples(8, &samples);
+        prop_assert_eq!(h.collision_count(), empirical::collision_count_of(&samples));
+        prop_assert_eq!(
+            h.coincidence_count(),
+            empirical::coincidence_count_of(&samples)
+        );
+    }
+
+    #[test]
+    fn coincidences_at_most_collisions(samples in prop::collection::vec(0usize..8, 1..64)) {
+        // Each coincidence contributes at least one colliding pair.
+        prop_assert!(
+            empirical::coincidence_count_of(&samples)
+                <= empirical::collision_count_of(&samples)
+        );
+    }
+
+    #[test]
+    fn perturbed_distribution_epsilon_far(
+        ell in 1u32..6,
+        eps in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let dom = PairedDomain::new(ell);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let z = PerturbationVector::random(dom.cube_size(), &mut rng);
+        let nu = dom.perturbed_distribution(&z, eps).expect("valid parameters");
+        let dist = distance::l1_distance(&nu, &dom.uniform());
+        prop_assert!((dist - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_encode_decode_roundtrip(ell in 1u32..10, idx_frac in 0.0f64..1.0) {
+        let dom = PairedDomain::new(ell);
+        let idx = ((dom.universe_size() - 1) as f64 * idx_frac) as usize;
+        let (x, s) = dom.decode(idx);
+        prop_assert_eq!(dom.encode(x, s), idx);
+    }
+
+    #[test]
+    fn two_level_distance_exact(half_n in 1usize..64, eps in 0.0f64..=1.0) {
+        let n = half_n * 2;
+        let d = families::two_level(n, eps).expect("valid parameters");
+        let dist = distance::l1_distance(&d, &families::uniform(n));
+        prop_assert!((dist - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_distance_scales(lambda in 0.0f64..=1.0) {
+        let far = families::two_level(16, 0.6).expect("valid parameters");
+        let u = families::uniform(16);
+        let m = families::mixture(&far, &u, lambda).expect("same domain");
+        let dist = distance::l1_distance(&m, &u);
+        prop_assert!((dist - lambda * 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Convergecast aggregation: the bridge from the round-based models to
+//! the paper's simultaneous-message model.
+//!
+//! \[7\] reduces uniformity testing in LOCAL/CONGEST to the simultaneous
+//! case: build a BFS spanning tree, have every node compute its local
+//! statistic, and *convergecast* the aggregate (sum, or rejection
+//! count) to the root in `O(diameter)` rounds. [`Convergecast`] is that
+//! protocol; it demonstrates that the referee abstraction costs only
+//! diameter rounds and `O(log)` bandwidth on any connected graph.
+
+use crate::rounds::{RoundAlgorithm, RoundMessage, RoundNetwork, RoundModel, RoundStats};
+use crate::topology::Topology;
+use std::collections::HashMap;
+
+/// Convergecast of a sum over a BFS spanning tree rooted at node 0.
+///
+/// Every node starts with a `u64` value; after `depth + 1` rounds the
+/// root's state holds the sum of all values. Each node sends exactly
+/// one message (to its tree parent) in the round after it has heard
+/// from all its tree children.
+#[derive(Debug, Clone)]
+pub struct Convergecast {
+    values: Vec<u64>,
+    parent: Vec<usize>,
+    children_count: Vec<usize>,
+}
+
+/// Per-node convergecast state.
+#[derive(Debug, Clone)]
+pub struct ConvergecastState {
+    /// Accumulated sum of the subtree seen so far.
+    pub partial_sum: u64,
+    /// Children yet to report.
+    pub pending_children: usize,
+    /// Whether this node has already reported to its parent.
+    pub reported: bool,
+    parent: usize,
+    id: usize,
+}
+
+impl Convergecast {
+    /// Builds the protocol for the given per-node values over the BFS
+    /// tree of `topology` rooted at node 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the node count or the
+    /// graph is disconnected.
+    #[must_use]
+    pub fn new(topology: &Topology, values: Vec<u64>) -> Self {
+        assert_eq!(values.len(), topology.len(), "one value per node");
+        let parent = topology.bfs_tree(0);
+        let mut children_count = vec![0usize; topology.len()];
+        for (v, &p) in parent.iter().enumerate() {
+            if v != 0 {
+                children_count[p] += 1;
+            }
+        }
+        Self {
+            values,
+            parent,
+            children_count,
+        }
+    }
+
+    /// Runs the convergecast on `network` (whose topology must match)
+    /// and returns `(root_sum, stats)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's topology differs from the one the
+    /// protocol was built for.
+    #[must_use]
+    pub fn run(&self, network: &RoundNetwork) -> (u64, RoundStats) {
+        assert_eq!(
+            network.topology().len(),
+            self.values.len(),
+            "topology mismatch"
+        );
+        // Depth of the BFS tree bounds the rounds needed.
+        let depth = network
+            .topology()
+            .bfs_distances(0)
+            .into_iter()
+            .max()
+            .expect("non-empty graph");
+        let (states, stats) = network.run(self, depth + 1);
+        (states[0].partial_sum, stats)
+    }
+}
+
+impl RoundAlgorithm for Convergecast {
+    type State = ConvergecastState;
+
+    fn init(&self, id: usize, _topology: &Topology) -> ConvergecastState {
+        ConvergecastState {
+            partial_sum: self.values[id],
+            pending_children: self.children_count[id],
+            reported: false,
+            parent: self.parent[id],
+            id,
+        }
+    }
+
+    fn round(
+        &self,
+        state: &mut ConvergecastState,
+        _round: usize,
+        inbox: &HashMap<usize, RoundMessage>,
+    ) -> HashMap<usize, RoundMessage> {
+        for message in inbox.values() {
+            state.partial_sum += message.payload;
+            state.pending_children -= 1;
+        }
+        let mut outbox = HashMap::new();
+        if state.id != 0 && !state.reported && state.pending_children == 0 {
+            outbox.insert(state.parent, RoundMessage::sized(state.partial_sum));
+            state.reported = true;
+        }
+        outbox
+    }
+}
+
+/// Runs a full distributed "sum of local statistics" aggregation on an
+/// arbitrary connected graph and reports the root's total:
+/// the LOCAL/CONGEST realization of the paper's referee.
+///
+/// Returns `(total, stats)`.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected or (under CONGEST) a partial
+/// sum exceeds the per-edge budget.
+#[must_use]
+pub fn aggregate_sum(
+    topology: &Topology,
+    model: RoundModel,
+    values: Vec<u64>,
+) -> (u64, RoundStats) {
+    let protocol = Convergecast::new(topology, values);
+    let network = RoundNetwork::new(topology.clone(), model);
+    protocol.run(&network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_on_star() {
+        let topology = Topology::star(6);
+        let (sum, stats) = aggregate_sum(
+            &topology,
+            RoundModel::Local,
+            vec![10, 1, 2, 3, 4, 5],
+        );
+        assert_eq!(sum, 25);
+        // Every leaf reports exactly once.
+        assert_eq!(stats.messages, 5);
+    }
+
+    #[test]
+    fn sums_on_path() {
+        let topology = Topology::path(10);
+        let (sum, stats) = aggregate_sum(&topology, RoundModel::Local, vec![1; 10]);
+        assert_eq!(sum, 10);
+        // Chain: 9 report messages, depth 9 -> 10 rounds.
+        assert_eq!(stats.messages, 9);
+        assert_eq!(stats.rounds, 10);
+    }
+
+    #[test]
+    fn sums_on_binary_tree() {
+        let topology = Topology::binary_tree(15);
+        let values: Vec<u64> = (0u64..15).collect();
+        let (sum, stats) = aggregate_sum(&topology, RoundModel::Local, values);
+        assert_eq!(sum, (0u64..15).sum::<u64>());
+        // Depth 3 tree: 4 rounds suffice.
+        assert_eq!(stats.rounds, 4);
+    }
+
+    #[test]
+    fn congest_budget_respected_for_small_sums() {
+        let topology = Topology::binary_tree(7);
+        let model = RoundModel::Congest { bits_per_edge: 8 };
+        let (sum, stats) = aggregate_sum(&topology, model, vec![2; 7]);
+        assert_eq!(sum, 14);
+        assert!(stats.max_message_bits <= 8);
+    }
+
+    #[test]
+    fn works_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let topology = Topology::random_connected(24, 0.2, &mut rng);
+            let values: Vec<u64> = (0u64..24).collect();
+            let (sum, _) = aggregate_sum(&topology, RoundModel::Local, values);
+            assert_eq!(sum, (0u64..24).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_diameter_not_size() {
+        // A big star still needs only 2 rounds; a short path needs more.
+        let star = Topology::star(100);
+        let (_, star_stats) = aggregate_sum(&star, RoundModel::Local, vec![1; 100]);
+        let path = Topology::path(10);
+        let (_, path_stats) = aggregate_sum(&path, RoundModel::Local, vec![1; 10]);
+        assert!(star_stats.rounds < path_stats.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per node")]
+    fn value_count_checked() {
+        let topology = Topology::star(3);
+        let _ = Convergecast::new(&topology, vec![1, 2]);
+    }
+}

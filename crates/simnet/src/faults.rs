@@ -1,0 +1,286 @@
+//! Failure injection for the simultaneous-message model.
+//!
+//! The paper's AND rule is prized for locality — any node can raise
+//! the alarm alone. Fault injection exposes the flip side: a single
+//! *lost* alarm message silently converts a reject into an accept,
+//! while counting rules degrade gracefully. [`FaultyNetwork`] runs the
+//! one-bit protocol with iid message loss and node crashes so that
+//! trade-off can be measured (see the root integration tests).
+
+use crate::network::{Network, RunOutcome, Transcript};
+use crate::player::{Player, PlayerContext};
+use crate::rule::{DecisionRule, Verdict};
+use dut_probability::Sampler;
+use rand::Rng;
+
+/// Independent fault probabilities applied to each player/message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability a player crashes before sending (sends nothing).
+    pub crash_probability: f64,
+    /// Probability a sent message is lost in transit.
+    pub message_loss_probability: f64,
+}
+
+impl FaultModel {
+    /// A fault-free model.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            crash_probability: 0.0,
+            message_loss_probability: 0.0,
+        }
+    }
+
+    /// Validates probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(crash_probability: f64, message_loss_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&crash_probability),
+            "crash probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&message_loss_probability),
+            "loss probability out of range"
+        );
+        Self {
+            crash_probability,
+            message_loss_probability,
+        }
+    }
+}
+
+/// How the referee treats players it did not hear from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// Treat silence as an accept bit (the deployed default for alarm
+    /// systems: no alarm heard ⇒ assume fine). This is what makes the
+    /// AND rule fragile.
+    AssumeAccept,
+    /// Treat silence as a reject bit (fail-safe, but false alarms rise
+    /// with the fault rate).
+    AssumeReject,
+    /// Drop silent players from the vote (the rule sees fewer bits).
+    Exclude,
+}
+
+/// A network whose players may crash and whose messages may be lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyNetwork {
+    inner: Network,
+    faults: FaultModel,
+    missing_policy: MissingPolicy,
+}
+
+impl FaultyNetwork {
+    /// Creates a faulty network of `num_players` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_players == 0`.
+    #[must_use]
+    pub fn new(num_players: usize, faults: FaultModel, missing_policy: MissingPolicy) -> Self {
+        Self {
+            inner: Network::new(num_players),
+            faults,
+            missing_policy,
+        }
+    }
+
+    /// Runs one faulty execution of the one-bit protocol.
+    ///
+    /// Crashed players draw no samples; lost messages consume their
+    /// samples but never reach the referee. If *every* bit is missing
+    /// under [`MissingPolicy::Exclude`], the referee accepts (it has no
+    /// evidence to act on).
+    pub fn run<S, P, R>(
+        &self,
+        sampler: &S,
+        samples_per_player: usize,
+        player: &P,
+        rule: &DecisionRule,
+        rng: &mut R,
+    ) -> RunOutcome
+    where
+        S: Sampler,
+        P: Player + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let k = self.inner.num_players();
+        let shared_seed: u64 = rng.random();
+        let mut bits: Vec<Option<bool>> = Vec::with_capacity(k);
+        let mut samples_drawn = Vec::with_capacity(k);
+        for player_id in 0..k {
+            if rng.random::<f64>() < self.faults.crash_probability {
+                bits.push(None);
+                samples_drawn.push(0);
+                continue;
+            }
+            let ctx = PlayerContext {
+                player_id,
+                num_players: k,
+                shared_seed,
+            };
+            let samples = sampler.sample_many(samples_per_player, rng);
+            samples_drawn.push(samples.len());
+            let accept = player.accepts(&ctx, &samples);
+            if rng.random::<f64>() < self.faults.message_loss_probability {
+                bits.push(None);
+            } else {
+                bits.push(Some(accept));
+            }
+        }
+        let effective: Vec<bool> = match self.missing_policy {
+            MissingPolicy::AssumeAccept => {
+                bits.iter().map(|b| b.unwrap_or(true)).collect()
+            }
+            MissingPolicy::AssumeReject => {
+                bits.iter().map(|b| b.unwrap_or(false)).collect()
+            }
+            MissingPolicy::Exclude => bits.iter().filter_map(|&b| b).collect(),
+        };
+        let verdict = if effective.is_empty() {
+            Verdict::Accept
+        } else {
+            rule.decide(&effective)
+        };
+        let messages = effective
+            .iter()
+            .map(|&b| crate::message::Message::from_accept_bit(b))
+            .collect();
+        RunOutcome {
+            verdict,
+            transcript: Transcript {
+                messages,
+                samples_drawn,
+                shared_seed,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_probability::families;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    struct AlwaysReject;
+    impl Player for AlwaysReject {
+        fn accepts(&self, _: &PlayerContext, _: &[usize]) -> bool {
+            false
+        }
+    }
+
+    struct AlwaysAccept;
+    impl Player for AlwaysAccept {
+        fn accepts(&self, _: &PlayerContext, _: &[usize]) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn fault_free_matches_reliable_network() {
+        let net = FaultyNetwork::new(8, FaultModel::none(), MissingPolicy::AssumeAccept);
+        let sampler = families::uniform(16).alias_sampler();
+        let out = net.run(&sampler, 2, &AlwaysReject, &DecisionRule::And, &mut rng(1));
+        assert!(out.verdict.is_reject());
+        assert_eq!(out.transcript.messages.len(), 8);
+    }
+
+    #[test]
+    fn and_rule_fragile_under_loss_with_assume_accept() {
+        // One rejecting player among 8 accepting ones; 50% loss.
+        // Whenever ITS message is lost, the alarm vanishes.
+        let net = FaultyNetwork::new(
+            8,
+            FaultModel::new(0.0, 0.5),
+            MissingPolicy::AssumeAccept,
+        );
+        let sampler = families::uniform(16).alias_sampler();
+        let one_rejector = |ctx: &PlayerContext, _: &[usize]| ctx.player_id != 3;
+        let mut r = rng(2);
+        let trials = 400;
+        let rejected = (0..trials)
+            .filter(|_| {
+                net.run(&sampler, 1, &one_rejector, &DecisionRule::And, &mut r)
+                    .verdict
+                    .is_reject()
+            })
+            .count();
+        // Alarm survives only when the message survives: ~50%.
+        let rate = rejected as f64 / f64::from(trials);
+        assert!((0.35..0.65).contains(&rate), "alarm survival rate {rate}");
+    }
+
+    #[test]
+    fn assume_reject_is_fail_safe_but_noisy() {
+        let net = FaultyNetwork::new(
+            8,
+            FaultModel::new(0.0, 0.5),
+            MissingPolicy::AssumeReject,
+        );
+        let sampler = families::uniform(16).alias_sampler();
+        let mut r = rng(3);
+        // All players accept, but losses turn into rejects: AND almost
+        // always rejects — false alarms.
+        let trials = 200;
+        let rejected = (0..trials)
+            .filter(|_| {
+                net.run(&sampler, 1, &AlwaysAccept, &DecisionRule::And, &mut r)
+                    .verdict
+                    .is_reject()
+            })
+            .count();
+        assert!(rejected > trials * 9 / 10, "rejected {rejected}/{trials}");
+    }
+
+    #[test]
+    fn exclude_policy_shrinks_the_vote() {
+        let net = FaultyNetwork::new(
+            10,
+            FaultModel::new(0.5, 0.0),
+            MissingPolicy::Exclude,
+        );
+        let sampler = families::uniform(16).alias_sampler();
+        let mut r = rng(4);
+        let out = net.run(&sampler, 1, &AlwaysAccept, &DecisionRule::Majority, &mut r);
+        assert!(out.transcript.messages.len() < 10);
+        assert!(out.verdict.is_accept());
+    }
+
+    #[test]
+    fn total_silence_accepts_under_exclude() {
+        let net = FaultyNetwork::new(
+            4,
+            FaultModel::new(1.0, 0.0),
+            MissingPolicy::Exclude,
+        );
+        let sampler = families::uniform(4).alias_sampler();
+        let out = net.run(&sampler, 1, &AlwaysReject, &DecisionRule::And, &mut rng(5));
+        assert!(out.verdict.is_accept());
+        assert_eq!(out.transcript.messages.len(), 0);
+        // Crashed players drew no samples.
+        assert_eq!(out.transcript.total_samples(), 0);
+    }
+
+    #[test]
+    fn crash_probability_validated() {
+        let m = FaultModel::new(0.1, 0.2);
+        assert!((m.crash_probability - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = FaultModel::new(1.5, 0.0);
+    }
+}

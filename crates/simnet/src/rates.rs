@@ -1,0 +1,137 @@
+/// Per-player sampling rates for the asymmetric-cost model of §6.2.
+///
+/// Each player `i` has a sampling rate `T_i > 0`; given a time budget
+/// `τ`, it collects `q_i = ⌊T_i · τ⌋` samples (at least one). The paper
+/// shows the optimal time budget is `τ = Θ(√n / (ε² · ‖T‖₂))` — the cost
+/// is governed by the ℓ₂ norm of the rate vector, not its sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateVector {
+    rates: Vec<f64>,
+}
+
+impl RateVector {
+    /// Creates a rate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or contains a non-positive or
+    /// non-finite rate.
+    #[must_use]
+    pub fn new(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "rate vector must be non-empty");
+        for (i, &r) in rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "rate {i} must be positive and finite, got {r}"
+            );
+        }
+        Self { rates }
+    }
+
+    /// The symmetric model: `k` players at unit rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn unit(k: usize) -> Self {
+        Self::new(vec![1.0; k])
+    }
+
+    /// Number of players.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Always false (constructor enforces non-emptiness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The rates as a slice.
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The ℓ₂ norm `‖T‖₂ = sqrt(Σ T_i²)` governing the optimal time.
+    #[must_use]
+    pub fn l2_norm(&self) -> f64 {
+        self.rates.iter().map(|r| r * r).sum::<f64>().sqrt()
+    }
+
+    /// The ℓ₁ norm `Σ T_i` (total sampling throughput).
+    #[must_use]
+    pub fn l1_norm(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Sample counts for time budget `tau`: `max(1, ⌊T_i·τ⌋)` per player.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive and finite.
+    #[must_use]
+    pub fn samples_for_time(&self, tau: f64) -> Vec<usize> {
+        assert!(tau.is_finite() && tau > 0.0, "time budget must be positive");
+        self.rates
+            .iter()
+            .map(|&r| ((r * tau).floor() as usize).max(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_rates_norm_is_sqrt_k() {
+        let r = RateVector::unit(16);
+        assert!((r.l2_norm() - 4.0).abs() < 1e-12);
+        assert!((r.l1_norm() - 16.0).abs() < 1e-12);
+        assert_eq!(r.len(), 16);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn samples_scale_with_tau() {
+        let r = RateVector::new(vec![1.0, 2.5, 0.2]);
+        assert_eq!(r.samples_for_time(10.0), vec![10, 25, 2]);
+    }
+
+    #[test]
+    fn slow_players_get_at_least_one_sample() {
+        let r = RateVector::new(vec![0.01]);
+        assert_eq!(r.samples_for_time(1.0), vec![1]);
+    }
+
+    #[test]
+    fn skewed_vector_same_l2_different_shape() {
+        // One fast player vs many slow ones with the same l2 norm.
+        let concentrated = RateVector::new(vec![2.0]);
+        let spread = RateVector::new(vec![1.0; 4]);
+        assert!((concentrated.l2_norm() - spread.l2_norm()).abs() < 1e-12);
+        assert!(concentrated.l1_norm() < spread.l1_norm());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_rates_panic() {
+        let _ = RateVector::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_rate_panics() {
+        let _ = RateVector::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_tau_panics() {
+        let _ = RateVector::unit(2).samples_for_time(-1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Round-based synchronous message passing (LOCAL / CONGEST).
+//!
+//! The paper's simultaneous one-bit model is the communication-minimal
+//! end of a spectrum; its companion upper-bound paper \[7\] also places
+//! uniformity testing in the classic synchronous models:
+//!
+//! * **LOCAL** — unbounded message size per edge per round; complexity
+//!   is the number of rounds (locality).
+//! * **CONGEST** — `O(log n)` bits per edge per round.
+//!
+//! [`RoundNetwork`] runs a synchronous protocol over a [`Topology`]:
+//! in every round each node reads the messages delivered in the
+//! previous round, updates its state and emits messages to neighbors.
+//! Message sizes are checked against the model's per-edge budget, so a
+//! protocol that would violate CONGEST fails loudly.
+
+use crate::topology::Topology;
+use std::collections::HashMap;
+
+/// The synchronous model: per-round, per-edge message budget in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundModel {
+    /// Unbounded bandwidth; only round count matters.
+    Local,
+    /// At most `bits_per_edge` bits per edge per round.
+    Congest {
+        /// The per-edge budget (conventionally `O(log n)`).
+        bits_per_edge: u32,
+    },
+}
+
+impl RoundModel {
+    /// The conventional CONGEST budget for an `n`-node network:
+    /// `⌈log₂ n⌉ + 1` bits.
+    #[must_use]
+    pub fn congest_for(n: usize) -> Self {
+        RoundModel::Congest {
+            bits_per_edge: (usize::BITS - n.leading_zeros()).max(1) + 1,
+        }
+    }
+
+    /// The budget, if bounded.
+    #[must_use]
+    pub fn budget(&self) -> Option<u32> {
+        match self {
+            RoundModel::Local => None,
+            RoundModel::Congest { bits_per_edge } => Some(*bits_per_edge),
+        }
+    }
+}
+
+/// A message in a round-based protocol: a payload with a declared bit
+/// size (payloads are `u64`; the declared size is what is checked
+/// against the budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundMessage {
+    /// The payload.
+    pub payload: u64,
+    /// Declared size in bits.
+    pub bits: u32,
+}
+
+impl RoundMessage {
+    /// A message whose declared size is the minimal width of the
+    /// payload (at least 1 bit).
+    #[must_use]
+    pub fn sized(payload: u64) -> Self {
+        Self {
+            payload,
+            bits: (64 - payload.leading_zeros()).max(1),
+        }
+    }
+}
+
+/// A node algorithm in the round-based model.
+pub trait RoundAlgorithm {
+    /// Per-node state.
+    type State;
+
+    /// Initializes node `id` of `n`.
+    fn init(&self, id: usize, topology: &Topology) -> Self::State;
+
+    /// One round: reads messages delivered this round (sender →
+    /// message) and returns messages to send (neighbor → message).
+    /// Returning an empty map is allowed.
+    fn round(
+        &self,
+        state: &mut Self::State,
+        round: usize,
+        inbox: &HashMap<usize, RoundMessage>,
+    ) -> HashMap<usize, RoundMessage>;
+}
+
+/// Statistics of one protocol execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub bits: u64,
+    /// Largest single message (bits).
+    pub max_message_bits: u32,
+}
+
+/// The round-based network simulator.
+#[derive(Debug, Clone)]
+pub struct RoundNetwork {
+    topology: Topology,
+    model: RoundModel,
+}
+
+impl RoundNetwork {
+    /// Creates a simulator over a topology under a model.
+    #[must_use]
+    pub fn new(topology: Topology, model: RoundModel) -> Self {
+        Self { topology, model }
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs `rounds` synchronous rounds of `algorithm` and returns the
+    /// final states plus execution statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node sends to a non-neighbor, or a message exceeds
+    /// the CONGEST budget.
+    pub fn run<A: RoundAlgorithm>(
+        &self,
+        algorithm: &A,
+        rounds: usize,
+    ) -> (Vec<A::State>, RoundStats) {
+        let n = self.topology.len();
+        let mut states: Vec<A::State> =
+            (0..n).map(|id| algorithm.init(id, &self.topology)).collect();
+        let mut inboxes: Vec<HashMap<usize, RoundMessage>> = vec![HashMap::new(); n];
+        let mut stats = RoundStats {
+            rounds,
+            messages: 0,
+            bits: 0,
+            max_message_bits: 0,
+        };
+        for round in 0..rounds {
+            let mut next_inboxes: Vec<HashMap<usize, RoundMessage>> =
+                vec![HashMap::new(); n];
+            for (id, state) in states.iter_mut().enumerate() {
+                let outbox = algorithm.round(state, round, &inboxes[id]);
+                for (to, message) in outbox {
+                    assert!(
+                        self.topology.neighbors(id).contains(&to),
+                        "node {id} sent to non-neighbor {to}"
+                    );
+                    if let Some(budget) = self.model.budget() {
+                        assert!(
+                            message.bits <= budget,
+                            "node {id} sent {} bits, CONGEST budget is {budget}",
+                            message.bits
+                        );
+                    }
+                    stats.messages += 1;
+                    stats.bits += u64::from(message.bits);
+                    stats.max_message_bits = stats.max_message_bits.max(message.bits);
+                    next_inboxes[to].insert(id, message);
+                }
+            }
+            inboxes = next_inboxes;
+        }
+        (states, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flooding max with neighbor lists captured at init.
+    struct FloodMaxKnownNeighbors {
+        values: Vec<u64>,
+    }
+
+    struct FloodState {
+        value: u64,
+        neighbors: Vec<usize>,
+    }
+
+    impl RoundAlgorithm for FloodMaxKnownNeighbors {
+        type State = FloodState;
+
+        fn init(&self, id: usize, topology: &Topology) -> FloodState {
+            FloodState {
+                value: self.values[id],
+                neighbors: topology.neighbors(id).to_vec(),
+            }
+        }
+
+        fn round(
+            &self,
+            state: &mut FloodState,
+            _round: usize,
+            inbox: &HashMap<usize, RoundMessage>,
+        ) -> HashMap<usize, RoundMessage> {
+            for message in inbox.values() {
+                state.value = state.value.max(message.payload);
+            }
+            state
+                .neighbors
+                .iter()
+                .map(|&to| (to, RoundMessage::sized(state.value)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn flood_max_converges_in_diameter_rounds() {
+        let topology = Topology::path(8);
+        let diameter = topology.diameter();
+        let net = RoundNetwork::new(topology, RoundModel::Local);
+        let algo = FloodMaxKnownNeighbors {
+            values: vec![3, 1, 4, 1, 5, 9, 2, 6],
+        };
+        let (states, stats) = net.run(&algo, diameter + 1);
+        assert!(states.iter().all(|s| s.value == 9));
+        assert!(stats.messages > 0);
+        assert_eq!(stats.rounds, diameter + 1);
+    }
+
+    #[test]
+    fn flood_max_incomplete_before_diameter() {
+        let topology = Topology::path(8);
+        let net = RoundNetwork::new(topology, RoundModel::Local);
+        let algo = FloodMaxKnownNeighbors {
+            values: vec![9, 0, 0, 0, 0, 0, 0, 0],
+        };
+        // After 3 rounds the far end cannot know about 9.
+        let (states, _) = net.run(&algo, 3);
+        assert_ne!(states[7].value, 9);
+    }
+
+    #[test]
+    fn congest_budget_enforced() {
+        let topology = Topology::star(3);
+        let net = RoundNetwork::new(topology, RoundModel::Congest { bits_per_edge: 4 });
+        let algo = FloodMaxKnownNeighbors {
+            values: vec![1, 2, 3],
+        };
+        // 4-bit payloads: fine.
+        let (_, stats) = net.run(&algo, 2);
+        assert!(stats.max_message_bits <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST budget")]
+    fn congest_violation_panics() {
+        let topology = Topology::star(3);
+        let net = RoundNetwork::new(topology, RoundModel::Congest { bits_per_edge: 2 });
+        let algo = FloodMaxKnownNeighbors {
+            values: vec![1, 2, 255], // needs 8 bits
+        };
+        let _ = net.run(&algo, 1);
+    }
+
+    #[test]
+    fn congest_for_scales_with_n() {
+        assert_eq!(RoundModel::congest_for(1024).budget(), Some(12));
+        assert_eq!(RoundModel::Local.budget(), None);
+    }
+
+    #[test]
+    fn stats_count_bits() {
+        let topology = Topology::star(4);
+        let net = RoundNetwork::new(topology, RoundModel::Local);
+        let algo = FloodMaxKnownNeighbors {
+            values: vec![1, 1, 1, 1],
+        };
+        let (_, stats) = net.run(&algo, 1);
+        // 3 leaves send to hub, hub sends to 3 leaves: 6 messages of 1 bit.
+        assert_eq!(stats.messages, 6);
+        assert_eq!(stats.bits, 6);
+    }
+
+}

@@ -1,0 +1,294 @@
+//! Network topologies for the round-based models.
+//!
+//! The paper's simultaneous-message model is the one-round star (all
+//! players adjacent to the referee). The companion work \[7\] also
+//! studies uniformity testing in the LOCAL and CONGEST models on
+//! general graphs, reducing them to the simultaneous case over a
+//! BFS spanning tree; this module provides the graphs those
+//! simulations run on.
+
+use rand::Rng;
+
+/// An undirected graph on nodes `0..n`, stored as adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`, an endpoint is out of range, or an edge
+    /// is a self-loop.
+    #[must_use]
+    pub fn from_edges(nodes: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        let mut adjacency = vec![Vec::new(); nodes];
+        for &(a, b) in edges {
+            assert!(a < nodes && b < nodes, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loops are not allowed");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        Self { adjacency }
+    }
+
+    /// The star: node 0 (the referee) adjacent to everyone else. One
+    /// round on this graph is exactly the simultaneous-message model.
+    #[must_use]
+    pub fn star(nodes: usize) -> Self {
+        assert!(nodes >= 1, "star needs at least one node");
+        let edges: Vec<(usize, usize)> = (1..nodes).map(|i| (0, i)).collect();
+        Self::from_edges(nodes, &edges)
+    }
+
+    /// The complete graph.
+    #[must_use]
+    pub fn clique(nodes: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(nodes, &edges)
+    }
+
+    /// The path `0 - 1 - .. - (n-1)`: diameter `n − 1`, the worst case
+    /// for aggregation depth.
+    #[must_use]
+    pub fn path(nodes: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..nodes).map(|i| (i - 1, i)).collect();
+        Self::from_edges(nodes, &edges)
+    }
+
+    /// A complete binary tree rooted at node 0.
+    #[must_use]
+    pub fn binary_tree(nodes: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 1..nodes {
+            edges.push(((i - 1) / 2, i));
+        }
+        Self::from_edges(nodes, &edges)
+    }
+
+    /// An Erdős–Rényi graph with edge probability `p`, re-drawn until
+    /// connected (expected O(1) draws for `p` above the connectivity
+    /// threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1]`, or connectivity is not reached within
+    /// 1000 attempts (i.e. `p` is far below the threshold).
+    pub fn random_connected<R: Rng + ?Sized>(nodes: usize, p: f64, rng: &mut R) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "edge probability must be in (0, 1]");
+        for _ in 0..1000 {
+            let mut edges = Vec::new();
+            for a in 0..nodes {
+                for b in (a + 1)..nodes {
+                    if rng.random::<f64>() < p {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let candidate = Self::from_edges(nodes, &edges);
+            if candidate.is_connected() {
+                return candidate;
+            }
+        }
+        panic!("failed to draw a connected graph; edge probability too small");
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no nodes (never true: constructors forbid it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// BFS distances from `source` (`usize::MAX` for unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        assert!(source < self.len(), "source out of range");
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether every node is reachable from node 0.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The graph diameter (longest shortest path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        (0..self.len())
+            .map(|s| {
+                self.bfs_distances(s)
+                    .into_iter()
+                    .max()
+                    .expect("non-empty graph")
+            })
+            .max()
+            .inspect(|&d| {
+                assert!(d != usize::MAX, "graph is disconnected");
+            })
+            .expect("non-empty graph")
+    }
+
+    /// A BFS spanning tree rooted at `root`: `parent[v]` is the parent
+    /// of `v` (`parent[root] = root`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range or the graph is disconnected.
+    #[must_use]
+    pub fn bfs_tree(&self, root: usize) -> Vec<usize> {
+        assert!(root < self.len(), "root out of range");
+        let mut parent = vec![usize::MAX; self.len()];
+        parent[root] = root;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if parent[v] == usize::MAX {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(
+            parent.iter().all(|&p| p != usize::MAX),
+            "graph is disconnected"
+        );
+        parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_structure() {
+        let g = Topology::star(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0).len(), 4);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.diameter(), 2);
+    }
+
+    #[test]
+    fn single_node_star() {
+        let g = Topology::star(1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 0);
+    }
+
+    #[test]
+    fn clique_structure() {
+        let g = Topology::clique(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = Topology::path(10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.diameter(), 9);
+        assert_eq!(g.bfs_distances(0)[9], 9);
+    }
+
+    #[test]
+    fn binary_tree_depth() {
+        let g = Topology::binary_tree(15); // perfect tree of depth 3
+        assert_eq!(g.edge_count(), 14);
+        let dist = g.bfs_distances(0);
+        assert_eq!(*dist.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn bfs_tree_parents_are_closer() {
+        let g = Topology::clique(8);
+        let parent = g.bfs_tree(0);
+        let dist = g.bfs_distances(0);
+        for v in 1..8 {
+            assert_eq!(dist[parent[v]] + 1, dist[v]);
+        }
+        assert_eq!(parent[0], 0);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = Topology::random_connected(20, 0.3, &mut rng);
+        assert!(g.is_connected());
+        assert_eq!(g.len(), 20);
+    }
+
+    #[test]
+    fn deduplicates_parallel_edges() {
+        let g = Topology::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let _ = Topology::from_edges(3, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn bfs_tree_requires_connectivity() {
+        let g = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = g.bfs_tree(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the network model and decision rules.
+
+use dut_simnet::{DecisionRule, Message, Network, PlayerContext, RateVector, Verdict};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn and_rule_monotone_in_rejections(bits in prop::collection::vec(prop::bool::ANY, 1..20)) {
+        // Flipping any accept to reject can only move AND towards reject.
+        let before = DecisionRule::And.decide(&bits);
+        for i in 0..bits.len() {
+            if bits[i] {
+                let mut flipped = bits.clone();
+                flipped[i] = false;
+                let after = DecisionRule::And.decide(&flipped);
+                prop_assert!(!(before == Verdict::Reject && after == Verdict::Accept));
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_rule_monotone_in_threshold(
+        bits in prop::collection::vec(prop::bool::ANY, 1..20),
+        t in 1usize..20,
+    ) {
+        // A stricter (smaller) threshold rejects whenever a looser one does...
+        // precisely: if reject at threshold t+1 then reject at t.
+        let loose = DecisionRule::Threshold { min_rejects: t + 1 }.decide(&bits);
+        let strict = DecisionRule::Threshold { min_rejects: t }.decide(&bits);
+        prop_assert!(!(loose == Verdict::Reject && strict == Verdict::Accept));
+    }
+
+    #[test]
+    fn and_equals_threshold_one(bits in prop::collection::vec(prop::bool::ANY, 1..20)) {
+        prop_assert_eq!(
+            DecisionRule::And.decide(&bits),
+            DecisionRule::Threshold { min_rejects: 1 }.decide(&bits)
+        );
+    }
+
+    #[test]
+    fn or_equals_threshold_k(bits in prop::collection::vec(prop::bool::ANY, 1..20)) {
+        let k = bits.len();
+        prop_assert_eq!(
+            DecisionRule::Or.decide(&bits),
+            DecisionRule::Threshold { min_rejects: k }.decide(&bits)
+        );
+    }
+
+    #[test]
+    fn majority_agrees_with_count(bits in prop::collection::vec(prop::bool::ANY, 1..20)) {
+        let rejects = bits.iter().filter(|&&b| !b).count();
+        let expected = if 2 * rejects > bits.len() {
+            Verdict::Reject
+        } else {
+            Verdict::Accept
+        };
+        prop_assert_eq!(DecisionRule::Majority.decide(&bits), expected);
+    }
+
+    #[test]
+    fn message_roundtrip(bits in 0u32..1024, extra in 0u8..6) {
+        let len = 10 + extra; // always enough bits for the payload
+        let m = Message::new(bits, len);
+        prop_assert_eq!(m.bits(), bits);
+        prop_assert_eq!(m.len(), len);
+        prop_assert_eq!(m.to_string().len(), len as usize);
+    }
+
+    #[test]
+    fn rate_vector_norms_consistent(rates in prop::collection::vec(0.1f64..10.0, 1..20)) {
+        let rv = RateVector::new(rates.clone());
+        // l2 <= l1 <= sqrt(k) * l2 (standard norm inequalities).
+        prop_assert!(rv.l2_norm() <= rv.l1_norm() + 1e-9);
+        prop_assert!(rv.l1_norm() <= (rates.len() as f64).sqrt() * rv.l2_norm() + 1e-9);
+    }
+
+    #[test]
+    fn samples_for_time_monotone_in_tau(
+        rates in prop::collection::vec(0.1f64..10.0, 1..10),
+        tau in 1.0f64..100.0,
+    ) {
+        let rv = RateVector::new(rates);
+        let a = rv.samples_for_time(tau);
+        let b = rv.samples_for_time(tau * 2.0);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(y >= x);
+        }
+    }
+
+    #[test]
+    fn network_transcript_is_consistent(
+        k in 1usize..12,
+        q in 0usize..16,
+        seed in any::<u64>(),
+        accept_threshold in 0usize..16,
+    ) {
+        let net = Network::new(k);
+        let sampler = dut_probability::families::uniform(8).alias_sampler();
+        let player = move |_ctx: &PlayerContext, samples: &[usize]| {
+            samples.iter().sum::<usize>() >= accept_threshold
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = net.run(&sampler, q, &player, &DecisionRule::Majority, &mut rng);
+        prop_assert_eq!(out.transcript.messages.len(), k);
+        prop_assert_eq!(out.transcript.total_samples(), k * q);
+        // Verdict must equal re-applying the rule to the transcript bits.
+        let replay = DecisionRule::Majority.decide(&out.transcript.accept_bits());
+        prop_assert_eq!(out.verdict, replay);
+    }
+
+    #[test]
+    fn custom_rule_sees_exact_bits(k in 1usize..10, seed in any::<u64>()) {
+        use std::sync::Arc;
+        let net = Network::new(k);
+        let sampler = dut_probability::families::uniform(4).alias_sampler();
+        // Player accepts iff its id is even.
+        let player = |ctx: &PlayerContext, _s: &[usize]| ctx.player_id.is_multiple_of(2);
+        let expected_rejects = k / 2; // odd ids reject
+        let rule = DecisionRule::Custom(Arc::new(move |bits: &[bool]| {
+            let rejects = bits.iter().filter(|&&b| !b).count();
+            Verdict::from_accept_bit(rejects == expected_rejects)
+        }));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out = net.run(&sampler, 1, &player, &rule, &mut rng);
+        prop_assert_eq!(out.verdict, Verdict::Accept);
+    }
+}

@@ -1,0 +1,218 @@
+//! Bootstrap confidence intervals for measured statistics.
+//!
+//! The scaling experiments report fitted slopes; bootstrap resampling
+//! quantifies how stable those fits are against trial noise without
+//! distributional assumptions.
+
+use rand::Rng;
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+impl BootstrapInterval {
+    /// Whether the interval contains a value.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+
+    /// The interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic of a sample.
+///
+/// Draws `resamples` bootstrap samples (with replacement), applies
+/// `statistic` to each, and reports the `alpha/2` and `1 − alpha/2`
+/// empirical percentiles.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `resamples == 0`, or
+/// `alpha ∉ (0, 1)`.
+pub fn bootstrap_ci<R, F>(
+    values: &[f64],
+    resamples: usize,
+    alpha: f64,
+    rng: &mut R,
+    statistic: F,
+) -> BootstrapInterval
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let point = statistic(values);
+    let mut stats: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let resample: Vec<f64> = (0..values.len())
+                .map(|_| values[rng.random_range(0..values.len())])
+                .collect();
+            statistic(&resample)
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics must not be NaN"));
+    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
+        .min(resamples - 1);
+    BootstrapInterval {
+        point,
+        lower: stats[lo_idx.min(resamples - 1)],
+        upper: stats[hi_idx],
+    }
+}
+
+/// Bootstrap CI for the sample mean.
+///
+/// # Panics
+///
+/// As [`bootstrap_ci`].
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    values: &[f64],
+    resamples: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> BootstrapInterval {
+    bootstrap_ci(values, resamples, alpha, rng, |v| {
+        v.iter().sum::<f64>() / v.len() as f64
+    })
+}
+
+/// Bootstrap CI for a log-log slope: resamples the *points* of a
+/// scaling curve and refits.
+///
+/// # Panics
+///
+/// Panics if fewer than three points, `resamples == 0`, or
+/// `alpha ∉ (0, 1)`; propagates the positivity requirement of the
+/// log-log fit.
+pub fn bootstrap_slope_ci<R: Rng + ?Sized>(
+    points: &[(f64, f64)],
+    resamples: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> BootstrapInterval {
+    assert!(points.len() >= 3, "need at least three points for a slope CI");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let point = crate::sweep::log_log_slope(points);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut attempts = 0usize;
+    while stats.len() < resamples {
+        attempts += 1;
+        assert!(
+            attempts < resamples * 20,
+            "too many degenerate resamples (all-identical x values)"
+        );
+        let resample: Vec<(f64, f64)> = (0..points.len())
+            .map(|_| points[rng.random_range(0..points.len())])
+            .collect();
+        // A resample with a single distinct x cannot be fit; skip it.
+        let first_x = resample[0].0;
+        if resample.iter().all(|p| (p.0 - first_x).abs() < 1e-12) {
+            continue;
+        }
+        stats.push(crate::sweep::log_log_slope(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("slopes must not be NaN"));
+    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
+        .min(resamples - 1);
+    BootstrapInterval {
+        point,
+        lower: stats[lo_idx.min(resamples - 1)],
+        upper: stats[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(61)
+    }
+
+    #[test]
+    fn mean_ci_contains_truth_for_gaussianish_data() {
+        let mut r = rng();
+        use rand::Rng as _;
+        let values: Vec<f64> = (0..200)
+            .map(|_| {
+                // Sum of uniforms: mean 5.0.
+                (0..10).map(|_| r.random::<f64>()).sum::<f64>()
+            })
+            .collect();
+        let ci = bootstrap_mean_ci(&values, 1000, 0.05, &mut r);
+        assert!(ci.contains(5.0), "{ci:?}");
+        assert!(ci.width() < 0.5);
+        assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let mut r = rng();
+        use rand::Rng as _;
+        let small: Vec<f64> = (0..20).map(|_| r.random::<f64>()).collect();
+        let large: Vec<f64> = (0..2000).map(|_| r.random::<f64>()).collect();
+        let ci_small = bootstrap_mean_ci(&small, 500, 0.1, &mut r);
+        let ci_large = bootstrap_mean_ci(&large, 500, 0.1, &mut r);
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn slope_ci_recovers_power_law() {
+        let mut r = rng();
+        use rand::Rng as _;
+        // y = 3 x^{-0.5} with 5% multiplicative noise.
+        let points: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 3.0 * x.powf(-0.5) * (1.0 + 0.05 * (r.random::<f64>() - 0.5)))
+            })
+            .collect();
+        let ci = bootstrap_slope_ci(&points, 1000, 0.05, &mut r);
+        assert!(ci.contains(-0.5), "{ci:?}");
+        assert!(ci.width() < 0.2);
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let mut r = rng();
+        let values: Vec<f64> = (0..101).map(f64::from).collect();
+        let ci = bootstrap_ci(&values, 500, 0.1, &mut r, |v| {
+            let mut sorted = v.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted[sorted.len() / 2]
+        });
+        assert!(ci.contains(50.0), "{ci:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_values_panic() {
+        let mut r = rng();
+        let _ = bootstrap_mean_ci(&[], 100, 0.1, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "three points")]
+    fn slope_needs_points() {
+        let mut r = rng();
+        let _ = bootstrap_slope_ci(&[(1.0, 1.0), (2.0, 2.0)], 100, 0.1, &mut r);
+    }
+}

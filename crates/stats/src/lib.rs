@@ -1,0 +1,42 @@
+//! Experiment harness: deterministic seeding, parallel trial running,
+//! Wilson confidence intervals, adaptive sample-complexity search, and
+//! table output.
+//!
+//! Every experiment in this repository follows the same recipe:
+//!
+//! 1. derive independent per-trial seeds from a master seed
+//!    ([`seed::derive_seed`]),
+//! 2. run many trials in parallel ([`runner::run_trials`]) and summarize
+//!    success counts with Wilson intervals ([`SuccessEstimate`]),
+//! 3. binary-search the minimal per-player sample count `q*` at which a
+//!    tester reaches the paper's 2/3 success guarantee
+//!    ([`search::minimal_sufficient`]),
+//! 4. sweep a parameter grid, fit log-log slopes ([`sweep`]) and render
+//!    Markdown/CSV tables ([`table`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dut_stats::runner::run_trials;
+//!
+//! // A "protocol" that succeeds iff its seed is even: succeeds ~half the time.
+//! let estimate = run_trials(1000, 42, |seed| seed % 2 == 0);
+//! assert!(estimate.point() > 0.4 && estimate.point() < 0.6);
+//! assert!(estimate.wilson_lower(2.0) < estimate.point());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod runner;
+pub mod search;
+pub mod seed;
+pub mod sweep;
+pub mod table;
+mod wilson;
+
+pub use wilson::SuccessEstimate;
+
+/// The paper's required success probability for both sides of the test.
+pub const REQUIRED_SUCCESS: f64 = 2.0 / 3.0;

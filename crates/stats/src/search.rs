@@ -1,0 +1,142 @@
+//! Adaptive search for minimal sufficient parameters.
+//!
+//! The central measurement of the reproduction is `q*(n, k, ε)`: the
+//! minimal per-player sample count at which a tester achieves the paper's
+//! two-sided 2/3 guarantee. Success in `q` is monotone for the testers we
+//! study (more samples never hurt, up to Monte-Carlo noise), so `q*` is
+//! found by geometric bracketing followed by binary search.
+
+/// Result of a minimal-sufficient-parameter search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchResult {
+    /// The minimal value found sufficient.
+    pub minimal: usize,
+    /// Number of predicate evaluations spent.
+    pub evaluations: usize,
+    /// Whether the search hit `max` without finding a sufficient value.
+    pub saturated: bool,
+}
+
+/// Finds the minimal `v ∈ [min, max]` with `sufficient(v) == true`,
+/// assuming monotonicity (once sufficient, always sufficient).
+///
+/// Starts at `min`, doubles until sufficient (geometric bracketing), then
+/// binary-searches the bracket. If even `max` is insufficient, returns a
+/// [`SearchResult`] with `saturated == true` and `minimal == max`.
+///
+/// # Panics
+///
+/// Panics if `min == 0` or `min > max`.
+pub fn minimal_sufficient<F>(min: usize, max: usize, mut sufficient: F) -> SearchResult
+where
+    F: FnMut(usize) -> bool,
+{
+    assert!(min >= 1, "search domain starts at 1");
+    assert!(min <= max, "empty search domain");
+    let mut evaluations = 0;
+    let mut eval = |v: usize, evaluations: &mut usize| {
+        *evaluations += 1;
+        sufficient(v)
+    };
+
+    // Geometric bracketing: find the first power-of-two multiple of `min`
+    // that is sufficient.
+    let mut hi = min;
+    let mut lo = min; // insufficient (or equal to hi when min suffices)
+    loop {
+        if eval(hi.min(max), &mut evaluations) {
+            break;
+        }
+        if hi >= max {
+            return SearchResult {
+                minimal: max,
+                evaluations,
+                saturated: true,
+            };
+        }
+        lo = hi;
+        hi = (hi * 2).min(max);
+    }
+    if hi == min {
+        return SearchResult {
+            minimal: min,
+            evaluations,
+            saturated: false,
+        };
+    }
+
+    // Invariant: lo insufficient, hi sufficient.
+    let mut hi = hi.min(max);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eval(mid, &mut evaluations) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    SearchResult {
+        minimal: hi,
+        evaluations,
+        saturated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_threshold() {
+        for target in [1usize, 2, 3, 17, 100, 1000] {
+            let r = minimal_sufficient(1, 4096, |v| v >= target);
+            assert_eq!(r.minimal, target, "target {target}");
+            assert!(!r.saturated);
+        }
+    }
+
+    #[test]
+    fn respects_lower_limit() {
+        let r = minimal_sufficient(10, 100, |v| v >= 3);
+        assert_eq!(r.minimal, 10);
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let r = minimal_sufficient(1, 64, |v| v >= 1000);
+        assert!(r.saturated);
+        assert_eq!(r.minimal, 64);
+    }
+
+    #[test]
+    fn evaluation_count_is_logarithmic() {
+        let r = minimal_sufficient(1, 1 << 20, |v| v >= 999_983);
+        assert!(r.evaluations < 50, "used {} evaluations", r.evaluations);
+    }
+
+    #[test]
+    fn handles_always_sufficient() {
+        let r = minimal_sufficient(5, 50, |_| true);
+        assert_eq!(r.minimal, 5);
+        assert_eq!(r.evaluations, 1);
+    }
+
+    #[test]
+    fn max_equals_min() {
+        let r = minimal_sufficient(7, 7, |v| v >= 7);
+        assert_eq!(r.minimal, 7);
+        assert!(!r.saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts at 1")]
+    fn zero_min_panics() {
+        let _ = minimal_sufficient(0, 10, |_| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty search domain")]
+    fn inverted_domain_panics() {
+        let _ = minimal_sufficient(5, 4, |_| true);
+    }
+}

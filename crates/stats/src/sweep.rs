@@ -1,0 +1,147 @@
+//! Parameter sweeps and scaling-law fits.
+//!
+//! The reproduction criterion for an asymptotic statement like
+//! `q* = Θ(√(n/k)/ε²)` is the *slope* of `log q*` against `log k`,
+//! `log n`, or `log ε`: we sweep a geometric grid and fit a line by least
+//! squares.
+
+/// A geometric grid `start, start·factor, start·factor², ..` (`count`
+/// points), rounded to integers and deduplicated.
+///
+/// # Panics
+///
+/// Panics if `start == 0`, `factor <= 1`, or `count == 0`.
+#[must_use]
+pub fn geometric_grid(start: usize, factor: f64, count: usize) -> Vec<usize> {
+    assert!(start >= 1, "grid must start at 1 or above");
+    assert!(factor > 1.0 && factor.is_finite(), "factor must exceed 1");
+    assert!(count >= 1, "grid needs at least one point");
+    let mut grid = Vec::with_capacity(count);
+    let mut value = start as f64;
+    for _ in 0..count {
+        let rounded = value.round() as usize;
+        if grid.last() != Some(&rounded) {
+            grid.push(rounded);
+        }
+        value *= factor;
+    }
+    grid
+}
+
+/// Least-squares fit of `y = a + b·x`; returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points or all `x` equal.
+#[must_use]
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// The slope of `log y` against `log x` — the empirical scaling exponent.
+///
+/// Points with non-positive coordinates are rejected.
+///
+/// # Panics
+///
+/// Panics if fewer than two valid points or any coordinate is
+/// non-positive.
+#[must_use]
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    linear_fit(&logs).1
+}
+
+/// Coefficient of determination R² of a linear fit on the given points.
+///
+/// # Panics
+///
+/// Panics if fewer than two points, degenerate `x`, or zero variance in `y`.
+#[must_use]
+pub fn r_squared(points: &[(f64, f64)]) -> f64 {
+    let (a, b) = linear_fit(points);
+    let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    assert!(ss_tot > 0.0, "y values are constant");
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_grid_doubles() {
+        assert_eq!(geometric_grid(1, 2.0, 5), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn geometric_grid_dedups_slow_growth() {
+        let g = geometric_grid(1, 1.2, 10);
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "{g:?}");
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_log_slope_of_power_law() {
+        // y = 5 x^{-0.5}
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 5.0 * x.powf(-0.5))
+            })
+            .collect();
+        assert!((log_log_slope(&pts) + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_noisy() {
+        let exact: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        assert!((r_squared(&exact) - 1.0).abs() < 1e-12);
+        let noisy = vec![(0.0, 0.0), (1.0, 3.0), (2.0, 1.0), (3.0, 5.0)];
+        let r2 = r_squared(&noisy);
+        assert!(r2 < 1.0 && r2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn log_log_rejects_nonpositive() {
+        let _ = log_log_slope(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn fit_needs_two_points() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn fit_rejects_constant_x() {
+        let _ = linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Monte-Carlo calibration of decision thresholds.
+//!
+//! Uniformity testing has a special structure the testers exploit: the
+//! *null* distribution (uniform) is fully known, so a tester may simulate
+//! itself under the null and pick thresholds from empirical quantiles —
+//! no analytic tail bound, with its loose constants, is needed. All
+//! paper-relevant *scaling* is unaffected; calibration only sharpens
+//! constants.
+
+use rand::Rng;
+
+/// The empirical `(1 − alpha)`-quantile of `values`: the smallest value
+/// `v` in the sample such that at most an `alpha` fraction of samples
+/// exceed `v`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `alpha ∉ (0, 1)`.
+#[must_use]
+pub fn upper_quantile(values: &[f64], alpha: f64) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    let allowed_above = (alpha * sorted.len() as f64).floor() as usize;
+    let index = sorted.len() - 1 - allowed_above.min(sorted.len() - 1);
+    sorted[index]
+}
+
+/// Estimates the `(1 − alpha)`-quantile of a statistic under a simulated
+/// null by drawing `trials` fresh realizations.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `alpha ∉ (0, 1)`.
+pub fn calibrate_threshold<R, F>(trials: usize, alpha: f64, rng: &mut R, mut statistic: F) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> f64,
+{
+    assert!(trials > 0, "need at least one calibration trial");
+    let values: Vec<f64> = (0..trials).map(|_| statistic(rng)).collect();
+    upper_quantile(&values, alpha)
+}
+
+/// Estimates the probability that a statistic exceeds `threshold` under a
+/// simulated distribution.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn exceedance_probability<R, F>(
+    trials: usize,
+    threshold: f64,
+    rng: &mut R,
+    mut statistic: F,
+) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> f64,
+{
+    assert!(trials > 0, "need at least one trial");
+    let hits = (0..trials).filter(|_| statistic(rng) > threshold).count();
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_of_known_sequence() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        // 10% may exceed: the 90th value.
+        assert_eq!(upper_quantile(&values, 0.1), 90.0);
+        // Tiny alpha: the maximum.
+        assert_eq!(upper_quantile(&values, 0.001), 100.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let values = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(upper_quantile(&values, 0.21), 4.0);
+    }
+
+    #[test]
+    fn quantile_single_value() {
+        assert_eq!(upper_quantile(&[7.5], 0.5), 7.5);
+    }
+
+    #[test]
+    fn calibrated_threshold_controls_false_positives() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // Null statistic: Uniform[0,1). Calibrate at alpha = 0.05.
+        let threshold =
+            calibrate_threshold(20_000, 0.05, &mut rng, |r| r.random::<f64>());
+        assert!((threshold - 0.95).abs() < 0.01, "threshold = {threshold}");
+        // Measured false-positive rate under the null should be ~alpha.
+        let fp = exceedance_probability(20_000, threshold, &mut rng, |r| r.random::<f64>());
+        assert!(fp < 0.07, "false positive rate {fp}");
+    }
+
+    #[test]
+    fn exceedance_probability_extremes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(
+            exceedance_probability(100, 2.0, &mut rng, |r| r.random::<f64>()),
+            0.0
+        );
+        assert_eq!(
+            exceedance_probability(100, -1.0, &mut rng, |r| r.random::<f64>()),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_values_panic() {
+        let _ = upper_quantile(&[], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_panics() {
+        let _ = upper_quantile(&[1.0], 1.5);
+    }
+}

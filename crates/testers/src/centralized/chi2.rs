@@ -1,0 +1,167 @@
+use crate::centralized::CentralizedTester;
+use dut_probability::{DenseDistribution, Histogram};
+use dut_simnet::Verdict;
+
+/// A χ²-style identity tester against an arbitrary known reference
+/// distribution `η` (Diakonikolas–Kane style statistic).
+///
+/// The statistic is the collision-corrected Pearson sum
+/// `Z = Σ_i ((c_i − q·η_i)² − c_i) / (q·η_i)`.
+/// With multinomial counts `c_i ~ Bin(q, μ_i)` the statistic separates
+/// the null from far inputs in expectation: `E[Z | μ=η] = −1` (up to a
+/// vanishing `O(‖η‖₂²)` term), while for inputs ε-far in ℓ₁ from a
+/// uniform reference `E[Z] ≥ (q−1)·ε² − 1` by Cauchy–Schwarz. The
+/// decision threshold sits at the midpoint of those two means; see
+/// [`Chi2Tester::threshold`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chi2Tester {
+    reference: DenseDistribution,
+    epsilon: f64,
+}
+
+impl Chi2Tester {
+    /// Creates the tester for a reference distribution and proximity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1]` or the reference has a zero-mass
+    /// element (the χ² statistic needs full support; use
+    /// [`crate::reduction`] to reduce general identity testing to
+    /// uniformity instead).
+    #[must_use]
+    pub fn new(reference: DenseDistribution, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        assert!(
+            reference.probs().iter().all(|&p| p > 0.0),
+            "chi-squared identity testing needs a fully-supported reference"
+        );
+        Self { reference, epsilon }
+    }
+
+    /// Uniformity special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `epsilon ∉ (0, 1]`.
+    #[must_use]
+    pub fn uniform(n: usize, epsilon: f64) -> Self {
+        Self::new(DenseDistribution::uniform(n), epsilon)
+    }
+
+    /// The reference distribution.
+    #[must_use]
+    pub fn reference(&self) -> &DenseDistribution {
+        &self.reference
+    }
+
+    /// Decision threshold for `q` samples.
+    ///
+    /// Exact means of the statistic with multinomial counts:
+    /// under `μ = η` it is `−1`; under `μ` at ℓ₁ distance ≥ ε from the
+    /// *uniform* reference it is
+    /// `(q−1)·n·‖μ−u‖₂² − 1 ≥ (q−1)·ε² − 1` (Cauchy–Schwarz). The
+    /// threshold sits at the midpoint `−1 + (q−1)ε²/2`. For a general
+    /// reference the same form holds with `χ²(μ,η) ≥ ε²` replacing
+    /// `n‖μ−u‖₂²`.
+    #[must_use]
+    pub fn threshold(&self, q: usize) -> f64 {
+        -1.0 + (q.saturating_sub(1)) as f64 * self.epsilon * self.epsilon / 2.0
+    }
+
+    /// The raw statistic for a sample multiset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is out of the reference's range, or
+    /// `samples` is empty.
+    #[must_use]
+    pub fn statistic(&self, samples: &[usize]) -> f64 {
+        let hist = Histogram::from_samples(self.reference.support_size(), samples);
+        hist.corrected_chi2_statistic(&self.reference)
+    }
+}
+
+impl CentralizedTester for Chi2Tester {
+    fn test(&self, samples: &[usize]) -> Verdict {
+        if samples.is_empty() {
+            return Verdict::Accept;
+        }
+        Verdict::from_accept_bit(self.statistic(samples) <= self.threshold(samples.len()))
+    }
+
+    fn recommended_sample_count(&self) -> usize {
+        let n = self.reference.support_size() as f64;
+        let q = 5.0 * n.sqrt() / (self.epsilon * self.epsilon);
+        (q.ceil() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::test_support::acceptance_rate;
+    use dut_probability::families;
+
+    #[test]
+    fn accepts_matching_reference_uniform() {
+        let n = 1 << 10;
+        let tester = Chi2Tester::uniform(n, 0.5);
+        let q = tester.recommended_sample_count();
+        let rate = acceptance_rate(&tester, &families::uniform(n), q, 300, 31);
+        assert!(rate > 0.8, "acceptance under uniform = {rate}");
+    }
+
+    #[test]
+    fn rejects_far_from_uniform() {
+        let n = 1 << 10;
+        let tester = Chi2Tester::uniform(n, 0.5);
+        let q = tester.recommended_sample_count();
+        let far = families::two_level(n, 0.5).unwrap();
+        let rate = acceptance_rate(&tester, &far, q, 300, 37);
+        assert!(rate < 0.2, "acceptance under far = {rate}");
+    }
+
+    #[test]
+    fn identity_testing_against_zipf() {
+        let n = 256;
+        let eps = 0.5;
+        let zipf = families::zipf(n, 0.7).unwrap();
+        let tester = Chi2Tester::new(zipf.clone(), eps);
+        let q = 4 * tester.recommended_sample_count();
+        // Matching input accepts.
+        let accept = acceptance_rate(&tester, &zipf, q, 200, 41);
+        assert!(accept > 0.8, "acceptance on matching zipf = {accept}");
+        // Uniform input (which is far from this zipf) rejects.
+        let u = families::uniform(n);
+        let dist = dut_probability::distance::l1_distance(&zipf, &u);
+        assert!(dist > eps, "test precondition: zipf is {dist}-far from uniform");
+        let reject = acceptance_rate(&tester, &u, q, 200, 43);
+        assert!(reject < 0.2, "acceptance on far input = {reject}");
+    }
+
+    #[test]
+    fn threshold_midpoint_position() {
+        let tester = Chi2Tester::uniform(64, 0.4);
+        // Under eta: mean -1; under far: >= (q-1)eps^2 - 1.
+        let q = 100;
+        let t = tester.threshold(q);
+        assert!(t > -1.0);
+        assert!(t < (q - 1) as f64 * 0.16 - 1.0);
+    }
+
+    #[test]
+    fn empty_samples_accept() {
+        let tester = Chi2Tester::uniform(8, 0.5);
+        assert!(tester.test(&[]).is_accept());
+    }
+
+    #[test]
+    #[should_panic(expected = "fully-supported")]
+    fn rejects_partial_support_reference() {
+        let eta = DenseDistribution::new(vec![1.0, 0.0]).unwrap();
+        let _ = Chi2Tester::new(eta, 0.5);
+    }
+}

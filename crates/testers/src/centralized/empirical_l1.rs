@@ -1,0 +1,103 @@
+use crate::centralized::CentralizedTester;
+use dut_probability::{DenseDistribution, Histogram};
+use dut_simnet::Verdict;
+
+/// The learning baseline: estimate the full distribution empirically and
+/// reject when the empirical ℓ₁ distance to uniform exceeds a threshold.
+///
+/// Requires `Θ(n/ε²)` samples — quadratically worse than the collision
+/// tester in `√n`, which is exactly why *testing* is interesting. Serves
+/// as the sanity baseline in the benchmark tables.
+///
+/// Threshold: `E[‖μ̂ − u‖₁]` under uniform is at most `√(n/q)`; the
+/// tester rejects when the empirical distance exceeds
+/// `√(n/q) + ε/2`, which a far input reaches once `√(n/q) ≤ ε/4`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalL1Tester {
+    n: usize,
+    epsilon: f64,
+}
+
+impl EmpiricalL1Tester {
+    /// Creates the tester for domain size `n` and proximity `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `epsilon ∉ (0, 1]`.
+    #[must_use]
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        Self { n, epsilon }
+    }
+
+    /// Rejection threshold on the empirical ℓ₁ distance for `q` samples.
+    #[must_use]
+    pub fn threshold(&self, q: usize) -> f64 {
+        (self.n as f64 / q as f64).sqrt() + self.epsilon / 2.0
+    }
+}
+
+impl CentralizedTester for EmpiricalL1Tester {
+    fn test(&self, samples: &[usize]) -> Verdict {
+        if samples.is_empty() {
+            return Verdict::Accept;
+        }
+        let hist = Histogram::from_samples(self.n, samples);
+        let dist = hist.l1_to(&DenseDistribution::uniform(self.n));
+        Verdict::from_accept_bit(dist <= self.threshold(samples.len()))
+    }
+
+    fn recommended_sample_count(&self) -> usize {
+        let q = 16.0 * self.n as f64 / (self.epsilon * self.epsilon);
+        (q.ceil() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::test_support::acceptance_rate;
+    use dut_probability::families;
+
+    #[test]
+    fn accepts_uniform() {
+        let n = 64;
+        let tester = EmpiricalL1Tester::new(n, 0.5);
+        let q = tester.recommended_sample_count();
+        let rate = acceptance_rate(&tester, &families::uniform(n), q, 100, 51);
+        assert!(rate > 0.9, "acceptance under uniform = {rate}");
+    }
+
+    #[test]
+    fn rejects_far() {
+        let n = 64;
+        let tester = EmpiricalL1Tester::new(n, 0.5);
+        let q = tester.recommended_sample_count();
+        let far = families::two_level(n, 0.5).unwrap();
+        let rate = acceptance_rate(&tester, &far, q, 100, 53);
+        assert!(rate < 0.1, "acceptance under far = {rate}");
+    }
+
+    #[test]
+    fn needs_many_more_samples_than_collision_tester() {
+        let l1 = EmpiricalL1Tester::new(1 << 12, 0.5).recommended_sample_count();
+        let collision =
+            super::super::CollisionTester::new(1 << 12, 0.5).recommended_sample_count();
+        assert!(l1 > 10 * collision);
+    }
+
+    #[test]
+    fn threshold_decreases_with_samples() {
+        let tester = EmpiricalL1Tester::new(32, 0.5);
+        assert!(tester.threshold(1000) < tester.threshold(10));
+    }
+
+    #[test]
+    fn empty_accepts() {
+        assert!(EmpiricalL1Tester::new(4, 0.5).test(&[]).is_accept());
+    }
+}

@@ -1,0 +1,59 @@
+//! Centralized uniformity/identity testers: the single-machine baselines
+//! every distributed protocol is compared against.
+
+mod chi2;
+mod collision;
+mod empirical_l1;
+mod paninski;
+mod sequential;
+mod unique;
+
+pub use chi2::Chi2Tester;
+pub use collision::CollisionTester;
+pub use empirical_l1::EmpiricalL1Tester;
+pub use paninski::PaninskiTester;
+pub use sequential::{SequentialOutcome, SequentialUniformityTester};
+pub use unique::UniqueElementsTester;
+
+use dut_simnet::Verdict;
+
+/// A centralized tester: examines a full sample multiset and decides.
+///
+/// Implementations are deterministic given the samples; all randomness
+/// lives in the sample draw.
+pub trait CentralizedTester {
+    /// Decides from the full sample multiset.
+    fn test(&self, samples: &[usize]) -> Verdict;
+
+    /// A sample count at which the tester is expected to reach the 2/3
+    /// two-sided guarantee for its configured `(n, ε)`.
+    fn recommended_sample_count(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for tester unit tests.
+
+    use dut_probability::{DenseDistribution, Sampler};
+    use dut_simnet::Verdict;
+    use rand::SeedableRng;
+
+    /// Measures the acceptance rate of a tester over repeated fresh draws.
+    pub fn acceptance_rate<T: super::CentralizedTester>(
+        tester: &T,
+        dist: &DenseDistribution,
+        q: usize,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let sampler = dist.alias_sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let accepts = (0..trials)
+            .filter(|_| {
+                let samples = sampler.sample_many(q, &mut rng);
+                tester.test(&samples) == Verdict::Accept
+            })
+            .count();
+        accepts as f64 / trials as f64
+    }
+}

@@ -1,0 +1,139 @@
+use crate::centralized::CentralizedTester;
+use dut_probability::empirical::coincidence_count_of;
+use dut_simnet::Verdict;
+
+/// Paninski's coincidence tester: counts `q − #distinct` (the number of
+/// "coincidences") and rejects when it exceeds a midpoint threshold.
+///
+/// In the sparse regime `q = O(√n)` the coincidence count is essentially
+/// the collision count (triple collisions are rare), and Paninski (2008)
+/// showed this statistic is optimal: `Θ(√n/ε²)` samples.
+///
+/// The expected coincidence count under uniform is
+/// `q − n·(1 − (1 − 1/n)^q)`; this tester uses that exact expression
+/// rather than the `C(q,2)/n` approximation, so it stays honest even
+/// when `q` is a noticeable fraction of `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaninskiTester {
+    n: usize,
+    epsilon: f64,
+}
+
+impl PaninskiTester {
+    /// Creates the tester for domain size `n` and proximity `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `epsilon ∉ (0, 1]`.
+    #[must_use]
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        Self { n, epsilon }
+    }
+
+    /// Expected coincidences of `q` uniform samples (exact).
+    #[must_use]
+    pub fn uniform_expectation(&self, q: usize) -> f64 {
+        let n = self.n as f64;
+        let q_f = q as f64;
+        q_f - n * (1.0 - (1.0 - 1.0 / n).powf(q_f))
+    }
+
+    /// Expected coincidences of `q` samples from the canonical extremal
+    /// ε-far instance (the two-level distribution, which minimizes the
+    /// collision probability among ε-far distributions): exact
+    /// `q − Σ_i (1 − (1 − p_i)^q)` with `p_i = (1±ε)/n`.
+    #[must_use]
+    pub fn far_expectation(&self, q: usize) -> f64 {
+        let n = self.n as f64;
+        let q_f = q as f64;
+        let hi = (1.0 + self.epsilon) / n;
+        let lo = (1.0 - self.epsilon) / n;
+        let expected_distinct = (n / 2.0) * (1.0 - (1.0 - hi).powf(q_f))
+            + (n / 2.0) * (1.0 - (1.0 - lo).powf(q_f));
+        q_f - expected_distinct
+    }
+
+    /// The rejection threshold for `q` samples: the midpoint between the
+    /// exact uniform expectation and the exact two-level far
+    /// expectation. (Unlike the naive `ε²·C(q,2)/(2n)` excess, this stays
+    /// correctly positioned when `q` is a noticeable fraction of `n` and
+    /// the coincidence count saturates.)
+    #[must_use]
+    pub fn threshold(&self, q: usize) -> f64 {
+        0.5 * (self.uniform_expectation(q) + self.far_expectation(q))
+    }
+}
+
+impl CentralizedTester for PaninskiTester {
+    fn test(&self, samples: &[usize]) -> Verdict {
+        let stat = coincidence_count_of(samples) as f64;
+        Verdict::from_accept_bit(stat <= self.threshold(samples.len()))
+    }
+
+    fn recommended_sample_count(&self) -> usize {
+        let q = 4.0 * (self.n as f64).sqrt() / (self.epsilon * self.epsilon);
+        (q.ceil() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::test_support::acceptance_rate;
+    use dut_probability::families;
+
+    #[test]
+    fn accepts_uniform() {
+        let n = 1 << 10;
+        let tester = PaninskiTester::new(n, 0.5);
+        let q = tester.recommended_sample_count();
+        let rate = acceptance_rate(&tester, &families::uniform(n), q, 300, 21);
+        assert!(rate > 0.8, "acceptance under uniform = {rate}");
+    }
+
+    #[test]
+    fn rejects_far() {
+        let n = 1 << 10;
+        let tester = PaninskiTester::new(n, 0.5);
+        let q = tester.recommended_sample_count();
+        let far = families::two_level(n, 0.5).unwrap();
+        let rate = acceptance_rate(&tester, &far, q, 300, 23);
+        assert!(rate < 0.2, "acceptance under far = {rate}");
+    }
+
+    #[test]
+    fn uniform_expectation_exact_small_case() {
+        // n=2, q=2: coincidences = 1 with prob 1/2, else 0 -> E = 1/2.
+        let tester = PaninskiTester::new(2, 0.5);
+        assert!((tester.uniform_expectation(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_above_uniform_expectation() {
+        let tester = PaninskiTester::new(64, 0.4);
+        for q in [2usize, 8, 32] {
+            assert!(tester.threshold(q) > tester.uniform_expectation(q));
+        }
+    }
+
+    #[test]
+    fn agrees_with_collision_tester_in_sparse_regime() {
+        // With q << sqrt(n) both statistics almost always coincide.
+        let n = 1 << 14;
+        let q = 30;
+        let paninski = PaninskiTester::new(n, 0.9);
+        let uniform_rate = acceptance_rate(&paninski, &families::uniform(n), q, 200, 29);
+        assert!(uniform_rate > 0.9);
+    }
+
+    #[test]
+    fn empty_sample_accepts() {
+        let tester = PaninskiTester::new(8, 0.5);
+        assert!(tester.test(&[]).is_accept());
+    }
+}

@@ -1,0 +1,275 @@
+use dut_probability::empirical::collision_count_of;
+use dut_probability::{Sampler, UniformSampler};
+use dut_simnet::{DecisionRule, Network, PlayerContext, RunOutcome};
+use rand::Rng;
+
+/// The sample-optimal threshold protocol of \[7\], matching Theorem 1.1:
+/// `O(√(n/k)/ε²)` samples per node.
+///
+/// Every node computes its local collision count and sends one bit —
+/// reject iff the count exceeds the **midpoint** threshold
+/// `λ₀·(1 + ε²/2)` with `λ₀ = C(q,2)/n` (the same threshold the
+/// centralized collision tester uses, so a `k = 1` network degenerates
+/// to the centralized tester). In the distributed regime each bit is a
+/// weak signal (per-node advantage `≈ ε²·√λ₀` once `λ₀ ≲ 1`), but the
+/// referee aggregates `k` of them: it rejects when the number of
+/// rejecting nodes exceeds a threshold calibrated under the (known)
+/// uniform distribution. The √k averaging is what the AND rule cannot
+/// do, and is exactly the gap Theorems 1.1 vs 1.2 quantify.
+///
+/// Use [`BalancedThresholdTester::prepare`] to calibrate the referee for
+/// a specific per-node sample count `q`, then run the returned
+/// [`PreparedBalancedTester`] many times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancedThresholdTester {
+    n: usize,
+    k: usize,
+    epsilon: f64,
+}
+
+/// A [`BalancedThresholdTester`] calibrated for a fixed `q`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedBalancedTester {
+    n: usize,
+    k: usize,
+    q: usize,
+    /// Local rule: reject iff collision count > this value.
+    node_threshold: f64,
+    /// Referee rule: reject iff at least this many nodes reject.
+    referee_min_rejects: usize,
+    /// Estimated per-node rejection probability under uniform.
+    p_uniform: f64,
+}
+
+impl BalancedThresholdTester {
+    /// Creates the protocol for domain size `n`, `k` nodes and
+    /// proximity `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `k == 0`, or `epsilon ∉ (0, 1]`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(k > 0, "need at least one node");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        Self { n, k, epsilon }
+    }
+
+    /// Domain size `n`.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nodes `k`.
+    #[must_use]
+    pub fn num_players(&self) -> usize {
+        self.k
+    }
+
+    /// The configured proximity parameter.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The paper-predicted sufficient per-node sample count,
+    /// `c·√(n/k)/ε²` (Theorem 1.1 shows this is also necessary).
+    #[must_use]
+    pub fn predicted_sample_count(&self) -> usize {
+        let q = 6.0 * (self.n as f64 / self.k as f64).sqrt()
+            / (self.epsilon * self.epsilon);
+        (q.ceil() as usize).max(2)
+    }
+
+    /// Calibrates the referee threshold for `q` samples per node by
+    /// simulating `calibration_trials` single nodes under the uniform
+    /// distribution.
+    ///
+    /// The referee rejects when the rejection count reaches
+    /// `k·p̂₀ + z·√(k·p̂₀(1−p̂₀)) + 1` with `z = 1.3`, giving a
+    /// false-positive rate ≈ `Φ(−z) ≈ 0.10 < 1/3` with margin for the
+    /// calibration error in `p̂₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration_trials == 0`.
+    pub fn prepare<R: Rng + ?Sized>(
+        &self,
+        q: usize,
+        calibration_trials: usize,
+        rng: &mut R,
+    ) -> PreparedBalancedTester {
+        assert!(calibration_trials > 0, "need calibration trials");
+        let lambda = (q * q.saturating_sub(1)) as f64 / 2.0 / self.n as f64;
+        let node_threshold = lambda * (1.0 + self.epsilon * self.epsilon / 2.0);
+        let uniform = UniformSampler::new(self.n);
+        let mut rejects = 0usize;
+        for _ in 0..calibration_trials {
+            let samples = uniform.sample_many(q, rng);
+            if collision_count_of(&samples) as f64 > node_threshold {
+                rejects += 1;
+            }
+        }
+        let p_uniform = rejects as f64 / calibration_trials as f64;
+        let z = 1.3;
+        let mean = self.k as f64 * p_uniform;
+        let sd = (self.k as f64 * p_uniform * (1.0 - p_uniform)).sqrt();
+        let referee_min_rejects = ((mean + z * sd).floor() as usize + 1).min(self.k);
+        PreparedBalancedTester {
+            n: self.n,
+            k: self.k,
+            q,
+            node_threshold,
+            referee_min_rejects,
+            p_uniform,
+        }
+    }
+}
+
+impl PreparedBalancedTester {
+    /// The calibrated referee threshold (minimal rejecting nodes).
+    #[must_use]
+    pub fn referee_min_rejects(&self) -> usize {
+        self.referee_min_rejects
+    }
+
+    /// The estimated per-node rejection probability under uniform.
+    #[must_use]
+    pub fn p_uniform(&self) -> f64 {
+        self.p_uniform
+    }
+
+    /// The per-node sample count this calibration is for.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.q
+    }
+
+    /// Runs one execution of the calibrated protocol.
+    pub fn run<S, R>(&self, sampler: &S, rng: &mut R) -> RunOutcome
+    where
+        S: Sampler,
+        R: Rng + ?Sized,
+    {
+        let threshold = self.node_threshold;
+        let player = move |_ctx: &PlayerContext, samples: &[usize]| {
+            collision_count_of(samples) as f64 <= threshold
+        };
+        Network::new(self.k).run(
+            sampler,
+            self.q,
+            &player,
+            &DecisionRule::Threshold {
+                min_rejects: self.referee_min_rejects,
+            },
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_probability::families;
+    use rand::SeedableRng;
+
+    fn acceptance_rate<S: Sampler>(
+        prepared: &PreparedBalancedTester,
+        sampler: &S,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let accepts = (0..trials)
+            .filter(|_| prepared.run(sampler, &mut rng).verdict.is_accept())
+            .count();
+        accepts as f64 / trials as f64
+    }
+
+    #[test]
+    fn predicted_sample_count_scales() {
+        let t = BalancedThresholdTester::new(1 << 12, 16, 0.5);
+        let q16 = t.predicted_sample_count();
+        let q64 = BalancedThresholdTester::new(1 << 12, 64, 0.5).predicted_sample_count();
+        // 4x nodes -> half the samples.
+        assert!((q16 as f64 / q64 as f64 - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn accepts_uniform_after_calibration() {
+        let n = 1 << 10;
+        let k = 32;
+        let tester = BalancedThresholdTester::new(n, k, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        let q = tester.predicted_sample_count();
+        let prepared = tester.prepare(q, 2000, &mut rng);
+        let uniform = families::uniform(n).alias_sampler();
+        let rate = acceptance_rate(&prepared, &uniform, 150, 83);
+        assert!(rate > 2.0 / 3.0, "acceptance under uniform = {rate}");
+    }
+
+    #[test]
+    fn rejects_far_after_calibration() {
+        let n = 1 << 10;
+        let k = 32;
+        let eps = 0.5;
+        let tester = BalancedThresholdTester::new(n, k, eps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(89);
+        let q = tester.predicted_sample_count();
+        let prepared = tester.prepare(q, 2000, &mut rng);
+        let far = families::two_level(n, eps).unwrap().alias_sampler();
+        let rate = acceptance_rate(&prepared, &far, 150, 97);
+        assert!(rate < 1.0 / 3.0, "acceptance under far = {rate}");
+    }
+
+    #[test]
+    fn beats_and_rule_at_same_q() {
+        // At q = predicted (balanced) budget, the AND tester's node
+        // thresholds are so high it cannot detect anything: it accepts
+        // the far instance, while the balanced tester rejects it.
+        let n = 1 << 10;
+        let k = 64;
+        let eps = 0.5;
+        let balanced = BalancedThresholdTester::new(n, k, eps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let q = balanced.predicted_sample_count();
+        let prepared = balanced.prepare(q, 2000, &mut rng);
+        let far = families::two_level(n, eps).unwrap().alias_sampler();
+        let balanced_rate = acceptance_rate(&prepared, &far, 100, 103);
+
+        let and_rule = crate::AndRuleTester::new(n, k);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(105);
+        let and_accepts = (0..100)
+            .filter(|_| and_rule.run(&far, q, &mut rng2).verdict.is_accept())
+            .count() as f64
+            / 100.0;
+        assert!(
+            balanced_rate < and_accepts,
+            "balanced acceptance {balanced_rate} should be below AND acceptance {and_accepts}"
+        );
+    }
+
+    #[test]
+    fn referee_threshold_within_range() {
+        let tester = BalancedThresholdTester::new(256, 16, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+        let prepared = tester.prepare(20, 500, &mut rng);
+        assert!(prepared.referee_min_rejects() >= 1);
+        assert!(prepared.referee_min_rejects() <= 16);
+        assert!((0.0..=1.0).contains(&prepared.p_uniform()));
+        assert_eq!(prepared.sample_count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration trials")]
+    fn zero_calibration_panics() {
+        let tester = BalancedThresholdTester::new(16, 2, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = tester.prepare(4, 0, &mut rng);
+    }
+}

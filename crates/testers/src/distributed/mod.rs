@@ -1,0 +1,19 @@
+//! Distributed uniformity testers and learners — the upper-bound
+//! protocols that the paper's lower bounds (Theorems 1.1–1.4) are
+//! measured against.
+
+mod asymmetric;
+mod balanced;
+mod graph;
+mod learning;
+mod quantized_sum;
+mod single_sample;
+mod t_threshold;
+
+pub use asymmetric::{AsymmetricThresholdTester, PreparedAsymmetricTester};
+pub use balanced::{BalancedThresholdTester, PreparedBalancedTester};
+pub use graph::{GraphRunOutcome, GraphUniformityTester};
+pub use learning::FourierLearner;
+pub use quantized_sum::{PreparedQuantizedSumTester, QuantizedSumOutcome, QuantizedSumTester};
+pub use single_sample::{SingleSampleOutcome, SingleSampleProtocol};
+pub use t_threshold::{AndRuleTester, TThresholdTester};

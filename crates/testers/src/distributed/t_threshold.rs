@@ -1,0 +1,325 @@
+use crate::poisson::{poisson_threshold_for_tail, poisson_upper_tail};
+use dut_probability::empirical::collision_count_of;
+use dut_probability::Sampler;
+use dut_simnet::{DecisionRule, Network, PlayerContext, RunOutcome};
+use rand::Rng;
+
+/// The Fischer–Meir–Oshman biased-node protocol family: every node runs
+/// a *high-threshold* local collision test whose false-positive rate is
+/// matched to the decision rule, and the referee rejects when at least
+/// `T` nodes reject.
+///
+/// * `T = 1` is the **AND rule** — the fully local protocol of
+///   Theorem 1.2 (see [`AndRuleTester`]);
+/// * small `T > 1` is the regime of Theorem 1.3.
+///
+/// # How the node threshold is chosen
+///
+/// Under the uniform distribution a node's collision count on `q`
+/// samples is ≈ `Poisson(λ₀)` with `λ₀ = C(q,2)/n`. The node rejects
+/// when its count reaches the smallest `t` with
+/// `Pr[Poisson(λ₀) ≥ t] ≤ T/(4k)`, so the expected number of false
+/// rejections is ≤ `T/4` and by Markov the network false-positive rate
+/// stays below 1/3 (Chernoff makes it far smaller for larger `T`).
+/// Under an ε-far input the local rate grows to `λ₁ ≥ (1+ε²)·λ₀`, and
+/// the tail ratio `Pr[Poi(λ₁) ≥ t] / Pr[Poi(λ₀) ≥ t]` — not the tiny
+/// tails themselves — is what the referee harvests. This is exactly the
+/// mechanism the paper shows is expensive: the bits are highly biased,
+/// and Theorem 1.2 proves a `√n/(log²k · ε²)` floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TThresholdTester {
+    n: usize,
+    k: usize,
+    rule_threshold: usize,
+    fp_budget_override: Option<f64>,
+}
+
+impl TThresholdTester {
+    /// Creates the protocol for domain size `n`, `k` nodes, and referee
+    /// threshold `rule_threshold` (reject iff that many nodes reject).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `rule_threshold > k`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, rule_threshold: usize) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(k > 0, "need at least one node");
+        assert!(
+            (1..=k).contains(&rule_threshold),
+            "rule threshold must be in 1..=k"
+        );
+        Self {
+            n,
+            k,
+            rule_threshold,
+            fp_budget_override: None,
+        }
+    }
+
+    /// Overrides the per-node false-positive budget (default `T/(4k)`).
+    ///
+    /// Larger budgets lower the node thresholds — more sensitive nodes
+    /// at the price of more false alarms reaching the referee. Used by
+    /// experiment E3 to find the best protocol of this shape for each
+    /// referee threshold `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < budget < 0.5`.
+    #[must_use]
+    pub fn with_node_false_positive_budget(mut self, budget: f64) -> Self {
+        assert!(
+            budget > 0.0 && budget < 0.5,
+            "node false-positive budget must be in (0, 0.5), got {budget}"
+        );
+        self.fp_budget_override = Some(budget);
+        self
+    }
+
+    /// Domain size `n`.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nodes `k`.
+    #[must_use]
+    pub fn num_players(&self) -> usize {
+        self.k
+    }
+
+    /// The referee threshold `T`.
+    #[must_use]
+    pub fn rule_threshold(&self) -> usize {
+        self.rule_threshold
+    }
+
+    /// The per-node false-positive budget: the override if one was set
+    /// via [`Self::with_node_false_positive_budget`], else `T/(4k)`.
+    #[must_use]
+    pub fn node_false_positive_budget(&self) -> f64 {
+        self.fp_budget_override
+            .unwrap_or(self.rule_threshold as f64 / (4.0 * self.k as f64))
+    }
+
+    /// The uniform collision rate `λ₀ = C(q,2)/n`.
+    #[must_use]
+    pub fn lambda_uniform(&self, q: usize) -> f64 {
+        (q * q.saturating_sub(1)) as f64 / 2.0 / self.n as f64
+    }
+
+    /// The local rejection threshold on the collision count for `q`
+    /// samples per node.
+    #[must_use]
+    pub fn node_threshold(&self, q: usize) -> u64 {
+        let lambda = self.lambda_uniform(q);
+        if lambda == 0.0 {
+            // q < 2: a node can never see a collision; threshold 1 makes
+            // it never reject (count is always 0).
+            return 1;
+        }
+        poisson_threshold_for_tail(lambda, self.node_false_positive_budget()).max(1)
+    }
+
+    /// Predicted per-node detection probability under an ε-far input
+    /// (Poisson approximation with rate `(1+ε²)·λ₀`).
+    #[must_use]
+    pub fn predicted_detection_probability(&self, q: usize, epsilon: f64) -> f64 {
+        let lambda_far = (1.0 + epsilon * epsilon) * self.lambda_uniform(q);
+        poisson_upper_tail(lambda_far, self.node_threshold(q))
+    }
+
+    /// Runs one execution of the protocol: `k` nodes draw `q` samples
+    /// each from `sampler` and the referee applies the `T`-threshold
+    /// rule.
+    pub fn run<S, R>(&self, sampler: &S, q: usize, rng: &mut R) -> RunOutcome
+    where
+        S: Sampler,
+        R: Rng + ?Sized,
+    {
+        let threshold = self.node_threshold(q);
+        let player = move |_ctx: &PlayerContext, samples: &[usize]| {
+            collision_count_of(samples) < threshold
+        };
+        Network::new(self.k).run(
+            sampler,
+            q,
+            &player,
+            &DecisionRule::Threshold {
+                min_rejects: self.rule_threshold,
+            },
+            rng,
+        )
+    }
+}
+
+/// The AND-rule tester: the `T = 1` member of [`TThresholdTester`].
+///
+/// The network rejects iff **at least one** node rejects — the local
+/// decision rule of proof-labeling schemes. Theorem 1.2 shows its cost:
+/// `q = Ω(√n/(log²k · ε²))`, i.e. distribution brings almost no saving
+/// unless `k = 2^{Ω(1/ε)}`.
+///
+/// # Example
+///
+/// ```
+/// use dut_testers::AndRuleTester;
+/// use dut_probability::families;
+/// use rand::SeedableRng;
+///
+/// let n = 1 << 8;
+/// let tester = AndRuleTester::new(n, 8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let uniform = families::uniform(n).alias_sampler();
+/// let outcome = tester.run(&uniform, 16, &mut rng);
+/// // 8 nodes, high local thresholds: almost surely no false alarm.
+/// assert!(outcome.verdict.is_accept());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndRuleTester {
+    inner: TThresholdTester,
+}
+
+impl AndRuleTester {
+    /// Creates the AND-rule tester for domain size `n` and `k` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            inner: TThresholdTester::new(n, k, 1),
+        }
+    }
+
+    /// The underlying biased-node protocol.
+    #[must_use]
+    pub fn as_t_threshold(&self) -> &TThresholdTester {
+        &self.inner
+    }
+
+    /// Runs one execution under the AND rule.
+    pub fn run<S, R>(&self, sampler: &S, q: usize, rng: &mut R) -> RunOutcome
+    where
+        S: Sampler,
+        R: Rng + ?Sized,
+    {
+        self.inner.run(sampler, q, rng)
+    }
+
+    /// Local rejection threshold for `q` samples per node.
+    #[must_use]
+    pub fn node_threshold(&self, q: usize) -> u64 {
+        self.inner.node_threshold(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut_probability::families;
+    use rand::SeedableRng;
+
+    fn acceptance_rate<S: Sampler>(
+        tester: &TThresholdTester,
+        sampler: &S,
+        q: usize,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let accepts = (0..trials)
+            .filter(|_| tester.run(sampler, q, &mut rng).verdict.is_accept())
+            .count();
+        accepts as f64 / trials as f64
+    }
+
+    #[test]
+    fn node_threshold_grows_with_k() {
+        let small = TThresholdTester::new(1 << 10, 4, 1);
+        let large = TThresholdTester::new(1 << 10, 4096, 1);
+        let q = 200;
+        assert!(large.node_threshold(q) > small.node_threshold(q));
+    }
+
+    #[test]
+    fn node_threshold_at_least_one() {
+        let t = TThresholdTester::new(1 << 10, 16, 1);
+        assert!(t.node_threshold(0) >= 1);
+        assert!(t.node_threshold(1) >= 1);
+        assert!(t.node_threshold(2) >= 1);
+    }
+
+    #[test]
+    fn uniform_false_positive_controlled() {
+        // 64 nodes, AND rule: false-positive rate must stay below ~1/3.
+        let n = 1 << 10;
+        let tester = TThresholdTester::new(n, 64, 1);
+        let sampler = families::uniform(n).alias_sampler();
+        let rate = acceptance_rate(&tester, &sampler, 60, 120, 61);
+        assert!(rate > 0.6, "acceptance under uniform = {rate}");
+    }
+
+    #[test]
+    fn rejects_far_with_enough_samples() {
+        // Large epsilon and generous q: the far side must be detected.
+        let n = 1 << 8;
+        let eps = 0.9;
+        let tester = TThresholdTester::new(n, 16, 1);
+        let far = families::two_level(n, eps).unwrap().alias_sampler();
+        // q near the centralized complexity: plenty for k=16 under AND.
+        let q = 200;
+        let rate = acceptance_rate(&tester, &far, q, 120, 67);
+        assert!(rate < 1.0 / 3.0, "acceptance under far = {rate}");
+    }
+
+    #[test]
+    fn t_threshold_two_requires_two_rejections() {
+        // With T = 2 and a single far-seeing node the network accepts.
+        let n = 1 << 8;
+        let t2 = TThresholdTester::new(n, 8, 2);
+        assert_eq!(t2.rule_threshold(), 2);
+        // FP budget doubles compared to T = 1.
+        let t1 = TThresholdTester::new(n, 8, 1);
+        assert!(t2.node_false_positive_budget() > t1.node_false_positive_budget());
+    }
+
+    #[test]
+    fn detection_probability_increases_with_epsilon() {
+        let tester = TThresholdTester::new(1 << 10, 32, 1);
+        let q = 100;
+        let weak = tester.predicted_detection_probability(q, 0.2);
+        let strong = tester.predicted_detection_probability(q, 0.9);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn and_rule_wrapper_delegates() {
+        let and = AndRuleTester::new(1 << 10, 16);
+        assert_eq!(and.as_t_threshold().rule_threshold(), 1);
+        assert_eq!(
+            and.node_threshold(50),
+            and.as_t_threshold().node_threshold(50)
+        );
+    }
+
+    #[test]
+    fn transcript_reports_rejections() {
+        let n = 16;
+        let tester = TThresholdTester::new(n, 4, 1);
+        // Point mass: every node sees all-collisions and must reject.
+        let point = families::point_mass(n, 0).unwrap().alias_sampler();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let out = tester.run(&point, 30, &mut rng);
+        assert!(out.verdict.is_reject());
+        assert_eq!(out.transcript.reject_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=k")]
+    fn rule_threshold_validated() {
+        let _ = TThresholdTester::new(8, 4, 5);
+    }
+}

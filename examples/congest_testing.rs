@@ -1,0 +1,79 @@
+//! Uniformity testing beyond the star: run the distributed tester on
+//! real network topologies in the LOCAL/CONGEST round models, and see
+//! how round complexity follows the diameter while the per-node sample
+//! cost follows `√(n/k)/ε²` regardless of shape.
+//!
+//! ```bash
+//! cargo run --release --example congest_testing
+//! ```
+
+use distributed_uniformity::probability::families;
+use distributed_uniformity::simnet::{RoundModel, Topology};
+use distributed_uniformity::testers::GraphUniformityTester;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1 << 12; // domain size
+    let eps = 0.5;
+    let k = 31; // nodes in every topology, for a fair comparison
+    let trials = 100;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2019);
+
+    println!(
+        "uniformity testing over graphs: n = {n}, eps = {eps}, k = {k} nodes, \
+         CONGEST bandwidth = O(log n) bits/edge\n"
+    );
+
+    let uniform = families::uniform(n).alias_sampler();
+    let far = families::two_level(n, eps)?.alias_sampler();
+
+    let topologies: Vec<(&str, Topology)> = vec![
+        ("star (the paper's model)", Topology::star(k)),
+        ("binary tree", Topology::binary_tree(k)),
+        ("path (worst diameter)", Topology::path(k)),
+        (
+            "random graph p=0.15",
+            Topology::random_connected(k, 0.15, &mut rng),
+        ),
+    ];
+
+    println!(
+        "{:<28}{:>10}{:>8}{:>12}{:>12}{:>12}",
+        "topology", "diameter", "q/node", "rounds", "ok rate", "alarm rate"
+    );
+
+    for (name, topology) in topologies {
+        let diameter = topology.diameter();
+        let tester =
+            GraphUniformityTester::new(n, eps, topology, RoundModel::congest_for(n));
+        let q = tester.predicted_sample_count();
+
+        let mut rounds = 0;
+        let mut ok = 0;
+        for _ in 0..trials {
+            let out = tester.run(&uniform, q, &mut rng);
+            rounds = out.rounds.rounds;
+            if out.verdict.is_accept() {
+                ok += 1;
+            }
+        }
+        let mut alarm = 0;
+        for _ in 0..trials {
+            if tester.run(&far, q, &mut rng).verdict.is_reject() {
+                alarm += 1;
+            }
+        }
+        println!(
+            "{name:<28}{diameter:>10}{q:>8}{rounds:>12}{:>11}%{:>11}%",
+            100 * ok / trials,
+            100 * alarm / trials
+        );
+    }
+
+    println!(
+        "\nsame sample budget everywhere; only the ROUND count changes \
+         (diameter + 1): the simultaneous-message abstraction costs exactly \
+         the network diameter, which is why the paper can study the star."
+    );
+    Ok(())
+}

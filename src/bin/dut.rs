@@ -1,0 +1,261 @@
+//! `dut` — the distributed-uniformity-testing command line.
+//!
+//! ```bash
+//! # Run a distributed test and report acceptance rates:
+//! dut test --n 4096 --k 64 --eps 0.5 --rule balanced --input two-level --trials 200
+//!
+//! # Print every theory prediction for a configuration:
+//! dut predict --n 4096 --k 64 --eps 0.5
+//!
+//! # Ask the advisor which rule to deploy:
+//! dut advise --n 4096 --k 64 --eps 0.5 --locality any
+//! ```
+
+use distributed_uniformity::advisor::{recommend, LocalityRequirement};
+use distributed_uniformity::lowerbound::theory;
+use distributed_uniformity::probability::{families, DenseDistribution};
+use distributed_uniformity::{Rule, UniformityTester};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dut — distributed uniformity testing
+
+USAGE:
+    dut <COMMAND> [--key value]...
+
+COMMANDS:
+    test      run a tester and report acceptance rates
+    predict   print the theory predictions for a configuration
+    advise    recommend a decision rule
+
+COMMON OPTIONS:
+    --n <int>         domain size                  [default: 1024]
+    --k <int>         number of players            [default: 16]
+    --eps <float>     proximity parameter          [default: 0.5]
+    --seed <int>      master seed                  [default: 20190729]
+
+test OPTIONS:
+    --rule <name>     and | threshold:<T> | balanced | centralized
+                                                   [default: balanced]
+    --input <name>    uniform | two-level | alternating | zipf | hard
+                                                   [default: two-level]
+    --q <int>         samples per player           [default: predicted]
+    --trials <int>    protocol executions          [default: 200]
+
+advise OPTIONS:
+    --locality <name> and | threshold:<T> | any    [default: any]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, options)) = parse(&args) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "test" => cmd_test(&options),
+        "predict" => cmd_predict(&options),
+        "advise" => cmd_advise(&options),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `dut help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let command = args.first()?.clone();
+    let mut options = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?;
+        options.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Some((command, options))
+}
+
+fn get_usize(options: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} needs an integer, got `{v}`")),
+    }
+}
+
+fn get_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} needs a number, got `{v}`")),
+    }
+}
+
+fn parse_rule(spec: &str, k: usize) -> Result<Rule, String> {
+    match spec {
+        "and" => Ok(Rule::And),
+        "balanced" => Ok(Rule::Balanced),
+        "centralized" => Ok(Rule::Centralized),
+        other => {
+            if let Some(t) = other.strip_prefix("threshold:") {
+                let t: usize = t
+                    .parse()
+                    .map_err(|_| format!("threshold rule needs an integer, got `{t}`"))?;
+                if t == 0 || t > k {
+                    return Err(format!("threshold {t} outside 1..={k}"));
+                }
+                Ok(Rule::TThreshold { t })
+            } else {
+                Err(format!(
+                    "unknown rule `{other}` (and | threshold:<T> | balanced | centralized)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_input(
+    spec: &str,
+    n: usize,
+    eps: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<DenseDistribution, String> {
+    match spec {
+        "uniform" => Ok(families::uniform(n)),
+        "two-level" => families::two_level(n, eps).map_err(|e| e.to_string()),
+        "alternating" => families::alternating(n, eps).map_err(|e| e.to_string()),
+        "zipf" => families::zipf(n, 1.0).map_err(|e| e.to_string()),
+        "hard" => {
+            // A random member of the paper's nu_z family; requires a
+            // power-of-two domain of size >= 4.
+            if !n.is_power_of_two() || n < 4 {
+                return Err("the hard family needs a power-of-two domain >= 4".into());
+            }
+            let ell = n.trailing_zeros() - 1;
+            let dom = distributed_uniformity::probability::PairedDomain::new(ell);
+            let z = distributed_uniformity::probability::PerturbationVector::random(
+                dom.cube_size(),
+                rng,
+            );
+            dom.perturbed_distribution(&z, eps).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown input `{other}` (uniform | two-level | alternating | zipf | hard)"
+        )),
+    }
+}
+
+fn cmd_test(options: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_usize(options, "n", 1024)?;
+    let k = get_usize(options, "k", 16)?;
+    let eps = get_f64(options, "eps", 0.5)?;
+    let seed = get_usize(options, "seed", 20_190_729)? as u64;
+    let trials = get_usize(options, "trials", 200)?;
+    let rule = parse_rule(options.get("rule").map_or("balanced", String::as_str), k)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let input_spec = options.get("input").map_or("two-level", String::as_str);
+    let input = parse_input(input_spec, n, eps, &mut rng)?;
+
+    let tester = UniformityTester::builder()
+        .domain_size(n)
+        .players(k)
+        .epsilon(eps)
+        .rule(rule)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let q = match options.get("q") {
+        Some(v) => v.parse().map_err(|_| format!("--q needs an integer, got `{v}`"))?,
+        None => tester.predicted_sample_count(),
+    };
+    println!("configuration: n={n} k={k} eps={eps} rule={rule} q={q} input={input_spec}");
+    let prepared = tester.prepare(q, &mut rng);
+
+    let target = input.alias_sampler();
+    let accept = prepared.acceptance_rate(&target, trials, &mut rng);
+    println!("acceptance on `{input_spec}` over {trials} runs: {:.1}%", 100.0 * accept);
+
+    if input_spec != "uniform" {
+        let uniform = families::uniform(n).alias_sampler();
+        let completeness = prepared.acceptance_rate(&uniform, trials, &mut rng);
+        println!(
+            "acceptance on uniform (completeness):      {:.1}%",
+            100.0 * completeness
+        );
+        let dist = distributed_uniformity::probability::distance::l1_distance(
+            &input,
+            &families::uniform(n),
+        );
+        println!("input l1 distance from uniform: {dist:.4}");
+        if dist >= eps {
+            let ok = completeness >= 2.0 / 3.0 && accept <= 1.0 / 3.0;
+            println!(
+                "two-sided 2/3 guarantee: {}",
+                if ok { "HOLDS" } else { "violated at this q" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_predict(options: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_usize(options, "n", 1024)?;
+    let k = get_usize(options, "k", 16)?;
+    let eps = get_f64(options, "eps", 0.5)?;
+    println!("theory predictions for n={n}, k={k}, eps={eps}:");
+    println!("  centralized (Paninski)             q ~ {:>10.0}", theory::centralized(n, eps));
+    println!("  any rule (Thm 1.1 floor)           q ≥ {:>10.0}", theory::theorem_1_1(n, k, eps));
+    println!("  optimal threshold upper ([7])      q ~ {:>10.0}", theory::fmo_threshold_upper(n, k, eps));
+    println!(
+        "  AND rule (Thm 1.2 floor)           q ≥ {:>10.0}",
+        theory::theorem_1_2(n, k, eps).max(theory::theorem_1_1(n, k, eps))
+    );
+    println!("  AND rule upper ([7])               q ~ {:>10.0}", theory::fmo_and_upper(n, k, eps));
+    println!(
+        "  Thm 1.2 validity range             k ≤ 2^(1/eps) = {:.0}",
+        theory::theorem_1_2_k_range(eps)
+    );
+    println!(
+        "  learning floor at q=16 (Thm 1.4)   k ≥ {:>10.0}",
+        theory::theorem_1_4_min_players(n, 16)
+    );
+    Ok(())
+}
+
+fn cmd_advise(options: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_usize(options, "n", 1024)?;
+    let k = get_usize(options, "k", 16)?;
+    let eps = get_f64(options, "eps", 0.5)?;
+    let locality = match options.get("locality").map_or("any", String::as_str) {
+        "and" => LocalityRequirement::FullyLocal,
+        "any" => LocalityRequirement::Unrestricted,
+        other => {
+            if let Some(t) = other.strip_prefix("threshold:") {
+                let t = t
+                    .parse()
+                    .map_err(|_| format!("threshold locality needs an integer, got `{t}`"))?;
+                LocalityRequirement::AtMostThreshold(t)
+            } else {
+                return Err(format!(
+                    "unknown locality `{other}` (and | threshold:<T> | any)"
+                ));
+            }
+        }
+    };
+    let rec = recommend(n, k, eps, locality);
+    println!("recommended rule: {}", rec.rule);
+    println!("predicted samples/player: {:.0}", rec.predicted_samples);
+    println!("alternatives: AND {:.0} | optimal {:.0} | centralized {:.0}",
+        rec.and_rule_samples, rec.optimal_samples, rec.centralized_samples);
+    println!("rationale: {}", rec.rationale);
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Smoke tests for the `dut` command-line binary.
+
+use std::process::Command;
+
+fn dut() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dut"))
+}
+
+#[test]
+fn predict_prints_all_bounds() {
+    let out = dut()
+        .args(["predict", "--n", "4096", "--k", "64", "--eps", "0.5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("centralized"));
+    assert!(text.contains("any rule"));
+    assert!(text.contains("AND rule"));
+    assert!(text.contains("learning floor"));
+}
+
+#[test]
+fn advise_recommends_a_rule() {
+    let out = dut()
+        .args(["advise", "--n", "1024", "--k", "32", "--eps", "0.5", "--locality", "any"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("recommended rule: balanced"));
+    assert!(text.contains("rationale"));
+}
+
+#[test]
+fn test_command_reports_rates() {
+    let out = dut()
+        .args([
+            "test", "--n", "256", "--k", "8", "--eps", "0.9", "--rule", "balanced",
+            "--input", "two-level", "--trials", "40", "--seed", "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("acceptance on `two-level`"));
+    assert!(text.contains("completeness"));
+}
+
+#[test]
+fn hard_family_input_works() {
+    let out = dut()
+        .args([
+            "test", "--n", "256", "--k", "8", "--eps", "0.8", "--input", "hard",
+            "--trials", "20",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn unknown_command_fails_with_usage_hint() {
+    let out = dut().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("dut help"));
+}
+
+#[test]
+fn bad_option_value_fails_cleanly() {
+    let out = dut()
+        .args(["predict", "--n", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("--n"));
+}
+
+#[test]
+fn threshold_rule_spec_parses() {
+    let out = dut()
+        .args([
+            "test", "--n", "256", "--k", "8", "--eps", "0.9", "--rule", "threshold:2",
+            "--trials", "20", "--q", "80",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("rule=threshold(2)"));
+    assert!(text.contains("q=80"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dut().args(["help"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("COMMANDS"));
+}

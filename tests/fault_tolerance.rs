@@ -1,0 +1,171 @@
+//! Fault-injection integration: what happens to the paper's decision
+//! rules when the network is unreliable — the systems-facing
+//! consequence of the locality trade-off.
+
+use distributed_uniformity::probability::families;
+use distributed_uniformity::simnet::{
+    DecisionRule, FaultModel, FaultyNetwork, MissingPolicy, PlayerContext,
+};
+use distributed_uniformity::testers::TThresholdTester;
+use rand::SeedableRng;
+
+/// Node function matching the AND-rule tester's local test.
+fn node_player(threshold: u64) -> impl Fn(&PlayerContext, &[usize]) -> bool {
+    move |_ctx: &PlayerContext, samples: &[usize]| {
+        distributed_uniformity::probability::empirical::collision_count_of(samples) < threshold
+    }
+}
+
+#[test]
+fn and_rule_loses_alarms_to_message_loss() {
+    // The far side: a well-provisioned AND-rule tester detects the bad
+    // distribution reliably on a perfect network, but with 30% message
+    // loss and the natural assume-accept policy its detection rate
+    // collapses; the counting rule barely moves.
+    let n = 256;
+    let eps = 0.9;
+    let k = 16;
+    let trials = 150;
+    let far = families::two_level(n, eps).unwrap().alias_sampler();
+    let tester = TThresholdTester::new(n, k, 1);
+
+    let detection = |q: usize, loss: f64, seed: u64| -> f64 {
+        let player = node_player(tester.node_threshold(q));
+        let net = FaultyNetwork::new(
+            k,
+            FaultModel::new(0.0, loss),
+            MissingPolicy::AssumeAccept,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..trials)
+            .filter(|_| {
+                net.run(&far, q, &player, &DecisionRule::And, &mut rng)
+                    .verdict
+                    .is_reject()
+            })
+            .count() as f64
+            / f64::from(trials as u32)
+    };
+
+    // Self-calibrate: the minimal q where the fault-free AND rule just
+    // reaches reliable detection — the regime where a single alarm
+    // carries the verdict.
+    let q = distributed_uniformity::stats::search::minimal_sufficient(4, 1 << 12, |q| {
+        detection(q, 0.0, 1) >= 0.75
+    })
+    .minimal;
+    let reliable = detection(q, 0.0, 2);
+    let lossy = detection(q, 0.5, 3);
+    assert!(reliable > 2.0 / 3.0, "reliable detection at q={q}: {reliable}");
+    assert!(
+        lossy < reliable - 0.12,
+        "50% loss should hurt the just-provisioned AND rule: {reliable} -> {lossy} (q={q})"
+    );
+}
+
+#[test]
+fn majority_rule_robust_to_moderate_loss() {
+    // A balanced-bit majority vote degrades gracefully: with most
+    // nodes rejecting the far input, losing 30% of messages rarely
+    // flips the verdict.
+    let n = 256;
+    let k = 32;
+    let q = 120;
+    let trials = 120;
+    let far = families::point_mass(n, 0).unwrap().alias_sampler();
+    // Every node sees massive collisions on a point mass and rejects.
+    let player = node_player(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let net = FaultyNetwork::new(
+        k,
+        FaultModel::new(0.1, 0.3),
+        MissingPolicy::AssumeAccept,
+    );
+    let detected = (0..trials)
+        .filter(|_| {
+            net.run(&far, q, &player, &DecisionRule::Majority, &mut rng)
+                .verdict
+                .is_reject()
+        })
+        .count();
+    assert!(
+        detected as f64 / f64::from(trials as u32) > 0.9,
+        "majority detection under faults = {detected}/{trials}"
+    );
+}
+
+#[test]
+fn assume_reject_trades_false_alarms_for_safety() {
+    // Under the fail-safe policy the AND rule never misses (silence is
+    // an alarm), but uniform inputs now trip it at roughly the fault
+    // rate aggregated over k nodes.
+    let n = 256;
+    let k = 16;
+    let q = 40;
+    let trials = 150;
+    let uniform = families::uniform(n).alias_sampler();
+    let player = node_player(u64::MAX); // local test never rejects
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let net = FaultyNetwork::new(
+        k,
+        FaultModel::new(0.0, 0.05),
+        MissingPolicy::AssumeReject,
+    );
+    let false_alarms = (0..trials)
+        .filter(|_| {
+            net.run(&uniform, q, &player, &DecisionRule::And, &mut rng)
+                .verdict
+                .is_reject()
+        })
+        .count() as f64
+        / f64::from(trials as u32);
+    // Pr[any of 16 messages lost] = 1 - 0.95^16 ~ 0.56.
+    assert!(
+        (0.35..0.75).contains(&false_alarms),
+        "false alarm rate {false_alarms}"
+    );
+}
+
+#[test]
+fn exclude_policy_preserves_two_sided_guarantee_under_crashes() {
+    // Dropping crashed players keeps a calibrated majority-style rule
+    // working as long as enough nodes survive.
+    let n = 512;
+    let eps = 0.8;
+    let k = 48;
+    let q = 100;
+    let trials = 120;
+    let uniform = families::uniform(n).alias_sampler();
+    let far = families::two_level(n, eps).unwrap().alias_sampler();
+    // Midpoint local bit, as the balanced tester uses.
+    let lambda = (q * (q - 1)) as f64 / 2.0 / n as f64;
+    let midpoint = lambda * (1.0 + eps * eps / 2.0);
+    let player = move |_ctx: &PlayerContext, samples: &[usize]| {
+        (distributed_uniformity::probability::empirical::collision_count_of(samples) as f64)
+            <= midpoint
+    };
+    let net = FaultyNetwork::new(
+        k,
+        FaultModel::new(0.25, 0.0),
+        MissingPolicy::Exclude,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let ok = (0..trials)
+        .filter(|_| {
+            net.run(&uniform, q, &player, &DecisionRule::Majority, &mut rng)
+                .verdict
+                .is_accept()
+        })
+        .count() as f64
+        / f64::from(trials as u32);
+    let alarm = (0..trials)
+        .filter(|_| {
+            net.run(&far, q, &player, &DecisionRule::Majority, &mut rng)
+                .verdict
+                .is_reject()
+        })
+        .count() as f64
+        / f64::from(trials as u32);
+    assert!(ok > 2.0 / 3.0, "completeness under crashes = {ok}");
+    assert!(alarm > 2.0 / 3.0, "soundness under crashes = {alarm}");
+}
