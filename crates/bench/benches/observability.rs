@@ -1,0 +1,48 @@
+//! Cost of the dut-obs instrumentation primitives.
+//!
+//! The acceptance bar for the observability layer is <5% overhead on
+//! the protocol benches when no sink is installed. The primitives
+//! measured here are what every instrumented hot path pays: a handful
+//! of relaxed atomic adds (metrics) plus one relaxed load (disabled
+//! recorder check) — nanoseconds against protocol runs that take tens
+//! of microseconds (see `protocols.rs`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dut_obs::metrics::{Counter, HistogramId};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    group.sample_size(30);
+
+    group.bench_function("counter_add", |b| {
+        let registry = dut_obs::metrics::global();
+        b.iter(|| registry.add(black_box(Counter::SamplesDrawn), black_box(64)));
+    });
+
+    group.bench_function("histogram_observe", |b| {
+        let registry = dut_obs::metrics::global();
+        b.iter(|| registry.observe(black_box(HistogramId::RunSamples), black_box(1024)));
+    });
+
+    group.bench_function("disabled_emit_with", |b| {
+        let recorder = dut_obs::global();
+        b.iter(|| {
+            recorder.emit_with(|| {
+                // Never built: the recorder has no sinks in benches.
+                dut_obs::Event::new("never").with("x", black_box(1u64))
+            });
+        });
+    });
+
+    group.bench_function("disabled_span", |b| {
+        let recorder = dut_obs::global();
+        b.iter(|| {
+            let _span = recorder.span(black_box("bench.phase"));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

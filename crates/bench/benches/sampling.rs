@@ -2,9 +2,7 @@
 //! hard-instance construction, and histogram statistics.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dut_core::probability::{
-    empirical, families, PairedDomain, PerturbationVector, Sampler,
-};
+use dut_core::probability::{empirical, families, PairedDomain, PerturbationVector, Sampler};
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Duration;
@@ -71,5 +69,10 @@ fn bench_statistics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_samplers, bench_hard_instance, bench_statistics);
+criterion_group!(
+    benches,
+    bench_samplers,
+    bench_hard_instance,
+    bench_statistics
+);
 criterion_main!(benches);

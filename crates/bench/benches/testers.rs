@@ -56,8 +56,7 @@ fn bench_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("identity_reduction");
     fast(&mut group);
     let reference = families::zipf(256, 1.0).expect("valid zipf");
-    let reduction =
-        IdentityToUniformityReduction::new(reference.clone(), 0.5).expect("valid");
+    let reduction = IdentityToUniformityReduction::new(reference.clone(), 0.5).expect("valid");
     let sampler = reference.alias_sampler();
     group.bench_function("transform_stream", |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);

@@ -19,8 +19,8 @@ use dut_core::stats::seed::derive_seed2;
 use dut_core::stats::table::Table;
 use dut_core::testers::centralized::CentralizedTester;
 use dut_core::testers::{
-    Chi2Tester, CollisionTester, EmpiricalL1Tester, PaninskiTester,
-    SequentialUniformityTester, UniqueElementsTester,
+    Chi2Tester, CollisionTester, EmpiricalL1Tester, PaninskiTester, SequentialUniformityTester,
+    UniqueElementsTester,
 };
 use rand::SeedableRng;
 
@@ -54,7 +54,11 @@ fn main() {
     ]);
 
     let collision = measure(&CollisionTester::new(n, eps), n, eps, &harness, 3000);
-    table.push_row(vec!["collision".into(), "pairs colliding".into(), collision.to_string()]);
+    table.push_row(vec![
+        "collision".into(),
+        "pairs colliding".into(),
+        collision.to_string(),
+    ]);
     println!("collision:    q* = {collision}");
 
     let paninski = measure(&PaninskiTester::new(n, eps), n, eps, &harness, 3001);
@@ -94,7 +98,10 @@ fn main() {
     let sqrt_family = [collision, paninski, chi2, unique];
     let min = *sqrt_family.iter().min().expect("non-empty");
     let max = *sqrt_family.iter().max().expect("non-empty");
-    println!("\nsqrt(n)-statistics spread: max/min = {:.2}", max as f64 / min as f64);
+    println!(
+        "\nsqrt(n)-statistics spread: max/min = {:.2}",
+        max as f64 / min as f64
+    );
     println!(
         "learning-style tester pays {}x the best testing statistic\n",
         l1 / min
@@ -113,8 +120,11 @@ fn main() {
         "decision".into(),
     ]);
     let mut rng = rand::rngs::StdRng::seed_from_u64(harness.seed);
-    for (name, sampler) in [("uniform", &uniform), ("two-level far", &far), ("point mass", &point)]
-    {
+    for (name, sampler) in [
+        ("uniform", &uniform),
+        ("two-level far", &far),
+        ("point mass", &point),
+    ] {
         let trials = harness.trials.max(50);
         let mut samples = 0usize;
         let mut rejects = 0usize;
@@ -126,7 +136,11 @@ fn main() {
             }
         }
         let mean = samples as f64 / trials as f64;
-        let verdict = if rejects * 2 > trials as usize { "reject" } else { "accept" };
+        let verdict = if rejects * 2 > trials as usize {
+            "reject"
+        } else {
+            "accept"
+        };
         println!("{name:<14} mean samples = {mean:>10.0}  ({verdict})");
         table2.push_row(vec![name.into(), format!("{mean:.0}"), verdict.into()]);
     }

@@ -54,7 +54,10 @@ fn main() {
         families.push((format!("AND_{m}"), BooleanFunction::and_all(m)));
         families.push((format!("OR_{m}"), BooleanFunction::or_any(m)));
         families.push((format!("MAJ_{m}"), BooleanFunction::majority(m)));
-        families.push((format!("THR_{m},{}", m - 2), BooleanFunction::threshold(m, m - 2)));
+        families.push((
+            format!("THR_{m},{}", m - 2),
+            BooleanFunction::threshold(m, m - 2),
+        ));
         families.push((
             format!("RND_{m}(p=0.02)"),
             BooleanFunction::random(m, 0.02, &mut rng),

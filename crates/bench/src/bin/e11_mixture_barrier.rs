@@ -78,8 +78,7 @@ fn main() {
     let mut points_e = Vec::new();
     let mut table3 = Table::new(vec!["eps".into(), "crossing q".into()]);
     for &e in &[0.25f64, 0.5, 1.0] {
-        let crossing =
-            mixture::q_where_chi2_exceeds(&d, e, 1.0, 1 << 18).expect("crossing exists");
+        let crossing = mixture::q_where_chi2_exceeds(&d, e, 1.0, 1 << 18).expect("crossing exists");
         println!("eps = {e}: crossing q = {crossing}");
         points_e.push((e, crossing as f64));
         table3.push_row(vec![format!("{e}"), crossing.to_string()]);

@@ -34,6 +34,7 @@ fn measure_q_star(n: usize, k: usize, eps: f64, harness: &Harness, stream: u64) 
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e1_any_rule_scaling");
     println!("# E1 — any-rule (optimal threshold protocol) sample complexity\n");
 
     // --- sweep k ---
@@ -47,6 +48,7 @@ fn main() {
     ]);
     let mut points_k = Vec::new();
     for (i, &k) in ks.iter().enumerate() {
+        let _span = dut_obs::span!("e1.sweep_k", k = k, n = n, eps = eps);
         let q = measure_q_star(n, k, eps, &harness, 100 + i as u64);
         println!("k = {k}: q* = {q}");
         points_k.push((k as f64, q as f64));
@@ -70,6 +72,7 @@ fn main() {
     ]);
     let mut points_n = Vec::new();
     for (i, &n_i) in ns.iter().enumerate() {
+        let _span = dut_obs::span!("e1.sweep_n", n = n_i, k = k, eps = eps);
         let q = measure_q_star(n_i, k, eps, &harness, 200 + i as u64);
         println!("n = {n_i}: q* = {q}");
         points_n.push((n_i as f64, q as f64));
@@ -93,6 +96,7 @@ fn main() {
     ]);
     let mut points_e = Vec::new();
     for (i, &e) in eps_grid.iter().enumerate() {
+        let _span = dut_obs::span!("e1.sweep_eps", eps = e, n = n, k = k);
         let q = measure_q_star(n, k, e, &harness, 300 + i as u64);
         println!("eps = {e}: q* = {q}");
         points_e.push((e, q as f64));
@@ -110,4 +114,5 @@ fn main() {
     println!("k-slope  {slope_k:+.3} (theory -0.5)");
     println!("n-slope  {slope_n:+.3} (theory +0.5)");
     println!("eps-slope {slope_e:+.3} (theory -2.0)");
+    harness.finish();
 }

@@ -48,6 +48,7 @@ fn q_star_balanced(n: usize, k: usize, eps: f64, harness: &Harness, stream: u64)
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e2_and_rule_cost");
     let n = 1 << 10;
     let eps = 0.75;
     println!("# E2 — the cost of the AND rule (n = {n}, eps = {eps})\n");
@@ -63,6 +64,7 @@ fn main() {
     let mut and_points = Vec::new();
     let mut balanced_points = Vec::new();
     for (i, &k) in ks.iter().enumerate() {
+        let _span = dut_obs::span!("e2.sweep_k", k = k, n = n, eps = eps);
         let q_and = q_star_and(n, k, eps, &harness, 400 + i as u64);
         let q_bal = q_star_balanced(n, k, eps, &harness, 500 + i as u64);
         println!("k = {k}: AND q* = {q_and}, balanced q* = {q_bal}");
@@ -72,7 +74,10 @@ fn main() {
             k.to_string(),
             q_and.to_string(),
             q_bal.to_string(),
-            format!("{:.0}", theory::theorem_1_2(n, k, eps).max(theory::theorem_1_1(n, k, eps))),
+            format!(
+                "{:.0}",
+                theory::theorem_1_2(n, k, eps).max(theory::theorem_1_1(n, k, eps))
+            ),
             format!("{:.0}", theory::theorem_1_1(n, k, eps)),
         ]);
     }
@@ -84,12 +89,10 @@ fn main() {
 
     // --- q = 1 impossibility under the AND rule ---
     println!("## q = 1: the AND rule cannot test uniformity at all\n");
-    let mut table1 = Table::new(vec![
-        "k".into(),
-        "two-sided success at q=1".into(),
-    ]);
+    let mut table1 = Table::new(vec!["k".into(), "two-sided success at q=1".into()]);
     let (uniform, far) = workload(n, eps);
     for &k in &[4usize, 64, 1024, 16384] {
+        let _span = dut_obs::span!("e2.q1_impossibility", k = k);
         let tester = AndRuleTester::new(n, k);
         let ok = two_sided_success(
             harness.trials,
@@ -106,4 +109,5 @@ fn main() {
         "(the paper's full version proves impossibility for every AND-rule \
          protocol at q = 1; here the collision-based family fails at every k)"
     );
+    harness.finish();
 }

@@ -61,20 +61,15 @@ fn main() {
         let mut best = (usize::MAX, 0.0f64);
         for (j, &beta) in [0.125f64, 0.25, 0.5, 1.0, 2.0, 4.0].iter().enumerate() {
             let budget = (beta * t as f64 / k as f64).clamp(1e-6, 0.45);
-            let q = q_star_for_budget(
-                n,
-                k,
-                t,
-                budget,
-                eps,
-                &harness,
-                2000 + (i * 10 + j) as u64,
-            );
+            let q = q_star_for_budget(n, k, t, budget, eps, &harness, 2000 + (i * 10 + j) as u64);
             if q < best.0 {
                 best = (q, budget);
             }
         }
-        println!("T = {t:>2}: best q* = {} (node FP budget {:.4})", best.0, best.1);
+        println!(
+            "T = {t:>2}: best q* = {} (node FP budget {:.4})",
+            best.0, best.1
+        );
         best_qs.push((t, best.0));
         table.push_row(vec![
             t.to_string(),

@@ -18,7 +18,13 @@ use dut_core::stats::table::Table;
 use dut_core::testers::{FourierLearner, SingleSampleProtocol};
 use rand::SeedableRng;
 
-fn minimal_k(proto: &SingleSampleProtocol, n: usize, eps: f64, harness: &Harness, stream: u64) -> usize {
+fn minimal_k(
+    proto: &SingleSampleProtocol,
+    n: usize,
+    eps: f64,
+    harness: &Harness,
+    stream: u64,
+) -> usize {
     let (uniform, far) = workload(n, eps);
     q_star(2, 1 << 20, |k| {
         let probe_seed = derive_seed2(harness.seed, stream, k as u64);
@@ -75,7 +81,10 @@ fn main() {
         table_n.push_row(vec![
             n_i.to_string(),
             k.to_string(),
-            format!("{:.0}", theory::act_single_sample_nodes(n_i, eps, u32::from(ell))),
+            format!(
+                "{:.0}",
+                theory::act_single_sample_nodes(n_i, eps, u32::from(ell))
+            ),
         ]);
     }
     let slope_n = log_log_slope(&points_n);
@@ -111,7 +120,10 @@ fn main() {
         table_learn.push_row(vec![
             q.to_string(),
             k.to_string(),
-            format!("{:.0}", (n_learn * n_learn) as f64 / (q as f64 * delta * delta)),
+            format!(
+                "{:.0}",
+                (n_learn * n_learn) as f64 / (q as f64 * delta * delta)
+            ),
             format!("{:.0}", theory::theorem_1_4_min_players(n_learn, q)),
         ]);
     }

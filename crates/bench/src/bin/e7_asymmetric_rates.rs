@@ -17,13 +17,7 @@ use dut_core::stats::table::Table;
 use dut_core::testers::AsymmetricThresholdTester;
 use rand::SeedableRng;
 
-fn minimal_tau(
-    n: usize,
-    eps: f64,
-    rates: RateVector,
-    harness: &Harness,
-    stream: u64,
-) -> usize {
+fn minimal_tau(n: usize, eps: f64, rates: RateVector, harness: &Harness, stream: u64) -> usize {
     let (uniform, far) = workload(n, eps);
     let tester = AsymmetricThresholdTester::new(n, rates, eps);
     q_star(2, 1 << 15, |tau| {

@@ -34,6 +34,7 @@ fn measure<T: CentralizedTester + Sync>(
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e8_centralized_baseline");
     println!("# E8 — centralized baseline\n");
 
     // --- sweep n ---
@@ -49,8 +50,21 @@ fn main() {
     let mut pts_col = Vec::new();
     let mut pts_pan = Vec::new();
     for (i, &n) in [1usize << 8, 1 << 10, 1 << 12, 1 << 14].iter().enumerate() {
-        let qc = measure(|| CollisionTester::new(n, eps), n, eps, &harness, 1300 + i as u64);
-        let qp = measure(|| PaninskiTester::new(n, eps), n, eps, &harness, 1350 + i as u64);
+        let _span = dut_obs::span!("e8.sweep_n", n = n, eps = eps);
+        let qc = measure(
+            || CollisionTester::new(n, eps),
+            n,
+            eps,
+            &harness,
+            1300 + i as u64,
+        );
+        let qp = measure(
+            || PaninskiTester::new(n, eps),
+            n,
+            eps,
+            &harness,
+            1350 + i as u64,
+        );
         println!("n = {n}: collision q* = {qc}, coincidence q* = {qp}");
         pts_col.push((n as f64, qc as f64));
         pts_pan.push((n as f64, qp as f64));
@@ -79,7 +93,14 @@ fn main() {
     ]);
     let mut pts_e = Vec::new();
     for (i, &e) in [0.25f64, 0.35, 0.5, 0.7, 1.0].iter().enumerate() {
-        let qc = measure(|| CollisionTester::new(n, e), n, e, &harness, 1400 + i as u64);
+        let _span = dut_obs::span!("e8.sweep_eps", eps = e, n = n);
+        let qc = measure(
+            || CollisionTester::new(n, e),
+            n,
+            e,
+            &harness,
+            1400 + i as u64,
+        );
         println!("eps = {e}: q* = {qc}");
         pts_e.push((e, qc as f64));
         table_e.push_row(vec![
@@ -93,4 +114,5 @@ fn main() {
         log_log_slope(&pts_e)
     );
     harness.save("e8_sweep_eps", &table_e);
+    harness.finish();
 }

@@ -117,8 +117,7 @@ fn main() {
         for &q in &[6u32, 12] {
             for r in 1..=2u32 {
                 for m in 1..=3u32 {
-                    let (est, se) =
-                        evencover::a_r_moment_monte_carlo(d, q, r, m, trials, &mut rng);
+                    let (est, se) = evencover::a_r_moment_monte_carlo(d, q, r, m, trials, &mut rng);
                     let bound = evencover::a_r_moment_bound(u64::from(d), u64::from(q), r, m);
                     assert!(
                         est - 4.0 * se <= bound,

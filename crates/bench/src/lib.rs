@@ -35,9 +35,11 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Reads the configuration from the environment.
+    /// Reads the configuration from the environment and, when
+    /// `DUT_TRACE` names a file, installs the JSONL trace sink.
     #[must_use]
     pub fn from_env() -> Self {
+        dut_obs::init_from_env();
         let trials = std::env::var("DUT_TRIALS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -54,6 +56,33 @@ impl Harness {
             seed,
             results_dir,
         }
+    }
+
+    /// Emits the run manifest (experiment name, seed, trials, build
+    /// description) to the trace. Call once at the top of a binary.
+    pub fn emit_manifest(&self, experiment: &str) {
+        let experiment = experiment.to_owned();
+        let trials = self.trials;
+        let seed = self.seed;
+        dut_obs::global().emit_with(move || {
+            dut_obs::Event::new("manifest")
+                .with("experiment", experiment)
+                .with("seed", seed)
+                .with("trials", trials)
+                .with("build", git_describe())
+                .with("threads", dut_core::stats::runner::available_threads())
+        });
+    }
+
+    /// Emits the final metrics snapshot and an `"elapsed"` span-free
+    /// summary, then flushes every sink. Call once before exiting.
+    pub fn finish(&self) {
+        let recorder = dut_obs::global();
+        recorder.emit_metrics_snapshot();
+        recorder.emit_with(|| {
+            dut_obs::Event::new("run_done").with("elapsed_us", recorder.now_micros())
+        });
+        recorder.flush();
     }
 
     /// Prints the table as Markdown and writes `<name>.csv` to the
@@ -134,6 +163,21 @@ where
         f(&mut rng)
     });
     values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The output of `git describe --always --dirty`, or `"unknown"` when
+/// git (or the repository) is unavailable.
+#[must_use]
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 /// Formats a fitted slope with its target for table cells.

@@ -168,10 +168,7 @@ impl UniformityTesterBuilder {
         }
         if let Rule::TThreshold { t } = self.rule {
             if t == 0 || t > self.players {
-                return Err(ConfigError::BadThreshold {
-                    t,
-                    k: self.players,
-                });
+                return Err(ConfigError::BadThreshold { t, k: self.players });
             }
         }
         let calibration_trials = self.calibration_trials.max(1);
@@ -191,10 +188,18 @@ mod tests {
 
     #[test]
     fn builder_validates_fields() {
-        let base = || UniformityTesterBuilder::new().domain_size(16).players(4).epsilon(0.5);
+        let base = || {
+            UniformityTesterBuilder::new()
+                .domain_size(16)
+                .players(4)
+                .epsilon(0.5)
+        };
         assert!(base().build().is_ok());
         assert_eq!(
-            UniformityTesterBuilder::new().players(4).build().unwrap_err(),
+            UniformityTesterBuilder::new()
+                .players(4)
+                .build()
+                .unwrap_err(),
             ConfigError::EmptyDomain
         );
         assert_eq!(

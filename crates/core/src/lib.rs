@@ -70,4 +70,7 @@ pub use dut_stats as stats;
 /// Re-export: the executable lower-bound machinery.
 pub use dut_lowerbound as lowerbound;
 
+/// Re-export: metrics and tracing (`DUT_TRACE`, `dut report`).
+pub use dut_obs as obs;
+
 pub use dut_simnet::Verdict;

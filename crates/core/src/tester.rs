@@ -3,9 +3,7 @@ use dut_lowerbound::theory;
 use dut_probability::Sampler;
 use dut_simnet::Verdict;
 use dut_testers::centralized::CentralizedTester as _;
-use dut_testers::{
-    BalancedThresholdTester, CollisionTester, TThresholdTester,
-};
+use dut_testers::{BalancedThresholdTester, CollisionTester, TThresholdTester};
 use rand::Rng;
 
 /// A configured distributed uniformity test.
@@ -95,12 +93,8 @@ impl UniformityTester {
     pub fn predicted_sample_count(&self) -> usize {
         let q = match self.rule {
             Rule::And => 6.0 * theory::theorem_1_2(self.n, self.k, self.epsilon),
-            Rule::TThreshold { t } => {
-                6.0 * theory::theorem_1_3(self.n, self.k, self.epsilon, t)
-            }
-            Rule::Balanced => {
-                6.0 * theory::fmo_threshold_upper(self.n, self.k, self.epsilon)
-            }
+            Rule::TThreshold { t } => 6.0 * theory::theorem_1_3(self.n, self.k, self.epsilon, t),
+            Rule::Balanced => 6.0 * theory::fmo_threshold_upper(self.n, self.k, self.epsilon),
             Rule::Centralized => 4.0 * theory::centralized(self.n, self.epsilon),
         };
         (q.ceil() as usize).max(2)

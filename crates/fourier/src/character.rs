@@ -121,7 +121,9 @@ pub fn double_factorial(n: u64) -> u128 {
     let mut result: u128 = 1;
     let mut i = n;
     while i >= 2 {
-        result = result.checked_mul(u128::from(i)).expect("double factorial overflow");
+        result = result
+            .checked_mul(u128::from(i))
+            .expect("double factorial overflow");
         i -= 2;
     }
     result

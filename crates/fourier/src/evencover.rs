@@ -72,9 +72,13 @@ pub fn even_word_count(alphabet_size: u64, len: u64) -> u128 {
     let mut total: i128 = 0;
     for j in 0..=alphabet_size {
         let base = d - 2 * j as i128;
-        let pow = base.checked_pow(len as u32).expect("even_word_count overflow");
+        let pow = base
+            .checked_pow(len as u32)
+            .expect("even_word_count overflow");
         let coef = i128::try_from(binomial(alphabet_size, j)).expect("binomial fits i128");
-        total = total.checked_add(coef * pow).expect("even_word_count overflow");
+        total = total
+            .checked_add(coef * pow)
+            .expect("even_word_count overflow");
     }
     // Divide by 2^D; the sum is always divisible.
     let denom: i128 = 1i128 << alphabet_size.min(126);
@@ -97,7 +101,9 @@ pub fn x_s_count_exact(cube_size: u64, q: u64, subset_size: u64) -> u128 {
     let even = even_word_count(cube_size, subset_size);
     let mut result = even;
     for _ in 0..free {
-        result = result.checked_mul(u128::from(cube_size)).expect("x_s_count overflow");
+        result = result
+            .checked_mul(u128::from(cube_size))
+            .expect("x_s_count overflow");
     }
     result
 }
@@ -111,8 +117,7 @@ pub fn x_s_count_bound(cube_size: u64, q: u64, subset_size: u64) -> f64 {
         return 0.0;
     }
     let r = subset_size / 2;
-    double_factorial(subset_size.saturating_sub(1)) as f64
-        * (cube_size as f64).powi((q - r) as i32)
+    double_factorial(subset_size.saturating_sub(1)) as f64 * (cube_size as f64).powi((q - r) as i32)
 }
 
 /// `a_r(x)`: the number of subsets `S` of size `2r` for which `x_S` is
@@ -242,11 +247,7 @@ mod tests {
                         count += 1;
                     }
                 }
-                assert_eq!(
-                    even_word_count(d, len),
-                    count,
-                    "D={d} len={len}"
-                );
+                assert_eq!(even_word_count(d, len), count, "D={d} len={len}");
             }
         }
     }
@@ -338,7 +339,10 @@ mod tests {
         }
         let mean = sum as f64 / total as f64;
         let predicted = a_r_mean_exact(d.into(), q.into(), r.into());
-        assert!((mean - predicted).abs() < 1e-12, "mean={mean} predicted={predicted}");
+        assert!(
+            (mean - predicted).abs() < 1e-12,
+            "mean={mean} predicted={predicted}"
+        );
     }
 
     #[test]

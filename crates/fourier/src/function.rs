@@ -38,7 +38,10 @@ impl BooleanFunction {
     #[must_use]
     pub fn from_values(values: Vec<f64>) -> Self {
         let len = values.len();
-        assert!(len >= 2 && len.is_power_of_two(), "table length must be a power of two >= 2");
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "table length must be a power of two >= 2"
+        );
         let num_vars = len.trailing_zeros();
         assert!(num_vars <= Self::MAX_VARS, "too many variables: {num_vars}");
         Self { num_vars, values }
@@ -53,7 +56,10 @@ impl BooleanFunction {
     /// Panics if `num_vars` is 0 or exceeds [`Self::MAX_VARS`].
     #[must_use]
     pub fn from_fn<F: FnMut(u32) -> f64>(num_vars: u32, f: F) -> Self {
-        assert!((1..=Self::MAX_VARS).contains(&num_vars), "num_vars out of range");
+        assert!(
+            (1..=Self::MAX_VARS).contains(&num_vars),
+            "num_vars out of range"
+        );
         let values = (0..1u32 << num_vars).map(f).collect();
         Self { num_vars, values }
     }
@@ -91,7 +97,11 @@ impl BooleanFunction {
     /// biased function with mean `2^{-m}`.
     #[must_use]
     pub fn and_all(num_vars: u32) -> Self {
-        let full = if num_vars == 32 { u32::MAX } else { (1u32 << num_vars) - 1 };
+        let full = if num_vars == 32 {
+            u32::MAX
+        } else {
+            (1u32 << num_vars) - 1
+        };
         Self::from_fn(num_vars, |x| f64::from(x == full))
     }
 
@@ -163,8 +173,7 @@ impl BooleanFunction {
     #[must_use]
     pub fn variance(&self) -> f64 {
         let mean = self.mean();
-        let mean_sq =
-            self.values.iter().map(|v| v * v).sum::<f64>() / self.values.len() as f64;
+        let mean_sq = self.values.iter().map(|v| v * v).sum::<f64>() / self.values.len() as f64;
         (mean_sq - mean * mean).max(0.0)
     }
 
@@ -296,9 +305,8 @@ mod tests {
     #[test]
     fn from_fn_and_from_values_agree() {
         let a = BooleanFunction::from_fn(3, |x| f64::from(x.count_ones()));
-        let b = BooleanFunction::from_values(
-            (0..8u32).map(|x| f64::from(x.count_ones())).collect(),
-        );
+        let b =
+            BooleanFunction::from_values((0..8u32).map(|x| f64::from(x.count_ones())).collect());
         assert_eq!(a, b);
     }
 

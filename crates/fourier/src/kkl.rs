@@ -68,7 +68,10 @@ impl LevelCheck {
 /// Panics if `f` is not `{0,1}`-valued or `delta ≤ 0`.
 #[must_use]
 pub fn check_level_inequality(f: &BooleanFunction, r: u32, delta: f64) -> LevelCheck {
-    assert!(f.is_boolean(), "level inequality applies to boolean functions");
+    assert!(
+        f.is_boolean(),
+        "level inequality applies to boolean functions"
+    );
     let spec = f.spectrum();
     let mu = spec.mean().min(1.0 - spec.mean());
     // Weight on levels 1..=r is shared between f and 1-f; the level-0
@@ -112,10 +115,7 @@ mod tests {
             for r in 1..=m.min(4) {
                 for &delta in &[0.25, 0.5, 1.0] {
                     let check = check_level_inequality(&f, r, delta);
-                    assert!(
-                        check.holds(),
-                        "AND_{m} r={r} delta={delta}: {check:?}"
-                    );
+                    assert!(check.holds(), "AND_{m} r={r} delta={delta}: {check:?}");
                 }
             }
         }
@@ -165,10 +165,7 @@ mod tests {
             for r in 1..=3 {
                 for &delta in &[0.5, 1.0] {
                     let check = check_level_inequality(&f, r, delta);
-                    assert!(
-                        check.holds(),
-                        "code={code} r={r} delta={delta}: {check:?}"
-                    );
+                    assert!(check.holds(), "code={code} r={r} delta={delta}: {check:?}");
                 }
             }
         }

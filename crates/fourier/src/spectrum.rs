@@ -171,7 +171,10 @@ mod tests {
         let m = 4;
         let spec = BooleanFunction::and_all(m).spectrum();
         for s in 0..(1u32 << m) {
-            assert!((spec.coefficient(s).abs() - 1.0 / 16.0).abs() < 1e-12, "s={s}");
+            assert!(
+                (spec.coefficient(s).abs() - 1.0 / 16.0).abs() < 1e-12,
+                "s={s}"
+            );
         }
     }
 
@@ -192,9 +195,7 @@ mod tests {
             (spec.low_level_weight(m) - spec.variance()).abs() < 1e-12,
             "all non-empty levels = variance"
         );
-        assert!(
-            (spec.low_level_weight_with_mean(m) - spec.total_weight()).abs() < 1e-12
-        );
+        assert!((spec.low_level_weight_with_mean(m) - spec.total_weight()).abs() < 1e-12);
     }
 
     #[test]

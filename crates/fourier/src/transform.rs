@@ -63,13 +63,7 @@ pub fn walsh_hadamard_naive(table: &[f64]) -> Vec<f64> {
             table
                 .iter()
                 .enumerate()
-                .map(|(x, &v)| {
-                    if (s & x).count_ones() % 2 == 0 {
-                        v
-                    } else {
-                        -v
-                    }
-                })
+                .map(|(x, &v)| if (s & x).count_ones() % 2 == 0 { v } else { -v })
                 .sum()
         })
         .collect()

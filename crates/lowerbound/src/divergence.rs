@@ -95,7 +95,11 @@ pub fn average_divergence_fact_6_3_bound<G: PlayerFunction + ?Sized>(
     let m = exact::z_moments_exact(dom, q, g, epsilon);
     let var = exact::var_g_from_mu(m.mu);
     if var == 0.0 {
-        return if m.second_moment == 0.0 { 0.0 } else { f64::INFINITY };
+        return if m.second_moment == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     m.second_moment / (var * std::f64::consts::LN_2)
 }

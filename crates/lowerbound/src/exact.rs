@@ -80,7 +80,11 @@ pub fn nu_g<G: PlayerFunction + ?Sized>(
     z: &PerturbationVector,
     epsilon: f64,
 ) -> f64 {
-    assert_eq!(z.len(), dom.cube_size(), "perturbation vector length mismatch");
+    assert_eq!(
+        z.len(),
+        dom.cube_size(),
+        "perturbation vector length mismatch"
+    );
     assert!((0.0..=1.0).contains(&epsilon), "epsilon out of range");
     let n = dom.universe_size() as f64;
     let mut acc = 0.0f64;

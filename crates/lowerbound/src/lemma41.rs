@@ -15,9 +15,9 @@
 use crate::player::TableFunction;
 use dut_fourier::restriction::{restrict, Restriction};
 use dut_fourier::Spectrum;
-use dut_probability::PerturbationVector;
 #[cfg(test)]
 use dut_probability::PairedDomain;
+use dut_probability::PerturbationVector;
 
 /// The restricted spectra `{Ĝ_x}` of a table player function: for each
 /// cube-part tuple `x` (mixed-radix index over `(n/2)^q`), the Fourier
@@ -62,14 +62,14 @@ pub fn restricted_spectra(g: &TableFunction) -> Vec<Spectrum> {
 /// Panics if `z` does not match the domain or the enumeration guard
 /// trips.
 #[must_use]
-pub fn lemma_4_1_rhs(
-    g: &TableFunction,
-    z: &PerturbationVector,
-    epsilon: f64,
-) -> f64 {
+pub fn lemma_4_1_rhs(g: &TableFunction, z: &PerturbationVector, epsilon: f64) -> f64 {
     let dom = g.domain();
     let q = g.sample_count();
-    assert_eq!(z.len(), dom.cube_size(), "perturbation vector length mismatch");
+    assert_eq!(
+        z.len(),
+        dom.cube_size(),
+        "perturbation vector length mismatch"
+    );
     let cube = dom.cube_size() as u64;
     let n = dom.universe_size() as f64;
     let spectra = restricted_spectra(g);
@@ -91,9 +91,8 @@ pub fn lemma_4_1_rhs(
                 bits &= bits - 1;
                 z_product *= f64::from(z.sign(digits[j]));
             }
-            total += epsilon.powi(subset.count_ones() as i32)
-                * z_product
-                * spectrum.coefficient(subset);
+            total +=
+                epsilon.powi(subset.count_ones() as i32) * z_product * spectrum.coefficient(subset);
         }
     }
     scale * total
@@ -107,11 +106,7 @@ pub fn lemma_4_1_rhs(
 ///
 /// Panics if the enumeration guards trip.
 #[must_use]
-pub fn check_lemma_4_1(
-    g: &TableFunction,
-    z: &PerturbationVector,
-    epsilon: f64,
-) -> (f64, f64, f64) {
+pub fn check_lemma_4_1(g: &TableFunction, z: &PerturbationVector, epsilon: f64) -> (f64, f64, f64) {
     let dom = g.domain();
     let q = g.sample_count();
     let lhs = crate::exact::nu_g(&dom, q, g, z, epsilon) - crate::exact::mu_g(&dom, q, g);

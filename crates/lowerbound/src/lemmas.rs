@@ -120,10 +120,7 @@ pub fn lemma_4_4_rhs(n: usize, q: usize, epsilon: f64, m: u32, var: f64, c: f64)
     let ratio = q_f / n_f.sqrt();
     let exponent = 1.0 / f64::from(m + 1);
     2.0 * e2 * q_f / n_f * var
-        + c * (ratio + ratio.powf(exponent))
-            * f64::from(m * m)
-            * e2
-            * var.powf(2.0 - exponent)
+        + c * (ratio + ratio.powf(exponent)) * f64::from(m * m) * e2 * var.powf(2.0 - exponent)
 }
 
 /// Precondition of Lemma 4.4:
@@ -267,8 +264,8 @@ pub fn checks_from_moments(
 mod tests {
     use super::*;
     use crate::player::{
-        CollisionIndicator, CubeDictator, PairedSample, SignDictator, SignMajority,
-        SignParity, TableFunction,
+        CollisionIndicator, CubeDictator, PairedSample, SignDictator, SignMajority, SignParity,
+        TableFunction,
     };
     use rand::SeedableRng;
 
@@ -354,9 +351,7 @@ mod tests {
         let dom = PairedDomain::new(1);
         let q = 1;
         for code in 0u32..16 {
-            let table = dut_fourier::BooleanFunction::from_fn(2, |x| {
-                f64::from((code >> x) & 1)
-            });
+            let table = dut_fourier::BooleanFunction::from_fn(2, |x| f64::from((code >> x) & 1));
             let g = TableFunction::new(dom, q, table);
             for &eps in &[0.1, 0.4] {
                 let c1 = check_lemma_5_1(&dom, q, eps, &g);

@@ -328,8 +328,7 @@ mod tests {
                 let inner: f64 = (0..dom.cube_size() as u32)
                     .map(|x| f64::from(za.sign(x)) * f64::from(zb.sign(x)))
                     .sum();
-                brute +=
-                    (1.0 + 2.0 * eps * eps * inner / dom.universe_size() as f64).powi(q);
+                brute += (1.0 + 2.0 * eps * eps * inner / dom.universe_size() as f64).powi(q);
             }
         }
         brute = brute / (count * count) as f64 - 1.0;
@@ -367,8 +366,7 @@ mod tests {
         // is tiny; it crosses 1/10 only at q = Omega(sqrt(n)).
         let dom = PairedDomain::new(10); // n = 2048
         let eps = 0.5;
-        let crossing = q_where_chi2_exceeds(&dom, eps, 0.1, 4096)
-            .expect("chi2 eventually grows");
+        let crossing = q_where_chi2_exceeds(&dom, eps, 0.1, 4096).expect("chi2 eventually grows");
         let sqrt_n = (dom.universe_size() as f64).sqrt();
         assert!(
             crossing as f64 > 0.5 * sqrt_n,

@@ -39,13 +39,7 @@ pub fn sample_uniform<R: Rng + ?Sized>(dom: &PairedDomain, rng: &mut R) -> Paire
 /// # Panics
 ///
 /// Panics if `trials == 0`.
-pub fn mu_g_monte_carlo<G, R>(
-    dom: &PairedDomain,
-    q: usize,
-    g: &G,
-    trials: u32,
-    rng: &mut R,
-) -> f64
+pub fn mu_g_monte_carlo<G, R>(dom: &PairedDomain, q: usize, g: &G, trials: u32, rng: &mut R) -> f64
 where
     G: PlayerFunction + ?Sized,
     R: Rng + ?Sized,
@@ -140,10 +134,7 @@ where
         sum_dev += dev;
         sum_sq += (dev * dev - within_var).max(0.0);
     }
-    (
-        sum_dev / f64::from(z_draws),
-        sum_sq / f64::from(z_draws),
-    )
+    (sum_dev / f64::from(z_draws), sum_sq / f64::from(z_draws))
 }
 
 #[cfg(test)]
@@ -218,8 +209,7 @@ mod tests {
         let g = CollisionIndicator::new(1);
         let exact_m = exact::z_moments_exact(&dom, q, &g, eps);
         let mut rng = rand::rngs::StdRng::seed_from_u64(39);
-        let (_, second) =
-            z_moments_monte_carlo(&dom, q, &g, eps, 300, 4000, 200_000, &mut rng);
+        let (_, second) = z_moments_monte_carlo(&dom, q, &g, eps, 300, 4000, 200_000, &mut rng);
         assert!(
             (second - exact_m.second_moment).abs() < 0.3 * exact_m.second_moment + 1e-4,
             "mc {second} vs exact {}",

@@ -176,12 +176,7 @@ impl TableFunction {
     ///
     /// Panics if the bit count `(ℓ+1)·q` exceeds
     /// [`BooleanFunction::MAX_VARS`] or `p ∉ [0,1]`.
-    pub fn random<R: Rng + ?Sized>(
-        dom: PairedDomain,
-        q: usize,
-        p: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random<R: Rng + ?Sized>(dom: PairedDomain, q: usize, p: f64, rng: &mut R) -> Self {
         let bits = (dom.ell() + 1) * q as u32;
         Self::new(dom, q, BooleanFunction::random(bits, p, rng))
     }

@@ -236,18 +236,14 @@ mod tests {
 
     #[test]
     fn threshold_range_shrinks_with_epsilon() {
-        assert!(
-            theorem_1_3_threshold_range(64, 0.1) > theorem_1_3_threshold_range(64, 0.5)
-        );
+        assert!(theorem_1_3_threshold_range(64, 0.1) > theorem_1_3_threshold_range(64, 0.5));
     }
 
     #[test]
     fn learning_bound_quadratic() {
         assert!((theorem_1_4_min_players(100, 10) - 100.0).abs() < 1e-12);
         assert!(
-            (theorem_1_4_min_players(1000, 10) / theorem_1_4_min_players(100, 10)
-                - 100.0)
-                .abs()
+            (theorem_1_4_min_players(1000, 10) / theorem_1_4_min_players(100, 10) - 100.0).abs()
                 < 1e-9
         );
     }
@@ -257,9 +253,7 @@ mod tests {
         let n = 1 << 14;
         let eps = 0.5;
         // r bits multiply k by 2^r inside the bound.
-        assert!(
-            (theorem_6_4(n, 16, eps, 2) - theorem_1_1(n, 64, eps)).abs() < 1e-9
-        );
+        assert!((theorem_6_4(n, 16, eps, 2) - theorem_1_1(n, 64, eps)).abs() < 1e-9);
     }
 
     #[test]
@@ -309,7 +303,7 @@ mod tests {
     fn fixed_q_remark_regimes() {
         let n = 1 << 10;
         let eps = 0.5; // 1/eps^2 = 4
-        // q <= 4: k ~ n/(q eps^2).
+                       // q <= 4: k ~ n/(q eps^2).
         assert!((min_players_for_fixed_q(n, 1, eps) - n as f64 / 0.25).abs() < 1e-9);
         // q > 4: k ~ n/(q^2 eps^4).
         let k8 = min_players_for_fixed_q(n, 8, eps);

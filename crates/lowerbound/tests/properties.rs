@@ -10,9 +10,8 @@ use rand::SeedableRng;
 fn arb_table_function(ell: u32, q: usize) -> impl Strategy<Value = player::TableFunction> {
     let bits = (ell + 1) * q as u32;
     prop::collection::vec(prop::bool::ANY, 1usize << bits).prop_map(move |values| {
-        let table = dut_fourier::BooleanFunction::from_values(
-            values.into_iter().map(f64::from).collect(),
-        );
+        let table =
+            dut_fourier::BooleanFunction::from_values(values.into_iter().map(f64::from).collect());
         player::TableFunction::new(PairedDomain::new(ell), q, table)
     })
 }

@@ -1,0 +1,89 @@
+//! `dut-obs`: metrics + tracing for the distributed uniformity
+//! testing workspace.
+//!
+//! Two complementary pieces:
+//!
+//! * **Metrics** — a process-wide [`metrics::Registry`] of atomic
+//!   counters, gauges, and log-bucketed histograms. Always on;
+//!   recording is a single relaxed atomic add, so the Monte-Carlo hot
+//!   paths in `dut-stats` and `dut-simnet` can count samples, bits,
+//!   and verdicts without contention.
+//! * **Tracing** — span-style structured events routed through a
+//!   [`Recorder`] to pluggable [`Sink`]s: a JSONL file sink
+//!   ([`JsonlSink`], enabled via the `DUT_TRACE` env var), an
+//!   in-memory sink for tests ([`MemorySink`]), and a no-op default
+//!   that reduces every instrumentation site to one relaxed atomic
+//!   load.
+//!
+//! Traces are analyzed offline by [`report`] (the `dut report`
+//! subcommand).
+//!
+//! ```
+//! let _guard = dut_obs::span!("e1.sweep_k", k = 64u64);
+//! dut_obs::metrics::global().add(dut_obs::metrics::Counter::SamplesDrawn, 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+pub mod trace;
+
+pub use recorder::{global, init_from_env, snapshot_event, Recorder, Span};
+pub use report::Report;
+pub use sink::{JsonlSink, MemorySink, Sink};
+pub use trace::{Event, Value};
+
+/// Opens a span on the global recorder; the returned guard emits a
+/// `"span"` event (with `elapsed_us`) when dropped.
+///
+/// ```
+/// let _guard = dut_obs::span!("e1.sweep_k", k = 64u64, rule = "and");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::global().span($name)$(.with(stringify!($key), $value))*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sink::MemorySink;
+    use crate::trace::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_macro_names_and_fields() {
+        let recorder = crate::Recorder::new();
+        let sink = Arc::new(MemorySink::new());
+        recorder.install_sink(sink.clone());
+        // The macro targets the global recorder; exercise the same
+        // expansion shape against a local one.
+        {
+            let _guard = recorder
+                .span("unit.phase")
+                .with("k", 8u64)
+                .with("rule", "or");
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].field("name"),
+            Some(&Value::Str("unit.phase".into()))
+        );
+        assert_eq!(events[0].field("k"), Some(&Value::U64(8)));
+        assert_eq!(events[0].field("rule"), Some(&Value::Str("or".into())));
+    }
+
+    #[test]
+    fn span_macro_compiles_against_global() {
+        // Global recorder has no sinks in tests → guard is a no-op,
+        // but the macro expansion must type-check with mixed fields.
+        let _guard = crate::span!("lib.smoke", k = 4u64, eps = 0.25, rule = "and");
+    }
+}

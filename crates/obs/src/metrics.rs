@@ -1,0 +1,394 @@
+//! Lock-free metrics: counters, gauges, and log-bucketed histograms.
+//!
+//! Metrics are the always-on half of the observability layer: every
+//! well-known quantity (samples drawn, message bits, verdicts, search
+//! probes, …) has a fixed slot in a global [`Registry`], updated with
+//! relaxed atomics so the hot paths in `dut-simnet` and `dut-stats`
+//! never contend on a lock. A [`snapshot`](Registry::snapshot) turns
+//! the registry into plain data for trace sinks and `dut report`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Well-known counters, one fixed slot each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Protocol executions completed (`Network` and `FaultyNetwork`).
+    NetRuns,
+    /// Samples drawn across all players, summed over runs.
+    SamplesDrawn,
+    /// Message bits delivered to the referee.
+    BitsSent,
+    /// Referee accept verdicts.
+    VerdictAccept,
+    /// Referee reject verdicts.
+    VerdictReject,
+    /// Players that crashed before sending (fault injection).
+    FaultsCrashed,
+    /// Messages lost in transit (fault injection).
+    FaultsMessagesLost,
+    /// Monte-Carlo trials executed by `run_trials`/`run_measurements`.
+    TrialsRun,
+    /// Predicate evaluations spent inside `minimal_sufficient`.
+    SearchProbes,
+    /// Scaling-law fits computed by `dut-stats::sweep`.
+    SweepFits,
+}
+
+impl Counter {
+    const COUNT: usize = 10;
+
+    /// All counters, in slot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::NetRuns,
+        Counter::SamplesDrawn,
+        Counter::BitsSent,
+        Counter::VerdictAccept,
+        Counter::VerdictReject,
+        Counter::FaultsCrashed,
+        Counter::FaultsMessagesLost,
+        Counter::TrialsRun,
+        Counter::SearchProbes,
+        Counter::SweepFits,
+    ];
+
+    /// The stable name used in trace snapshots.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::NetRuns => "net_runs",
+            Counter::SamplesDrawn => "samples_drawn",
+            Counter::BitsSent => "bits_sent",
+            Counter::VerdictAccept => "verdict_accept",
+            Counter::VerdictReject => "verdict_reject",
+            Counter::FaultsCrashed => "faults_crashed",
+            Counter::FaultsMessagesLost => "faults_messages_lost",
+            Counter::TrialsRun => "trials_run",
+            Counter::SearchProbes => "search_probes",
+            Counter::SweepFits => "sweep_fits",
+        }
+    }
+}
+
+/// Well-known gauges (last-written-wins values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Worker threads chosen by the most recent `run_trials` call.
+    RunnerThreads,
+}
+
+impl Gauge {
+    const COUNT: usize = 1;
+
+    /// All gauges, in slot order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::RunnerThreads];
+
+    /// The stable name used in trace snapshots.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::RunnerThreads => "runner_threads",
+        }
+    }
+}
+
+/// Well-known histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistogramId {
+    /// Wall-clock microseconds of each `run_trials` worker batch.
+    TrialBatchMicros,
+    /// Wall-clock microseconds of each search probe.
+    ProbeMicros,
+    /// Samples drawn per protocol execution.
+    RunSamples,
+}
+
+impl HistogramId {
+    const COUNT: usize = 3;
+
+    /// All histograms, in slot order.
+    pub const ALL: [HistogramId; HistogramId::COUNT] = [
+        HistogramId::TrialBatchMicros,
+        HistogramId::ProbeMicros,
+        HistogramId::RunSamples,
+    ];
+
+    /// The stable name used in trace snapshots.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramId::TrialBatchMicros => "trial_batch_micros",
+            HistogramId::ProbeMicros => "probe_micros",
+            HistogramId::RunSamples => "run_samples",
+        }
+    }
+}
+
+/// Number of power-of-two buckets: bucket `b` holds values with
+/// `bucket_index(v) == b`, i.e. `0`, then `[2^(b-1), 2^b)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index of a value: `0` for `0`, else `1 + floor(log2 v)`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The smallest value landing in bucket `index`.
+#[must_use]
+pub fn bucket_low(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// A log-bucketed histogram with atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    const fn new() -> Self {
+        // `AtomicU64` is not Copy; build the array with a const block.
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(bucket_low, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_low(i), n))
+            })
+            .collect()
+    }
+}
+
+/// The metrics registry: fixed atomic slots for every well-known
+/// metric. All methods are `&self` and lock-free.
+#[derive(Debug)]
+pub struct Registry {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+    histograms: [Histogram; HistogramId::COUNT],
+}
+
+impl Registry {
+    /// An all-zero registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counters: [const { AtomicU64::new(0) }; Counter::COUNT],
+            gauges: [const { AtomicU64::new(0) }; Gauge::COUNT],
+            histograms: [const { Histogram::new() }; HistogramId::COUNT],
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, counter: Counter, delta: u64) {
+        self.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Reads a counter.
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Reads a gauge.
+    #[must_use]
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&self, histogram: HistogramId, value: u64) {
+        self.histograms[histogram as usize].record(value);
+    }
+
+    /// Access to a histogram's current state.
+    #[must_use]
+    pub fn histogram(&self, histogram: HistogramId) -> &Histogram {
+        &self.histograms[histogram as usize]
+    }
+
+    /// A plain-data copy of every metric, for serialization.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c.name(), self.counter(c)))
+                .collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .map(|&g| (g.name(), self.gauge(g)))
+                .collect(),
+            histograms: HistogramId::ALL
+                .iter()
+                .map(|&h| {
+                    let hist = self.histogram(h);
+                    HistogramSnapshot {
+                        name: h.name(),
+                        count: hist.count(),
+                        sum: hist.sum(),
+                        buckets: hist.nonzero_buckets(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Stable metric name.
+    pub name: &'static str,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// `(bucket_low, count)` pairs for non-empty buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Plain-data view of the whole registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry used by instrumented crates.
+#[must_use]
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            // Every bucket's low edge maps back to that bucket.
+            assert_eq!(bucket_index(bucket_low(i)), i, "bucket {i}");
+            // One below the low edge lands strictly lower.
+            assert!(bucket_index(bucket_low(i) - 1) < i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 3, 8, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 22);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (2, 1), (8, 2)]);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let r = Registry::new();
+        r.incr(Counter::NetRuns);
+        r.add(Counter::SamplesDrawn, 40);
+        assert_eq!(r.counter(Counter::NetRuns), 1);
+        assert_eq!(r.counter(Counter::SamplesDrawn), 40);
+        r.set_gauge(Gauge::RunnerThreads, 8);
+        assert_eq!(r.gauge(Gauge::RunnerThreads), 8);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        r.incr(Counter::TrialsRun);
+                        r.observe(HistogramId::RunSamples, 5);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter(Counter::TrialsRun), 80_000);
+        assert_eq!(r.histogram(HistogramId::RunSamples).count(), 80_000);
+        assert_eq!(r.histogram(HistogramId::RunSamples).sum(), 400_000);
+    }
+
+    #[test]
+    fn snapshot_carries_all_names() {
+        let r = Registry::new();
+        r.add(Counter::BitsSent, 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), Counter::ALL.len());
+        assert!(snap.counters.contains(&("bits_sent", 3)));
+        assert_eq!(snap.histograms.len(), HistogramId::ALL.len());
+    }
+}

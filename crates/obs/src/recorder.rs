@@ -1,0 +1,360 @@
+//! The recorder: routes events to sinks, tracks spans, and owns the
+//! enabled/verbosity fast-path flags.
+
+use crate::metrics;
+use crate::sink::{JsonlSink, Sink};
+use crate::trace::{Event, Value};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A cheap, cloneable handle to the tracing pipeline.
+///
+/// With no sinks installed every `emit_with` / `span` call reduces to
+/// one relaxed atomic load (plus an `Instant::now` for spans), so
+/// instrumented hot paths cost near-zero when tracing is off.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: AtomicBool,
+    verbose: AtomicBool,
+    sinks: RwLock<Vec<Arc<dyn Sink>>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for dyn Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sink")
+    }
+}
+
+impl Recorder {
+    /// A disabled recorder with no sinks.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                verbose: AtomicBool::new(false),
+                sinks: RwLock::new(Vec::new()),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Whether any sink is installed (the fast-path check).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Whether per-execution (high-volume) events should be emitted.
+    #[must_use]
+    pub fn is_verbose(&self) -> bool {
+        self.inner.verbose.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables per-execution events.
+    pub fn set_verbose(&self, verbose: bool) {
+        self.inner.verbose.store(verbose, Ordering::Relaxed);
+    }
+
+    /// Installs a sink and enables the recorder.
+    pub fn install_sink(&self, sink: Arc<dyn Sink>) {
+        self.inner.sinks.write().push(sink);
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes all sinks and disables the recorder (mainly for tests).
+    pub fn clear_sinks(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+        self.inner.sinks.write().clear();
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in self.inner.sinks.read().iter() {
+            sink.flush();
+        }
+    }
+
+    /// Microseconds since this recorder was created.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Emits an event (timestamping it) if any sink is installed.
+    pub fn emit(&self, event: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit_now(event);
+    }
+
+    /// Emits lazily: `build` runs only when a sink is installed, so
+    /// disabled tracing pays no field formatting.
+    pub fn emit_with(&self, build: impl FnOnce() -> Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit_now(build());
+    }
+
+    /// Like [`emit_with`](Self::emit_with), but only at verbose level
+    /// (per-execution events).
+    pub fn emit_verbose_with(&self, build: impl FnOnce() -> Event) {
+        if !self.is_enabled() || !self.is_verbose() {
+            return;
+        }
+        self.emit_now(build());
+    }
+
+    fn emit_now(&self, mut event: Event) {
+        event.ts_micros = self.now_micros();
+        for sink in self.inner.sinks.read().iter() {
+            sink.record(&event);
+        }
+    }
+
+    /// Starts a span; its wall time is recorded as a `"span"` event
+    /// when the returned guard drops.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            recorder: self.clone(),
+            name,
+            fields: Vec::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Emits a `"metrics"` snapshot event of the global registry.
+    pub fn emit_metrics_snapshot(&self) {
+        self.emit_with(|| snapshot_event(&metrics::global().snapshot()));
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard measuring one span; see [`Recorder::span`].
+#[derive(Debug)]
+pub struct Span {
+    recorder: Recorder,
+    name: &'static str,
+    fields: Vec<(&'static str, Value)>,
+    start: Instant,
+}
+
+impl Span {
+    /// Attaches a field to the span's closing event.
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let elapsed = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut event = Event::new("span")
+            .with("name", self.name)
+            .with("elapsed_us", elapsed);
+        event.fields.append(&mut self.fields);
+        self.recorder.emit_now(event);
+    }
+}
+
+/// Builds the `"metrics"` event from a registry snapshot.
+#[must_use]
+pub fn snapshot_event(snapshot: &metrics::Snapshot) -> Event {
+    use std::fmt::Write as _;
+    let mut counters = String::from("{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        let _ = write!(counters, "\"{name}\":{value}");
+    }
+    counters.push('}');
+
+    let mut gauges = String::from("{");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            gauges.push(',');
+        }
+        let _ = write!(gauges, "\"{name}\":{value}");
+    }
+    gauges.push('}');
+
+    let mut histograms = String::from("{");
+    for (i, hist) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            histograms.push(',');
+        }
+        let _ = write!(
+            histograms,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+            hist.name, hist.count, hist.sum
+        );
+        for (j, (low, count)) in hist.buckets.iter().enumerate() {
+            if j > 0 {
+                histograms.push(',');
+            }
+            let _ = write!(histograms, "[{low},{count}]");
+        }
+        histograms.push_str("]}");
+    }
+    histograms.push('}');
+
+    Event::new("metrics")
+        .with("counters", Value::Raw(counters))
+        .with("gauges", Value::Raw(gauges))
+        .with("histograms", Value::Raw(histograms))
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+static ENV_INIT: OnceLock<Option<String>> = OnceLock::new();
+
+/// The process-wide recorder used by instrumented crates.
+#[must_use]
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// Installs a JSONL sink on the global recorder if `DUT_TRACE` names a
+/// path, and enables verbose per-execution events if
+/// `DUT_TRACE_VERBOSE` is `1`/`true`. Idempotent: only the first call
+/// acts. Returns the trace path if one was installed.
+pub fn init_from_env() -> Option<String> {
+    ENV_INIT
+        .get_or_init(|| {
+            let path = std::env::var("DUT_TRACE").ok().filter(|p| !p.is_empty())?;
+            match JsonlSink::create(&path) {
+                Ok(sink) => {
+                    let recorder = global();
+                    recorder.install_sink(Arc::new(sink));
+                    if matches!(
+                        std::env::var("DUT_TRACE_VERBOSE").as_deref(),
+                        Ok("1" | "true")
+                    ) {
+                        recorder.set_verbose(true);
+                    }
+                    Some(path)
+                }
+                Err(error) => {
+                    eprintln!("warning: cannot open DUT_TRACE file `{path}`: {error}");
+                    None
+                }
+            }
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let r = Recorder::new();
+        r.emit(Event::new("x"));
+        r.emit_with(|| panic!("must not build when disabled"));
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn events_reach_installed_sink_with_timestamps() {
+        let r = Recorder::new();
+        let sink = Arc::new(MemorySink::new());
+        r.install_sink(sink.clone());
+        r.emit(Event::new("first"));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        r.emit(Event::new("second"));
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].ts_micros > events[0].ts_micros);
+    }
+
+    #[test]
+    fn verbose_gating() {
+        let r = Recorder::new();
+        let sink = Arc::new(MemorySink::new());
+        r.install_sink(sink.clone());
+        r.emit_verbose_with(|| Event::new("hot"));
+        assert!(sink.is_empty(), "verbose events suppressed by default");
+        r.set_verbose(true);
+        r.emit_verbose_with(|| Event::new("hot"));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn span_records_elapsed() {
+        let r = Recorder::new();
+        let sink = Arc::new(MemorySink::new());
+        r.install_sink(sink.clone());
+        {
+            let _span = r.span("unit.work").with("k", 4u64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "span");
+        assert_eq!(
+            events[0].field("name"),
+            Some(&Value::Str("unit.work".into()))
+        );
+        let Some(Value::U64(us)) = events[0].field("elapsed_us") else {
+            panic!("missing elapsed_us");
+        };
+        assert!(*us >= 1_000, "elapsed {us}us");
+        assert_eq!(events[0].field("k"), Some(&Value::U64(4)));
+    }
+
+    #[test]
+    fn snapshot_event_is_valid_json() {
+        let registry = metrics::Registry::new();
+        registry.add(metrics::Counter::SamplesDrawn, 7);
+        registry.observe(metrics::HistogramId::RunSamples, 7);
+        let event = snapshot_event(&registry.snapshot());
+        let parsed = crate::json::parse(&event.to_json_line()).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("samples_drawn"))
+                .and_then(crate::json::Json::as_u64),
+            Some(7)
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("run_samples"))
+            .unwrap();
+        assert_eq!(
+            hist.get("count").and_then(crate::json::Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn clear_sinks_disables() {
+        let r = Recorder::new();
+        r.install_sink(Arc::new(MemorySink::new()));
+        assert!(r.is_enabled());
+        r.clear_sinks();
+        assert!(!r.is_enabled());
+    }
+}

@@ -1,0 +1,505 @@
+//! Trace aggregation: turns a JSONL trace into a human-readable
+//! profile (`dut report <trace.jsonl>`).
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Snapshot of one histogram: (count, sum, non-empty buckets as
+/// (upper-bound, count) pairs).
+pub type HistogramSnapshot = (u64, u64, Vec<(u64, u64)>);
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of span instances.
+    pub count: u64,
+    /// Total wall time across instances, microseconds.
+    pub total_micros: u64,
+}
+
+/// Aggregated view of one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Manifest fields (flattened key → display string), if present.
+    pub manifest: BTreeMap<String, String>,
+    /// Per-span-name wall-time totals.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Search probes seen (`value`, `sufficient`, `elapsed_us`).
+    pub probes: Vec<(u64, bool, u64)>,
+    /// Completed searches: (minimal, evaluations, saturated).
+    pub searches: Vec<(u64, u64, bool)>,
+    /// Final metrics snapshot: counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Final metrics snapshot: gauge name → value.
+    pub gauges: BTreeMap<String, u64>,
+    /// Final metrics snapshot: histogram name → (count, sum, buckets).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-execution events seen (verbose traces only).
+    pub net_runs: u64,
+    /// Trial batches seen.
+    pub trial_batches: u64,
+    /// Largest event timestamp, microseconds.
+    pub last_ts_micros: u64,
+    /// Total events parsed.
+    pub events: u64,
+    /// Lines that failed to parse (malformed/truncated traces).
+    pub malformed_lines: u64,
+}
+
+impl Report {
+    /// Parses and aggregates a JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no line parses as a trace event.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut report = Report::default();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let Ok(value) = json::parse(trimmed) else {
+                report.malformed_lines += 1;
+                continue;
+            };
+            report.ingest(&value);
+        }
+        if report.events == 0 {
+            return Err("no parseable trace events found".into());
+        }
+        Ok(report)
+    }
+
+    fn ingest(&mut self, value: &Json) {
+        let Some(event) = value.get("event").and_then(Json::as_str) else {
+            self.malformed_lines += 1;
+            return;
+        };
+        self.events += 1;
+        if let Some(ts) = value.get("ts_us").and_then(Json::as_u64) {
+            self.last_ts_micros = self.last_ts_micros.max(ts);
+        }
+        match event {
+            "manifest" => {
+                if let Some(obj) = value.as_obj() {
+                    for (key, val) in obj {
+                        if key == "event" || key == "ts_us" {
+                            continue;
+                        }
+                        self.manifest.insert(key.clone(), display_json(val));
+                    }
+                }
+            }
+            "span" => {
+                let name = value
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unnamed>");
+                let elapsed = value.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+                let stats = self.spans.entry(name.to_owned()).or_default();
+                stats.count += 1;
+                stats.total_micros += elapsed;
+            }
+            "probe" => {
+                let v = value.get("value").and_then(Json::as_u64).unwrap_or(0);
+                let sufficient = matches!(value.get("sufficient"), Some(Json::Bool(true)));
+                let elapsed = value.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+                self.probes.push((v, sufficient, elapsed));
+            }
+            "search_done" => {
+                let minimal = value.get("minimal").and_then(Json::as_u64).unwrap_or(0);
+                let evals = value.get("evaluations").and_then(Json::as_u64).unwrap_or(0);
+                let saturated = matches!(value.get("saturated"), Some(Json::Bool(true)));
+                self.searches.push((minimal, evals, saturated));
+            }
+            "metrics" => {
+                if let Some(counters) = value.get("counters").and_then(Json::as_obj) {
+                    self.counters = counters
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                        .collect();
+                }
+                if let Some(gauges) = value.get("gauges").and_then(Json::as_obj) {
+                    self.gauges = gauges
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                        .collect();
+                }
+                if let Some(histograms) = value.get("histograms").and_then(Json::as_obj) {
+                    self.histograms = histograms
+                        .iter()
+                        .filter_map(|(k, v)| {
+                            let count = v.get("count")?.as_u64()?;
+                            let sum = v.get("sum")?.as_u64()?;
+                            let buckets = match v.get("buckets") {
+                                Some(Json::Arr(pairs)) => pairs
+                                    .iter()
+                                    .filter_map(|p| match p {
+                                        Json::Arr(pair) if pair.len() == 2 => {
+                                            Some((pair[0].as_u64()?, pair[1].as_u64()?))
+                                        }
+                                        _ => None,
+                                    })
+                                    .collect(),
+                                _ => Vec::new(),
+                            };
+                            Some((k.clone(), (count, sum, buckets)))
+                        })
+                        .collect();
+                }
+            }
+            "net_run" => self.net_runs += 1,
+            "trial_batch" => self.trial_batches += 1,
+            _ => {}
+        }
+    }
+
+    /// A named counter from the final snapshot (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== dut trace report ==");
+        if !self.manifest.is_empty() {
+            let _ = writeln!(out, "\nmanifest:");
+            for (key, value) in &self.manifest {
+                let _ = writeln!(out, "  {key:<16} {value}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nevents: {} parsed{}  trace span: {}",
+            self.events,
+            if self.malformed_lines > 0 {
+                format!(" ({} malformed lines skipped)", self.malformed_lines)
+            } else {
+                String::new()
+            },
+            human_micros(self.last_ts_micros)
+        );
+
+        if !self.spans.is_empty() {
+            let mut spans: Vec<(&String, &SpanStats)> = self.spans.iter().collect();
+            spans.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_micros));
+            let grand_total: u64 = spans.iter().map(|(_, s)| s.total_micros).sum();
+            let _ = writeln!(out, "\nper-phase wall time:");
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>6} {:>12} {:>7}",
+                "phase", "count", "total", "share"
+            );
+            for (name, stats) in spans {
+                let share = if grand_total > 0 {
+                    100.0 * stats.total_micros as f64 / grand_total as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>6} {:>12} {share:>6.1}%",
+                    name,
+                    stats.count,
+                    human_micros(stats.total_micros)
+                );
+            }
+        }
+
+        if !self.probes.is_empty() || !self.searches.is_empty() {
+            let _ = writeln!(out, "\nsearch activity:");
+            if !self.probes.is_empty() {
+                let sufficient = self.probes.iter().filter(|p| p.1).count();
+                let probe_time: u64 = self.probes.iter().map(|p| p.2).sum();
+                let _ = writeln!(
+                    out,
+                    "  probes: {} ({} sufficient, {} insufficient), {} probing",
+                    self.probes.len(),
+                    sufficient,
+                    self.probes.len() - sufficient,
+                    human_micros(probe_time)
+                );
+            }
+            if !self.searches.is_empty() {
+                let evals: u64 = self.searches.iter().map(|s| s.1).sum();
+                let saturated = self.searches.iter().filter(|s| s.2).count();
+                let _ = writeln!(
+                    out,
+                    "  searches: {} completed, {} evaluations total{}",
+                    self.searches.len(),
+                    evals,
+                    if saturated > 0 {
+                        format!(", {saturated} saturated")
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let accepts = self.counter("verdict_accept");
+            let rejects = self.counter("verdict_reject");
+            let runs = self.counter("net_runs");
+            let _ = writeln!(out, "\ntotals (final metrics snapshot):");
+            let _ = writeln!(out, "  protocol runs    {}", human_count(runs));
+            if accepts + rejects > 0 {
+                let _ = writeln!(
+                    out,
+                    "  verdicts         {} accept ({:.1}%), {} reject ({:.1}%)",
+                    human_count(accepts),
+                    100.0 * accepts as f64 / (accepts + rejects) as f64,
+                    human_count(rejects),
+                    100.0 * rejects as f64 / (accepts + rejects) as f64,
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  samples drawn    {}",
+                human_count(self.counter("samples_drawn"))
+            );
+            let _ = writeln!(
+                out,
+                "  message bits     {}",
+                human_count(self.counter("bits_sent"))
+            );
+            let _ = writeln!(
+                out,
+                "  mc trials        {}",
+                human_count(self.counter("trials_run"))
+            );
+            let _ = writeln!(
+                out,
+                "  search probes    {}",
+                human_count(self.counter("search_probes"))
+            );
+            let crashed = self.counter("faults_crashed");
+            let lost = self.counter("faults_messages_lost");
+            if crashed + lost > 0 {
+                let _ = writeln!(
+                    out,
+                    "  faults           {} crashed, {} messages lost",
+                    human_count(crashed),
+                    human_count(lost)
+                );
+            }
+            if let Some(&threads) = self.gauges.get("runner_threads").filter(|&&t| t > 0) {
+                let _ = writeln!(out, "  runner threads   {threads}");
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms (log2 buckets):");
+            for (name, (count, sum, buckets)) in &self.histograms {
+                if *count == 0 {
+                    continue;
+                }
+                #[allow(clippy::cast_precision_loss)]
+                let mean = *sum as f64 / *count as f64;
+                let _ = writeln!(
+                    out,
+                    "  {name:<20} count={count} mean={mean:.1} p50≈{} max_bucket≈{}",
+                    approx_quantile(buckets, *count, 0.5),
+                    buckets.last().map_or(0, |b| b.0),
+                );
+            }
+        }
+
+        if self.net_runs > 0 || self.trial_batches > 0 {
+            let _ = writeln!(
+                out,
+                "\nverbose events: {} net_run, {} trial_batch",
+                self.net_runs, self.trial_batches
+            );
+        }
+        out
+    }
+}
+
+/// Approximate quantile from log buckets: the low edge of the bucket
+/// where the cumulative count crosses `q`.
+fn approx_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss,
+        clippy::cast_possible_truncation
+    )]
+    let target = (count as f64 * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for &(low, n) in buckets {
+        seen += n;
+        if seen >= target {
+            return low;
+        }
+    }
+    buckets.last().map_or(0, |b| b.0)
+}
+
+fn display_json(value: &Json) -> String {
+    match value {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(x) => {
+            if x.fract() == 0.0 && x.abs() < 9e15 {
+                format!("{x:.0}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Json::Str(s) => s.clone(),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(display_json).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{k}={}", display_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+/// `1234567` → `1.23M`-style counts.
+fn human_count(n: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let x = n as f64;
+    if n < 10_000 {
+        n.to_string()
+    } else if x < 1e6 {
+        format!("{:.1}k", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.2}M", x / 1e6)
+    } else {
+        format!("{:.2}G", x / 1e9)
+    }
+}
+
+/// Microseconds → human time.
+fn human_micros(us: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let x = us as f64;
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if x < 1e6 {
+        format!("{:.2} ms", x / 1e3)
+    } else {
+        format!("{:.2} s", x / 1e6)
+    }
+}
+
+/// Reads, aggregates, and renders a trace file.
+///
+/// # Errors
+///
+/// Returns an error when the file is unreadable or contains no events.
+pub fn summarize_file(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    let report = Report::from_jsonl(&text)?;
+    Ok(report.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::snapshot_event;
+    use crate::trace::Event;
+
+    fn sample_trace() -> String {
+        let registry = crate::metrics::Registry::new();
+        registry.add(crate::metrics::Counter::NetRuns, 100);
+        registry.add(crate::metrics::Counter::SamplesDrawn, 6_400);
+        registry.add(crate::metrics::Counter::BitsSent, 800);
+        registry.add(crate::metrics::Counter::VerdictAccept, 70);
+        registry.add(crate::metrics::Counter::VerdictReject, 30);
+        registry.set_gauge(crate::metrics::Gauge::RunnerThreads, 4);
+        registry.observe(crate::metrics::HistogramId::RunSamples, 64);
+        let mut lines = vec![
+            Event::new("manifest")
+                .with("experiment", "e1_test")
+                .with("seed", 7u64)
+                .to_json_line(),
+            Event::new("span")
+                .with("name", "e1.sweep_k")
+                .with("elapsed_us", 5_000u64)
+                .to_json_line(),
+            Event::new("span")
+                .with("name", "e1.sweep_k")
+                .with("elapsed_us", 3_000u64)
+                .to_json_line(),
+            Event::new("probe")
+                .with("value", 32u64)
+                .with("sufficient", false)
+                .with("elapsed_us", 700u64)
+                .to_json_line(),
+            Event::new("probe")
+                .with("value", 64u64)
+                .with("sufficient", true)
+                .with("elapsed_us", 900u64)
+                .to_json_line(),
+            Event::new("search_done")
+                .with("minimal", 64u64)
+                .with("evaluations", 2u64)
+                .with("saturated", false)
+                .to_json_line(),
+        ];
+        lines.push(snapshot_event(&registry.snapshot()).to_json_line());
+        lines.join("\n")
+    }
+
+    #[test]
+    fn aggregates_spans_probes_and_metrics() {
+        let report = Report::from_jsonl(&sample_trace()).unwrap();
+        assert_eq!(report.manifest.get("experiment").unwrap(), "e1_test");
+        let sweep = report.spans.get("e1.sweep_k").unwrap();
+        assert_eq!(sweep.count, 2);
+        assert_eq!(sweep.total_micros, 8_000);
+        assert_eq!(report.probes.len(), 2);
+        assert_eq!(report.searches, vec![(64, 2, false)]);
+        assert_eq!(report.counter("net_runs"), 100);
+        assert_eq!(report.counter("samples_drawn"), 6_400);
+        assert_eq!(report.gauges.get("runner_threads"), Some(&4));
+        assert_eq!(report.histograms.get("run_samples").unwrap().0, 1);
+    }
+
+    #[test]
+    fn render_mentions_required_sections() {
+        let report = Report::from_jsonl(&sample_trace()).unwrap();
+        let text = report.render();
+        assert!(text.contains("per-phase wall time"), "{text}");
+        assert!(text.contains("e1.sweep_k"), "{text}");
+        assert!(text.contains("samples drawn"), "{text}");
+        assert!(text.contains("message bits"), "{text}");
+        assert!(text.contains("accept"), "{text}");
+        assert!(text.contains("probes: 2"), "{text}");
+    }
+
+    #[test]
+    fn tolerates_malformed_lines() {
+        let text = format!("not json\n{}\n{{\"truncated\":", sample_trace());
+        let report = Report::from_jsonl(&text).unwrap();
+        assert_eq!(report.malformed_lines, 2);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(Report::from_jsonl("").is_err());
+        assert!(Report::from_jsonl("garbage\n").is_err());
+    }
+
+    #[test]
+    fn quantile_approximation() {
+        // 10 values in bucket 8, 10 in bucket 64.
+        let buckets = vec![(8u64, 10u64), (64, 10)];
+        assert_eq!(approx_quantile(&buckets, 20, 0.5), 8);
+        assert_eq!(approx_quantile(&buckets, 20, 0.9), 64);
+    }
+}

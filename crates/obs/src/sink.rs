@@ -1,0 +1,139 @@
+//! Pluggable trace sinks.
+
+use crate::trace::Event;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+/// Receives every emitted trace event.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// In-memory sink for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of all recorded events.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Drains and returns all recorded events.
+    #[must_use]
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Writes events as JSON Lines to a file (one object per line).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file, making parent directories
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory or file creation.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        let mut writer = self.writer.lock();
+        // Trace output is best-effort; losing a line must never panic
+        // the instrumented experiment.
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_stores_events() {
+        let sink = MemorySink::new();
+        sink.record(&Event::new("a").with("x", 1u64));
+        sink.record(&Event::new("b"));
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert_eq!(events[0].name, "a");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("dut_obs_sink_test");
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event::new("one").with("v", 1u64));
+        sink.record(&Event::new("two").with("v", 2u64));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"one\""));
+        crate::json::parse(lines[1]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,172 @@
+//! Trace events and spans.
+
+use crate::json;
+
+/// A field value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Pre-serialized JSON, embedded verbatim (for nested payloads
+    /// like metric snapshots or experiment configs).
+    Raw(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured trace event.
+///
+/// Serialized as a single JSON Lines record:
+/// `{"event":"<name>","ts_us":<t>,<fields...>}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event type name (e.g. `"span"`, `"probe"`, `"manifest"`).
+    pub name: &'static str,
+    /// Microseconds since the recorder's epoch (set at emit time).
+    pub ts_micros: u64,
+    /// Ordered key/value fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields (timestamp is set by the recorder).
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            ts_micros: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field append.
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find_map(|(k, v)| (*k == key).then_some(v))
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"event\":");
+        json::write_escaped(&mut out, self.name);
+        out.push_str(",\"ts_us\":");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", self.ts_micros));
+        for (key, value) in &self.fields {
+            out.push(',');
+            json::write_escaped(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                Value::I64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                Value::F64(v) => json::write_f64(&mut out, *v),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(s) => json::write_escaped(&mut out, s),
+                Value::Raw(raw) => out.push_str(raw),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn event_serializes_to_parseable_json() {
+        let e = Event {
+            ts_micros: 17,
+            ..Event::new("probe")
+        }
+        .with("value", 64u64)
+        .with("sufficient", true)
+        .with("rate", 0.625)
+        .with("rule", "and")
+        .with("cfg", Value::Raw("{\"n\":8}".into()));
+        let line = e.to_json_line();
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("probe"));
+        assert_eq!(parsed.get("ts_us").and_then(Json::as_u64), Some(17));
+        assert_eq!(parsed.get("value").and_then(Json::as_u64), Some(64));
+        assert_eq!(parsed.get("sufficient"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("rate").and_then(Json::as_f64), Some(0.625));
+        assert_eq!(
+            parsed
+                .get("cfg")
+                .and_then(|c| c.get("n"))
+                .and_then(Json::as_u64),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = Event::new("x").with("a", 1u64);
+        assert_eq!(e.field("a"), Some(&Value::U64(1)));
+        assert_eq!(e.field("b"), None);
+    }
+}

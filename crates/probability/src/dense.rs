@@ -81,7 +81,9 @@ impl DenseDistribution {
     #[must_use]
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "uniform distribution needs a non-empty domain");
-        Self { probs: vec![1.0 / n as f64; n] }
+        Self {
+            probs: vec![1.0 / n as f64; n],
+        }
     }
 
     /// Number of elements in the domain.
@@ -195,13 +197,19 @@ mod tests {
     #[test]
     fn new_rejects_negative_mass() {
         let err = DenseDistribution::new(vec![0.5, -0.1, 0.6]).unwrap_err();
-        assert!(matches!(err, DistributionError::InvalidMass { index: 1, .. }));
+        assert!(matches!(
+            err,
+            DistributionError::InvalidMass { index: 1, .. }
+        ));
     }
 
     #[test]
     fn new_rejects_nan() {
         let err = DenseDistribution::new(vec![0.5, f64::NAN, 0.5]).unwrap_err();
-        assert!(matches!(err, DistributionError::InvalidMass { index: 1, .. }));
+        assert!(matches!(
+            err,
+            DistributionError::InvalidMass { index: 1, .. }
+        ));
     }
 
     #[test]

@@ -393,8 +393,7 @@ mod tests {
         let a = dist(&[0.7, 0.3]);
         let b = dist(&[0.4, 0.6]);
         assert!(
-            (jensen_shannon_divergence(&a, &b) - jensen_shannon_divergence(&b, &a)).abs()
-                < 1e-12
+            (jensen_shannon_divergence(&a, &b) - jensen_shannon_divergence(&b, &a)).abs() < 1e-12
         );
     }
 

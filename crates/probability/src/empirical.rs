@@ -100,7 +100,10 @@ impl Histogram {
     /// `C(q,2) · ‖μ‖₂²` — the statistic of the collision tester.
     #[must_use]
     pub fn collision_count(&self) -> u64 {
-        self.counts.iter().map(|&c| c * c.saturating_sub(1) / 2).sum()
+        self.counts
+            .iter()
+            .map(|&c| c * c.saturating_sub(1) / 2)
+            .sum()
     }
 
     /// Paninski's coincidence count: `q − (#distinct elements observed)`.
@@ -180,9 +183,7 @@ impl Histogram {
                 value: alpha,
             });
         }
-        DenseDistribution::from_weights(
-            self.counts.iter().map(|&c| c as f64 + alpha).collect(),
-        )
+        DenseDistribution::from_weights(self.counts.iter().map(|&c| c as f64 + alpha).collect())
     }
 
     /// ℓ₁ distance between the empirical distribution and a reference.

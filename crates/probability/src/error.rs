@@ -65,11 +65,17 @@ mod tests {
     fn display_is_informative() {
         let err = DistributionError::NotNormalized { sum: 0.5 };
         assert!(err.to_string().contains("0.5"));
-        let err = DistributionError::InvalidMass { index: 3, value: -0.1 };
+        let err = DistributionError::InvalidMass {
+            index: 3,
+            value: -0.1,
+        };
         assert!(err.to_string().contains("index 3"));
         let err = DistributionError::DomainMismatch { left: 4, right: 8 };
         assert!(err.to_string().contains("4 vs 8"));
-        let err = DistributionError::InvalidParameter { name: "epsilon", value: 2.0 };
+        let err = DistributionError::InvalidParameter {
+            name: "epsilon",
+            value: 2.0,
+        };
         assert!(err.to_string().contains("epsilon"));
         let err = DistributionError::EmptySupport;
         assert!(!err.to_string().is_empty());

@@ -107,7 +107,10 @@ pub fn zipf(n: usize, s: f64) -> Result<DenseDistribution, DistributionError> {
         return Err(DistributionError::EmptySupport);
     }
     if !s.is_finite() || s < 0.0 {
-        return Err(DistributionError::InvalidParameter { name: "s", value: s });
+        return Err(DistributionError::InvalidParameter {
+            name: "s",
+            value: s,
+        });
     }
     let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
     DenseDistribution::from_weights(weights)
@@ -179,10 +182,7 @@ mod tests {
         for &eps in &[0.0, 0.1, 0.25, 0.5, 1.0] {
             let d = two_level(16, eps).unwrap();
             let u = uniform(16);
-            assert!(
-                (l1_distance(&d, &u) - eps).abs() < 1e-12,
-                "eps = {eps}"
-            );
+            assert!((l1_distance(&d, &u) - eps).abs() < 1e-12, "eps = {eps}");
         }
     }
 

@@ -167,12 +167,13 @@ mod tests {
         let q = 12;
         let trials = 5000;
         let mean: f64 = (0..trials)
-            .map(|_| {
-                crate::empirical::coincidence_count_of(&s.sample_many(q, &mut rng)) as f64
-            })
+            .map(|_| crate::empirical::coincidence_count_of(&s.sample_many(q, &mut rng)) as f64)
             .sum::<f64>()
             / trials as f64;
         let expected = expected_coincidences(&d, q as u64);
-        assert!((mean - expected).abs() < 0.15, "mean={mean} expected={expected}");
+        assert!(
+            (mean - expected).abs() < 0.15,
+            "mean={mean} expected={expected}"
+        );
     }
 }

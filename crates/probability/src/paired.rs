@@ -223,8 +223,15 @@ impl PerturbationVector {
     /// Panics if `len == 0` or `len > 64`.
     #[must_use]
     pub fn from_code(len: usize, code: u64) -> Self {
-        assert!(len > 0 && len <= 64, "code-indexed vectors need len in 1..=64");
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        assert!(
+            len > 0 && len <= 64,
+            "code-indexed vectors need len in 1..=64"
+        );
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
         Self {
             bits: vec![code & mask],
             len,

@@ -1,8 +1,8 @@
 //! Property-based tests for the probability substrate.
 
 use dut_probability::{
-    distance, empirical, families, DenseDistribution, Histogram, PairedDomain,
-    PerturbationVector, Sampler,
+    distance, empirical, families, DenseDistribution, Histogram, PairedDomain, PerturbationVector,
+    Sampler,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;

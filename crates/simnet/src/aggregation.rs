@@ -8,7 +8,7 @@
 //! protocol; it demonstrates that the referee abstraction costs only
 //! diameter rounds and `O(log)` bandwidth on any connected graph.
 
-use crate::rounds::{RoundAlgorithm, RoundMessage, RoundNetwork, RoundModel, RoundStats};
+use crate::rounds::{RoundAlgorithm, RoundMessage, RoundModel, RoundNetwork, RoundStats};
 use crate::topology::Topology;
 use std::collections::HashMap;
 
@@ -149,11 +149,7 @@ mod tests {
     #[test]
     fn sums_on_star() {
         let topology = Topology::star(6);
-        let (sum, stats) = aggregate_sum(
-            &topology,
-            RoundModel::Local,
-            vec![10, 1, 2, 3, 4, 5],
-        );
+        let (sum, stats) = aggregate_sum(&topology, RoundModel::Local, vec![10, 1, 2, 3, 4, 5]);
         assert_eq!(sum, 25);
         // Every leaf reports exactly once.
         assert_eq!(stats.messages, 5);

@@ -114,10 +114,13 @@ impl FaultyNetwork {
         let shared_seed: u64 = rng.random();
         let mut bits: Vec<Option<bool>> = Vec::with_capacity(k);
         let mut samples_drawn = Vec::with_capacity(k);
+        let mut crashed = 0u64;
+        let mut lost = 0u64;
         for player_id in 0..k {
             if rng.random::<f64>() < self.faults.crash_probability {
                 bits.push(None);
                 samples_drawn.push(0);
+                crashed += 1;
                 continue;
             }
             let ctx = PlayerContext {
@@ -130,17 +133,14 @@ impl FaultyNetwork {
             let accept = player.accepts(&ctx, &samples);
             if rng.random::<f64>() < self.faults.message_loss_probability {
                 bits.push(None);
+                lost += 1;
             } else {
                 bits.push(Some(accept));
             }
         }
         let effective: Vec<bool> = match self.missing_policy {
-            MissingPolicy::AssumeAccept => {
-                bits.iter().map(|b| b.unwrap_or(true)).collect()
-            }
-            MissingPolicy::AssumeReject => {
-                bits.iter().map(|b| b.unwrap_or(false)).collect()
-            }
+            MissingPolicy::AssumeAccept => bits.iter().map(|b| b.unwrap_or(true)).collect(),
+            MissingPolicy::AssumeReject => bits.iter().map(|b| b.unwrap_or(false)).collect(),
             MissingPolicy::Exclude => bits.iter().filter_map(|&b| b).collect(),
         };
         let verdict = if effective.is_empty() {
@@ -148,6 +148,14 @@ impl FaultyNetwork {
         } else {
             rule.decide(&effective)
         };
+        let registry = dut_obs::metrics::global();
+        registry.add(dut_obs::metrics::Counter::FaultsCrashed, crashed);
+        registry.add(dut_obs::metrics::Counter::FaultsMessagesLost, lost);
+        crate::network::record_run(
+            verdict,
+            samples_drawn.iter().map(|&q| q as u64).sum(),
+            effective.len() as u64,
+        );
         let messages = effective
             .iter()
             .map(|&b| crate::message::Message::from_accept_bit(b))
@@ -200,11 +208,7 @@ mod tests {
     fn and_rule_fragile_under_loss_with_assume_accept() {
         // One rejecting player among 8 accepting ones; 50% loss.
         // Whenever ITS message is lost, the alarm vanishes.
-        let net = FaultyNetwork::new(
-            8,
-            FaultModel::new(0.0, 0.5),
-            MissingPolicy::AssumeAccept,
-        );
+        let net = FaultyNetwork::new(8, FaultModel::new(0.0, 0.5), MissingPolicy::AssumeAccept);
         let sampler = families::uniform(16).alias_sampler();
         let one_rejector = |ctx: &PlayerContext, _: &[usize]| ctx.player_id != 3;
         let mut r = rng(2);
@@ -223,11 +227,7 @@ mod tests {
 
     #[test]
     fn assume_reject_is_fail_safe_but_noisy() {
-        let net = FaultyNetwork::new(
-            8,
-            FaultModel::new(0.0, 0.5),
-            MissingPolicy::AssumeReject,
-        );
+        let net = FaultyNetwork::new(8, FaultModel::new(0.0, 0.5), MissingPolicy::AssumeReject);
         let sampler = families::uniform(16).alias_sampler();
         let mut r = rng(3);
         // All players accept, but losses turn into rejects: AND almost
@@ -245,11 +245,7 @@ mod tests {
 
     #[test]
     fn exclude_policy_shrinks_the_vote() {
-        let net = FaultyNetwork::new(
-            10,
-            FaultModel::new(0.5, 0.0),
-            MissingPolicy::Exclude,
-        );
+        let net = FaultyNetwork::new(10, FaultModel::new(0.5, 0.0), MissingPolicy::Exclude);
         let sampler = families::uniform(16).alias_sampler();
         let mut r = rng(4);
         let out = net.run(&sampler, 1, &AlwaysAccept, &DecisionRule::Majority, &mut r);
@@ -259,17 +255,79 @@ mod tests {
 
     #[test]
     fn total_silence_accepts_under_exclude() {
-        let net = FaultyNetwork::new(
-            4,
-            FaultModel::new(1.0, 0.0),
-            MissingPolicy::Exclude,
-        );
+        let net = FaultyNetwork::new(4, FaultModel::new(1.0, 0.0), MissingPolicy::Exclude);
         let sampler = families::uniform(4).alias_sampler();
         let out = net.run(&sampler, 1, &AlwaysReject, &DecisionRule::And, &mut rng(5));
         assert!(out.verdict.is_accept());
         assert_eq!(out.transcript.messages.len(), 0);
         // Crashed players drew no samples.
         assert_eq!(out.transcript.total_samples(), 0);
+    }
+
+    #[test]
+    fn combined_crash_and_loss_compound() {
+        // Both fault modes at once: crashes suppress sampling entirely,
+        // losses consume samples but drop the bit. Under AssumeReject
+        // every fault of either kind turns into a reject vote.
+        let net = FaultyNetwork::new(12, FaultModel::new(0.3, 0.3), MissingPolicy::AssumeReject);
+        let sampler = families::uniform(16).alias_sampler();
+        let mut r = rng(6);
+        let trials = 300;
+        let mut rejected = 0usize;
+        let mut zero_sample_players = 0usize;
+        let mut partial_sample_runs = 0usize;
+        for _ in 0..trials {
+            let out = net.run(&sampler, 2, &AlwaysAccept, &DecisionRule::And, &mut r);
+            if out.verdict.is_reject() {
+                rejected += 1;
+            }
+            let zeros = out
+                .transcript
+                .samples_drawn
+                .iter()
+                .filter(|&&q| q == 0)
+                .count();
+            zero_sample_players += zeros;
+            // Lost messages consumed samples without being counted in
+            // the vote: transcript shows fewer messages than sampling
+            // players.
+            if out.transcript.messages.len() < 12 - zeros {
+                partial_sample_runs += 1;
+            }
+        }
+        // P(all 12 players survive both faults) = (0.7 * 0.7)^12 ≈ 2e-4,
+        // so AND under AssumeReject should essentially always reject.
+        assert!(rejected > trials * 9 / 10, "rejected {rejected}/{trials}");
+        // Crashes happened (~30% of 12 * 300 = 1080 expected).
+        assert!(zero_sample_players > 500, "{zero_sample_players} crashes");
+        // AssumeReject keeps every player in the vote, so messages are
+        // never fewer than the number of non-crashed players.
+        assert_eq!(partial_sample_runs, 0);
+    }
+
+    #[test]
+    fn combined_faults_with_exclude_shrink_transcript() {
+        let net = FaultyNetwork::new(12, FaultModel::new(0.4, 0.4), MissingPolicy::Exclude);
+        let sampler = families::uniform(16).alias_sampler();
+        let mut r = rng(7);
+        let mut saw_shrunk_vote = false;
+        for _ in 0..50 {
+            let out = net.run(&sampler, 1, &AlwaysAccept, &DecisionRule::Majority, &mut r);
+            let crashes = out
+                .transcript
+                .samples_drawn
+                .iter()
+                .filter(|&&q| q == 0)
+                .count();
+            assert!(out.transcript.messages.len() <= 12 - crashes);
+            if out.transcript.messages.len() < 12 - crashes {
+                saw_shrunk_vote = true; // a non-crashed player's message was lost
+            }
+        }
+        assert!(
+            saw_shrunk_vote,
+            "40% loss never dropped a message in 50 runs"
+        );
     }
 
     #[test]

@@ -57,10 +57,10 @@ pub mod faults;
 pub mod rounds;
 pub mod topology;
 
+pub use faults::{FaultModel, FaultyNetwork, MissingPolicy};
 pub use message::Message;
 pub use network::{Network, RunOutcome, Transcript};
 pub use player::{BitPlayerAdapter, MessagePlayer, Player, PlayerContext};
-pub use faults::{FaultModel, FaultyNetwork, MissingPolicy};
 pub use rates::RateVector;
 pub use rounds::{RoundAlgorithm, RoundMessage, RoundModel, RoundNetwork, RoundStats};
 pub use rule::{CustomDecisionFn, DecisionRule, MessageReferee, Verdict};

@@ -18,7 +18,10 @@ impl Message {
     /// Panics if `len` is 0 or exceeds 32, or `bits` has bits above `len`.
     #[must_use]
     pub fn new(bits: u32, len: u8) -> Self {
-        assert!((1..=32).contains(&len), "message length must be 1..=32 bits");
+        assert!(
+            (1..=32).contains(&len),
+            "message length must be 1..=32 bits"
+        );
         assert!(
             len == 32 || bits < (1u32 << len),
             "payload {bits:#x} does not fit in {len} bits"

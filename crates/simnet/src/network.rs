@@ -2,8 +2,32 @@ use crate::message::Message;
 use crate::player::{MessagePlayer, Player, PlayerContext};
 use crate::rates::RateVector;
 use crate::rule::{DecisionRule, MessageReferee, Verdict};
+use dut_obs::metrics::{Counter, HistogramId};
 use dut_probability::Sampler;
 use rand::Rng;
+
+/// Records one finished execution in the global metrics registry and,
+/// at verbose trace level, emits a per-run event. Pure observation:
+/// never touches the RNG, so instrumented runs are bit-identical to
+/// uninstrumented ones.
+pub(crate) fn record_run(verdict: Verdict, samples: u64, bits: u64) {
+    let registry = dut_obs::metrics::global();
+    registry.incr(Counter::NetRuns);
+    registry.add(Counter::SamplesDrawn, samples);
+    registry.add(Counter::BitsSent, bits);
+    registry.incr(if verdict.is_accept() {
+        Counter::VerdictAccept
+    } else {
+        Counter::VerdictReject
+    });
+    registry.observe(HistogramId::RunSamples, samples);
+    dut_obs::global().emit_verbose_with(|| {
+        dut_obs::Event::new("net_run")
+            .with("accept", verdict.is_accept())
+            .with("samples", samples)
+            .with("bits", bits)
+    });
+}
 
 /// A simultaneous-message network of `k` sampling players and a referee.
 ///
@@ -145,8 +169,14 @@ impl Network {
             bits.push(accept);
             messages.push(Message::from_accept_bit(accept));
         }
+        let verdict = rule.decide(&bits);
+        record_run(
+            verdict,
+            sample_counts.iter().map(|&q| q as u64).sum(),
+            self.num_players as u64,
+        );
         RunOutcome {
-            verdict: rule.decide(&bits),
+            verdict,
             transcript: Transcript {
                 messages,
                 samples_drawn: sample_counts.to_vec(),
@@ -205,8 +235,14 @@ impl Network {
             let samples = sampler.sample_many(samples_per_player, rng);
             messages.push(player.message(&ctx, &samples));
         }
+        let verdict = referee.decide(&messages);
+        record_run(
+            verdict,
+            (samples_per_player * self.num_players) as u64,
+            messages.iter().map(|m| u64::from(m.len())).sum(),
+        );
         RunOutcome {
-            verdict: referee.decide(&messages),
+            verdict,
             transcript: Transcript {
                 messages,
                 samples_drawn: vec![samples_per_player; self.num_players],
@@ -290,13 +326,13 @@ mod tests {
     fn per_player_contexts_have_distinct_ids() {
         let net = Network::new(3);
         let sampler = families::uniform(4).alias_sampler();
-        let seen = std::sync::Mutex::new(Vec::new());
+        let seen = parking_lot::Mutex::new(Vec::new());
         let player = |ctx: &PlayerContext, _s: &[usize]| {
-            seen.lock().unwrap().push((ctx.player_id, ctx.shared_seed));
+            seen.lock().push((ctx.player_id, ctx.shared_seed));
             true
         };
         net.run(&sampler, 1, &player, &DecisionRule::And, &mut rng());
-        let seen = seen.into_inner().unwrap();
+        let seen = seen.into_inner();
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[2].0, 2);
@@ -309,21 +345,20 @@ mod tests {
         let net = Network::new(3);
         let sampler = families::uniform(4).alias_sampler();
         let counts = [1usize, 5, 9];
-        let lens = std::sync::Mutex::new(Vec::new());
+        let lens = parking_lot::Mutex::new(Vec::new());
         let player = |_ctx: &PlayerContext, s: &[usize]| {
-            lens.lock().unwrap().push(s.len());
+            lens.lock().push(s.len());
             true
         };
         net.run_with_sample_counts(&sampler, &counts, &player, &DecisionRule::And, &mut rng());
-        assert_eq!(lens.into_inner().unwrap(), vec![1, 5, 9]);
+        assert_eq!(lens.into_inner(), vec![1, 5, 9]);
     }
 
     #[test]
     fn message_protocol_collects_payloads() {
         let net = Network::new(4);
         let sampler = families::uniform(8).alias_sampler();
-        let player =
-            |ctx: &PlayerContext, _s: &[usize]| Message::new(ctx.player_id as u32, 4);
+        let player = |ctx: &PlayerContext, _s: &[usize]| Message::new(ctx.player_id as u32, 4);
         let referee = |messages: &[Message]| {
             Verdict::from_accept_bit(messages.iter().map(|m| m.bits()).sum::<u32>() == 6)
         };

@@ -137,8 +137,9 @@ impl RoundNetwork {
         rounds: usize,
     ) -> (Vec<A::State>, RoundStats) {
         let n = self.topology.len();
-        let mut states: Vec<A::State> =
-            (0..n).map(|id| algorithm.init(id, &self.topology)).collect();
+        let mut states: Vec<A::State> = (0..n)
+            .map(|id| algorithm.init(id, &self.topology))
+            .collect();
         let mut inboxes: Vec<HashMap<usize, RoundMessage>> = vec![HashMap::new(); n];
         let mut stats = RoundStats {
             rounds,
@@ -147,8 +148,7 @@ impl RoundNetwork {
             max_message_bits: 0,
         };
         for round in 0..rounds {
-            let mut next_inboxes: Vec<HashMap<usize, RoundMessage>> =
-                vec![HashMap::new(); n];
+            let mut next_inboxes: Vec<HashMap<usize, RoundMessage>> = vec![HashMap::new(); n];
             for (id, state) in states.iter_mut().enumerate() {
                 let outbox = algorithm.round(state, round, &inboxes[id]);
                 for (to, message) in outbox {
@@ -171,6 +171,14 @@ impl RoundNetwork {
             }
             inboxes = next_inboxes;
         }
+        dut_obs::metrics::global().add(dut_obs::metrics::Counter::BitsSent, stats.bits);
+        dut_obs::global().emit_verbose_with(|| {
+            dut_obs::Event::new("round_run")
+                .with("rounds", stats.rounds)
+                .with("messages", stats.messages)
+                .with("bits", stats.bits)
+                .with("max_message_bits", stats.max_message_bits)
+        });
         (states, stats)
     }
 }
@@ -283,5 +291,4 @@ mod tests {
         assert_eq!(stats.messages, 6);
         assert_eq!(stats.bits, 6);
     }
-
 }

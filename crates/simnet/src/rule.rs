@@ -88,7 +88,10 @@ impl DecisionRule {
     /// convention and is almost certainly a configuration error).
     #[must_use]
     pub fn decide(&self, bits: &[bool]) -> Verdict {
-        assert!(!bits.is_empty(), "decision rule needs at least one player bit");
+        assert!(
+            !bits.is_empty(),
+            "decision rule needs at least one player bit"
+        );
         let rejects = bits.iter().filter(|&&b| !b).count();
         match self {
             DecisionRule::And => Verdict::from_accept_bit(rejects == 0),
@@ -169,7 +172,10 @@ mod tests {
 
     #[test]
     fn majority_breaks_ties_towards_accept() {
-        assert_eq!(DecisionRule::Majority.decide(&[true, false]), Verdict::Accept);
+        assert_eq!(
+            DecisionRule::Majority.decide(&[true, false]),
+            Verdict::Accept
+        );
         assert_eq!(
             DecisionRule::Majority.decide(&[true, false, false]),
             Verdict::Reject
@@ -195,7 +201,10 @@ mod tests {
             DecisionRule::Threshold { min_rejects: 7 }.name(),
             "threshold(7)"
         );
-        assert_eq!(format!("{:?}", DecisionRule::Majority), "DecisionRule::majority");
+        assert_eq!(
+            format!("{:?}", DecisionRule::Majority),
+            "DecisionRule::majority"
+        );
     }
 
     #[test]

@@ -66,8 +66,7 @@ where
         .collect();
     stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics must not be NaN"));
     let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
-        .min(resamples - 1);
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize).min(resamples - 1);
     BootstrapInterval {
         point,
         lower: stats[lo_idx.min(resamples - 1)],
@@ -105,7 +104,10 @@ pub fn bootstrap_slope_ci<R: Rng + ?Sized>(
     alpha: f64,
     rng: &mut R,
 ) -> BootstrapInterval {
-    assert!(points.len() >= 3, "need at least three points for a slope CI");
+    assert!(
+        points.len() >= 3,
+        "need at least three points for a slope CI"
+    );
     assert!(resamples > 0, "need at least one resample");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
     let point = crate::sweep::log_log_slope(points);
@@ -129,8 +131,7 @@ pub fn bootstrap_slope_ci<R: Rng + ?Sized>(
     }
     stats.sort_by(|a, b| a.partial_cmp(b).expect("slopes must not be NaN"));
     let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
-        .min(resamples - 1);
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize).min(resamples - 1);
     BootstrapInterval {
         point,
         lower: stats[lo_idx.min(resamples - 1)],
@@ -182,7 +183,10 @@ mod tests {
         let points: Vec<(f64, f64)> = (1..20)
             .map(|i| {
                 let x = f64::from(i);
-                (x, 3.0 * x.powf(-0.5) * (1.0 + 0.05 * (r.random::<f64>() - 0.5)))
+                (
+                    x,
+                    3.0 * x.powf(-0.5) * (1.0 + 0.05 * (r.random::<f64>() - 0.5)),
+                )
             })
             .collect();
         let ci = bootstrap_slope_ci(&points, 1000, 0.05, &mut r);

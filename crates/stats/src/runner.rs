@@ -2,6 +2,8 @@
 
 use crate::seed::derive_seed;
 use crate::SuccessEstimate;
+use dut_obs::metrics::{Counter, Gauge, HistogramId};
+use std::time::Instant;
 
 /// Runs `trials` independent executions of `trial` in parallel and counts
 /// successes. Trial `i` receives the derived seed
@@ -17,32 +19,46 @@ where
 {
     assert!(trials > 0, "need at least one trial");
     let threads = available_threads().min(trials as usize).max(1);
-    if threads == 1 {
+    let start = Instant::now();
+    let registry = dut_obs::metrics::global();
+    registry.set_gauge(Gauge::RunnerThreads, threads as u64);
+    let estimate = if threads == 1 {
         let successes = (0..trials)
             .filter(|&i| trial(derive_seed(master_seed, i)))
             .count() as u64;
-        return SuccessEstimate::new(successes, trials);
-    }
-    let counter = parking_lot::Mutex::new(0u64);
-    crossbeam::thread::scope(|scope| {
-        for t in 0..threads as u64 {
-            let trial = &trial;
-            let counter = &counter;
-            scope.spawn(move |_| {
-                let mut local = 0u64;
-                let mut i = t;
-                while i < trials {
-                    if trial(derive_seed(master_seed, i)) {
-                        local += 1;
+        SuccessEstimate::new(successes, trials)
+    } else {
+        let counter = parking_lot::Mutex::new(0u64);
+        std::thread::scope(|scope| {
+            for t in 0..threads as u64 {
+                let trial = &trial;
+                let counter = &counter;
+                scope.spawn(move || {
+                    let mut local = 0u64;
+                    let mut i = t;
+                    while i < trials {
+                        if trial(derive_seed(master_seed, i)) {
+                            local += 1;
+                        }
+                        i += threads as u64;
                     }
-                    i += threads as u64;
-                }
-                *counter.lock() += local;
-            });
-        }
-    })
-    .expect("trial thread panicked");
-    SuccessEstimate::new(counter.into_inner(), trials)
+                    *counter.lock() += local;
+                });
+            }
+        });
+        SuccessEstimate::new(counter.into_inner(), trials)
+    };
+    registry.add(Counter::TrialsRun, trials);
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    registry.observe(HistogramId::TrialBatchMicros, elapsed_us);
+    dut_obs::global().emit_verbose_with(|| {
+        dut_obs::Event::new("trial_batch")
+            .with("trials", trials)
+            .with("threads", threads)
+            .with("successes", estimate.successes())
+            .with("elapsed_us", elapsed_us)
+    });
+    estimate
 }
 
 /// Runs `trials` executions of a real-valued experiment in parallel and
@@ -57,26 +73,28 @@ where
 {
     assert!(trials > 0, "need at least one trial");
     let threads = available_threads().min(trials as usize).max(1);
+    dut_obs::metrics::global().set_gauge(Gauge::RunnerThreads, threads as u64);
     let mut values = vec![0.0f64; trials as usize];
     if threads == 1 {
         for (i, v) in values.iter_mut().enumerate() {
             *v = trial(derive_seed(master_seed, i as u64));
         }
+        dut_obs::metrics::global().add(Counter::TrialsRun, trials);
         return values;
     }
     let chunk = trials.div_ceil(threads as u64) as usize;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slice) in values.chunks_mut(chunk).enumerate() {
             let trial = &trial;
             let base = (t * chunk) as u64;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, v) in slice.iter_mut().enumerate() {
                     *v = trial(derive_seed(master_seed, base + off as u64));
                 }
             });
         }
-    })
-    .expect("measurement thread panicked");
+    });
+    dut_obs::metrics::global().add(Counter::TrialsRun, trials);
     values
 }
 
@@ -97,7 +115,17 @@ pub fn mean_and_sd(values: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-fn available_threads() -> usize {
+/// Worker count for trial batches: the `DUT_THREADS` env var when set
+/// to a positive integer (clamped to at least 1), otherwise the
+/// machine's available parallelism.
+#[must_use]
+pub fn available_threads() -> usize {
+    if let Ok(raw) = std::env::var("DUT_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+        eprintln!("warning: ignoring unparseable DUT_THREADS=`{raw}`");
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -160,5 +188,10 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_panics() {
         let _ = run_trials(0, 0, |_| true);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(available_threads() >= 1);
     }
 }

@@ -36,7 +36,28 @@ where
     let mut evaluations = 0;
     let mut eval = |v: usize, evaluations: &mut usize| {
         *evaluations += 1;
-        sufficient(v)
+        let start = std::time::Instant::now();
+        let ok = sufficient(v);
+        let registry = dut_obs::metrics::global();
+        registry.incr(dut_obs::metrics::Counter::SearchProbes);
+        let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        registry.observe(dut_obs::metrics::HistogramId::ProbeMicros, elapsed_us);
+        dut_obs::global().emit_with(|| {
+            dut_obs::Event::new("probe")
+                .with("value", v)
+                .with("sufficient", ok)
+                .with("elapsed_us", elapsed_us)
+        });
+        ok
+    };
+    let finish = |result: SearchResult| {
+        dut_obs::global().emit_with(|| {
+            dut_obs::Event::new("search_done")
+                .with("minimal", result.minimal)
+                .with("evaluations", result.evaluations)
+                .with("saturated", result.saturated)
+        });
+        result
     };
 
     // Geometric bracketing: find the first power-of-two multiple of `min`
@@ -48,21 +69,21 @@ where
             break;
         }
         if hi >= max {
-            return SearchResult {
+            return finish(SearchResult {
                 minimal: max,
                 evaluations,
                 saturated: true,
-            };
+            });
         }
         lo = hi;
         hi = (hi * 2).min(max);
     }
     if hi == min {
-        return SearchResult {
+        return finish(SearchResult {
             minimal: min,
             evaluations,
             saturated: false,
-        };
+        });
     }
 
     // Invariant: lo insufficient, hi sufficient.
@@ -75,11 +96,11 @@ where
             lo = mid;
         }
     }
-    SearchResult {
+    finish(SearchResult {
         minimal: hi,
         evaluations,
         saturated: false,
-    }
+    })
 }
 
 #[cfg(test)]

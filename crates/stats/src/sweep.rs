@@ -45,6 +45,13 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
     assert!(denom.abs() > 1e-12, "x values are degenerate");
     let b = (n * sxy - sx * sy) / denom;
     let a = (sy - b * sx) / n;
+    dut_obs::metrics::global().incr(dut_obs::metrics::Counter::SweepFits);
+    dut_obs::global().emit_with(|| {
+        dut_obs::Event::new("fit")
+            .with("points", points.len())
+            .with("intercept", a)
+            .with("slope", b)
+    });
     (a, b)
 }
 

@@ -93,8 +93,7 @@ mod tests {
     fn calibrated_threshold_controls_false_positives() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         // Null statistic: Uniform[0,1). Calibrate at alpha = 0.05.
-        let threshold =
-            calibrate_threshold(20_000, 0.05, &mut rng, |r| r.random::<f64>());
+        let threshold = calibrate_threshold(20_000, 0.05, &mut rng, |r| r.random::<f64>());
         assert!((threshold - 0.95).abs() < 0.01, "threshold = {threshold}");
         // Measured false-positive rate under the null should be ~alpha.
         let fp = exceedance_probability(20_000, threshold, &mut rng, |r| r.random::<f64>());

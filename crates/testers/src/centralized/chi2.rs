@@ -137,7 +137,10 @@ mod tests {
         // Uniform input (which is far from this zipf) rejects.
         let u = families::uniform(n);
         let dist = dut_probability::distance::l1_distance(&zipf, &u);
-        assert!(dist > eps, "test precondition: zipf is {dist}-far from uniform");
+        assert!(
+            dist > eps,
+            "test precondition: zipf is {dist}-far from uniform"
+        );
         let reject = acceptance_rate(&tester, &u, q, 200, 43);
         assert!(reject < 0.2, "acceptance on far input = {reject}");
     }

@@ -85,8 +85,7 @@ mod tests {
     #[test]
     fn needs_many_more_samples_than_collision_tester() {
         let l1 = EmpiricalL1Tester::new(1 << 12, 0.5).recommended_sample_count();
-        let collision =
-            super::super::CollisionTester::new(1 << 12, 0.5).recommended_sample_count();
+        let collision = super::super::CollisionTester::new(1 << 12, 0.5).recommended_sample_count();
         assert!(l1 > 10 * collision);
     }
 

@@ -53,8 +53,8 @@ impl PaninskiTester {
         let q_f = q as f64;
         let hi = (1.0 + self.epsilon) / n;
         let lo = (1.0 - self.epsilon) / n;
-        let expected_distinct = (n / 2.0) * (1.0 - (1.0 - hi).powf(q_f))
-            + (n / 2.0) * (1.0 - (1.0 - lo).powf(q_f));
+        let expected_distinct =
+            (n / 2.0) * (1.0 - (1.0 - hi).powf(q_f)) + (n / 2.0) * (1.0 - (1.0 - lo).powf(q_f));
         q_f - expected_distinct
     }
 

@@ -173,7 +173,10 @@ mod tests {
             }
             samples += out.samples_used;
         }
-        (accepts as f64 / trials as f64, samples as f64 / trials as f64)
+        (
+            accepts as f64 / trials as f64,
+            samples as f64 / trials as f64,
+        )
     }
 
     #[test]
@@ -186,7 +189,10 @@ mod tests {
         let (ok, _) = stats(&tester, &uniform, 150, 91);
         let (far_accept, _) = stats(&tester, &far, 150, 93);
         assert!(ok > 2.0 / 3.0, "acceptance under uniform = {ok}");
-        assert!(far_accept < 1.0 / 3.0, "acceptance under far = {far_accept}");
+        assert!(
+            far_accept < 1.0 / 3.0,
+            "acceptance under far = {far_accept}"
+        );
     }
 
     #[test]

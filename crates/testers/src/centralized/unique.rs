@@ -59,8 +59,7 @@ impl UniqueElementsTester {
         let lo = (1.0 - self.epsilon) / self.n as f64;
         let q_f = q as f64;
         (self.n as f64 / 2.0)
-            * (q_f * hi * (1.0 - hi).powf(q_f - 1.0)
-                + q_f * lo * (1.0 - lo).powf(q_f - 1.0))
+            * (q_f * hi * (1.0 - hi).powf(q_f - 1.0) + q_f * lo * (1.0 - lo).powf(q_f - 1.0))
     }
 
     /// The rejection threshold: **fewer** singletons than the midpoint
@@ -167,8 +166,8 @@ mod tests {
         let trials = 4000;
         let mean: f64 = (0..trials)
             .map(|_| {
-                Histogram::from_samples(n, &sampler.sample_many(q, &mut rng))
-                    .singleton_count() as f64
+                Histogram::from_samples(n, &sampler.sample_many(q, &mut rng)).singleton_count()
+                    as f64
             })
             .sum::<f64>()
             / f64::from(trials);

@@ -63,8 +63,7 @@ impl AsymmetricThresholdTester {
     /// `c·√n/(ε²·‖T‖₂)`.
     #[must_use]
     pub fn predicted_time(&self) -> f64 {
-        6.0 * (self.n as f64).sqrt()
-            / (self.epsilon * self.epsilon * self.rates.l2_norm())
+        6.0 * (self.n as f64).sqrt() / (self.epsilon * self.epsilon * self.rates.l2_norm())
     }
 
     /// Calibrates for time budget `tau`: fixes each player's sample
@@ -80,7 +79,10 @@ impl AsymmetricThresholdTester {
         calibration_trials: usize,
         rng: &mut R,
     ) -> PreparedAsymmetricTester {
-        assert!(calibration_trials >= 2, "need at least two calibration trials");
+        assert!(
+            calibration_trials >= 2,
+            "need at least two calibration trials"
+        );
         let sample_counts = self.rates.samples_for_time(tau);
         // Midpoint thresholds (like the centralized collision tester and
         // the balanced protocol): a single-player network then
@@ -233,8 +235,7 @@ mod tests {
     fn predicted_time_uses_l2_norm() {
         let n = 1 << 12;
         let eps = 0.5;
-        let concentrated =
-            AsymmetricThresholdTester::new(n, RateVector::new(vec![4.0]), eps);
+        let concentrated = AsymmetricThresholdTester::new(n, RateVector::new(vec![4.0]), eps);
         let spread = AsymmetricThresholdTester::new(n, RateVector::new(vec![1.0; 16]), eps);
         assert!(
             (concentrated.predicted_time() - spread.predicted_time()).abs() < 1e-9,
@@ -244,8 +245,7 @@ mod tests {
 
     #[test]
     fn fast_players_carry_more_weight() {
-        let tester =
-            AsymmetricThresholdTester::new(1 << 10, RateVector::new(vec![8.0, 1.0]), 0.5);
+        let tester = AsymmetricThresholdTester::new(1 << 10, RateVector::new(vec![8.0, 1.0]), 0.5);
         let mut rng = rand::rngs::StdRng::seed_from_u64(35);
         let prepared = tester.prepare(20.0, 10, &mut rng);
         // Weight of the fast player's bit exceeds the slow player's.

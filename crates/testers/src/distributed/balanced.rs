@@ -81,8 +81,7 @@ impl BalancedThresholdTester {
     /// `c·√(n/k)/ε²` (Theorem 1.1 shows this is also necessary).
     #[must_use]
     pub fn predicted_sample_count(&self) -> usize {
-        let q = 6.0 * (self.n as f64 / self.k as f64).sqrt()
-            / (self.epsilon * self.epsilon);
+        let q = 6.0 * (self.n as f64 / self.k as f64).sqrt() / (self.epsilon * self.epsilon);
         (q.ceil() as usize).max(2)
     }
 

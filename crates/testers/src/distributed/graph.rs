@@ -129,8 +129,7 @@ mod tests {
     fn works_on_star_topology() {
         let n = 1 << 10;
         let eps = 0.5;
-        let tester =
-            GraphUniformityTester::new(n, eps, Topology::star(33), RoundModel::Local);
+        let tester = GraphUniformityTester::new(n, eps, Topology::star(33), RoundModel::Local);
         let q = tester.predicted_sample_count();
         let uniform = families::uniform(n).alias_sampler();
         let far = families::two_level(n, eps).unwrap().alias_sampler();
@@ -142,8 +141,7 @@ mod tests {
     fn works_on_path_topology_with_more_rounds() {
         let n = 1 << 10;
         let eps = 0.6;
-        let tester =
-            GraphUniformityTester::new(n, eps, Topology::path(16), RoundModel::Local);
+        let tester = GraphUniformityTester::new(n, eps, Topology::path(16), RoundModel::Local);
         let q = tester.predicted_sample_count();
         let uniform = families::uniform(n).alias_sampler();
         let mut rng = rand::rngs::StdRng::seed_from_u64(47);
@@ -176,11 +174,9 @@ mod tests {
     fn per_node_cost_drops_with_network_size() {
         let n = 1 << 12;
         let small = GraphUniformityTester::new(n, 0.5, Topology::star(5), RoundModel::Local);
-        let large =
-            GraphUniformityTester::new(n, 0.5, Topology::star(65), RoundModel::Local);
+        let large = GraphUniformityTester::new(n, 0.5, Topology::star(65), RoundModel::Local);
         // 16x the players -> 4x fewer samples each.
-        let ratio =
-            small.predicted_sample_count() as f64 / large.predicted_sample_count() as f64;
+        let ratio = small.predicted_sample_count() as f64 / large.predicted_sample_count() as f64;
         assert!((ratio - 4.0).abs() < 0.5, "ratio {ratio}");
     }
 

@@ -39,7 +39,10 @@ impl FourierLearner {
     /// `2 ≤ message_bits ≤ 16`.
     #[must_use]
     pub fn new(n: usize, k: usize, q: usize, message_bits: u8) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "domain size must be a power of two");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "domain size must be a power of two"
+        );
         assert!(k >= 1, "need at least one node");
         assert!(q >= 1, "need at least one sample per node");
         assert!(
@@ -203,7 +206,10 @@ mod tests {
         let dist = families::zipf(n, 0.8).unwrap();
         let few = mean_l1_error(&FourierLearner::new(n, 800, 2, 8), &dist, 8, 137);
         let many = mean_l1_error(&FourierLearner::new(n, 800, 32, 8), &dist, 8, 139);
-        assert!(many < few, "few-sample error {few} vs many-sample error {many}");
+        assert!(
+            many < few,
+            "few-sample error {few} vs many-sample error {many}"
+        );
     }
 
     #[test]

@@ -58,11 +58,7 @@ impl QuantizedSumTester {
             (1..=16).contains(&message_bits),
             "message length must be 1..=16 bits"
         );
-        Self {
-            n,
-            k,
-            message_bits,
-        }
+        Self { n, k, message_bits }
     }
 
     /// Message alphabet maximum, `2^r − 1`.
@@ -98,7 +94,10 @@ impl QuantizedSumTester {
         calibration_trials: usize,
         rng: &mut R,
     ) -> PreparedQuantizedSumTester {
-        assert!(calibration_trials >= 2, "need at least two calibration trials");
+        assert!(
+            calibration_trials >= 2,
+            "need at least two calibration trials"
+        );
         let uniform = UniformSampler::new(self.n);
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;
@@ -193,10 +192,13 @@ mod tests {
         let eps = 0.5;
         let tester = QuantizedSumTester::new(n, k, 4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let q = (3.0 * (n as f64 / k as f64).sqrt() / (eps * eps)).ceil() as usize;
+        let q = (6.0 * (n as f64 / k as f64).sqrt() / (eps * eps)).ceil() as usize;
         let prepared = tester.prepare(q, 600, &mut rng);
         let uniform = families::uniform(n).alias_sampler();
         let far = families::two_level(n, eps).unwrap().alias_sampler();
+        // The 6x constant (vs the paper's asymptotic 3x) buys a clear
+        // statistical margin at this small n, keeping the test stable
+        // across RNG streams.
         assert!(acceptance(&prepared, &uniform, 120, 3) > 2.0 / 3.0);
         assert!(acceptance(&prepared, &far, 120, 5) < 1.0 / 3.0);
     }

@@ -86,8 +86,9 @@ impl SingleSampleProtocol {
     #[must_use]
     pub fn referee_threshold(&self, k: usize) -> f64 {
         let pairs = (k * k.saturating_sub(1)) as f64 / 2.0;
-        pairs * (1.0 / self.bucket_count() as f64
-            + self.epsilon * self.epsilon / (2.0 * self.n as f64))
+        pairs
+            * (1.0 / self.bucket_count() as f64
+                + self.epsilon * self.epsilon / (2.0 * self.n as f64))
     }
 
     /// Runs the protocol with `k` nodes: builds the shared random

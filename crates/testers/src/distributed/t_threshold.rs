@@ -139,9 +139,8 @@ impl TThresholdTester {
         R: Rng + ?Sized,
     {
         let threshold = self.node_threshold(q);
-        let player = move |_ctx: &PlayerContext, samples: &[usize]| {
-            collision_count_of(samples) < threshold
-        };
+        let player =
+            move |_ctx: &PlayerContext, samples: &[usize]| collision_count_of(samples) < threshold;
         Network::new(self.k).run(
             sampler,
             q,

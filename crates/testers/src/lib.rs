@@ -44,7 +44,7 @@
 //! let n = 1 << 10;
 //! let tester = CollisionTester::new(n, 0.5);
 //! let q = tester.recommended_sample_count();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 //!
 //! let uniform = families::uniform(n).alias_sampler();
 //! let samples = uniform.sample_many(q, &mut rng);

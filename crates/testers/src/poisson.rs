@@ -12,7 +12,10 @@
 /// Panics if `lambda` is negative or not finite.
 #[must_use]
 pub fn poisson_upper_tail(lambda: f64, t: u64) -> f64 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative"
+    );
     if t == 0 {
         return 1.0;
     }
@@ -55,7 +58,10 @@ pub fn poisson_upper_tail(lambda: f64, t: u64) -> f64 {
 /// Panics if `lambda` is not positive and finite.
 #[must_use]
 pub fn poisson_log_pmf(lambda: f64, k: u64) -> f64 {
-    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be positive"
+    );
     let k_f = k as f64;
     k_f * lambda.ln() - lambda - ln_factorial(k)
 }
@@ -68,7 +74,10 @@ pub fn poisson_log_pmf(lambda: f64, k: u64) -> f64 {
 #[must_use]
 pub fn poisson_threshold_for_tail(lambda: f64, alpha: f64) -> u64 {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative"
+    );
     let mut t = lambda.ceil() as u64;
     // Walk down while the tail at t-1 still satisfies alpha.
     while t > 0 && poisson_upper_tail(lambda, t - 1) <= alpha {
@@ -89,8 +98,7 @@ pub fn ln_factorial(k: u64) -> f64 {
     } else {
         let k_f = k as f64;
         // Stirling with the 1/(12k) correction: accurate to ~1e-8 here.
-        k_f * k_f.ln() - k_f + 0.5 * (2.0 * std::f64::consts::PI * k_f).ln()
-            + 1.0 / (12.0 * k_f)
+        k_f * k_f.ln() - k_f + 0.5 * (2.0 * std::f64::consts::PI * k_f).ln() + 1.0 / (12.0 * k_f)
     }
 }
 
@@ -146,7 +154,10 @@ mod tests {
         for &lambda in &[0.01, 0.5, 1.0, 5.0, 40.0] {
             for &alpha in &[0.5, 0.1, 0.01, 1e-4] {
                 let t = poisson_threshold_for_tail(lambda, alpha);
-                assert!(poisson_upper_tail(lambda, t) <= alpha, "λ={lambda} α={alpha}");
+                assert!(
+                    poisson_upper_tail(lambda, t) <= alpha,
+                    "λ={lambda} α={alpha}"
+                );
                 if t > 0 {
                     assert!(
                         poisson_upper_tail(lambda, t - 1) > alpha,

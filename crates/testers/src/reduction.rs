@@ -42,10 +42,7 @@ impl IdentityToUniformityReduction {
     ///
     /// Returns [`DistributionError::InvalidParameter`] if
     /// `epsilon ∉ (0, 1]`.
-    pub fn new(
-        reference: DenseDistribution,
-        epsilon: f64,
-    ) -> Result<Self, DistributionError> {
+    pub fn new(reference: DenseDistribution, epsilon: f64) -> Result<Self, DistributionError> {
         if !(epsilon > 0.0 && epsilon <= 1.0) {
             return Err(DistributionError::InvalidParameter {
                 name: "epsilon",
@@ -109,11 +106,7 @@ impl IdentityToUniformityReduction {
     /// # Panics
     ///
     /// Panics if `sample` is out of the reference domain.
-    pub fn transform_sample<R: Rng + ?Sized>(
-        &self,
-        sample: usize,
-        rng: &mut R,
-    ) -> Option<usize> {
+    pub fn transform_sample<R: Rng + ?Sized>(&self, sample: usize, rng: &mut R) -> Option<usize> {
         assert!(
             sample < self.reference.support_size(),
             "sample {sample} out of domain"
@@ -191,8 +184,7 @@ mod tests {
             families::two_level(16, 0.6).unwrap(),
             families::uniform(8),
         ] {
-            let reduction =
-                IdentityToUniformityReduction::new(reference.clone(), 0.5).unwrap();
+            let reduction = IdentityToUniformityReduction::new(reference.clone(), 0.5).unwrap();
             let (out, bot) = reduction.output_distribution(&reference);
             let uniform = families::uniform(reduction.output_domain_size());
             let dist = distance::l1_distance(&out, &uniform);
@@ -228,8 +220,7 @@ mod tests {
         let sampler = mu.alias_sampler();
         let mut rng = rand::rngs::StdRng::seed_from_u64(151);
         let trials = 60_000;
-        let mut hist =
-            dut_probability::Histogram::new(reduction.output_domain_size());
+        let mut hist = dut_probability::Histogram::new(reduction.output_domain_size());
         for _ in 0..trials {
             hist.record(reduction.transform_stream(&sampler, &mut rng));
         }
@@ -237,7 +228,10 @@ mod tests {
         let err = distance::l1_distance(&empirical, &exact);
         // Coarse agreement: the output domain is large so allow slack.
         let budget = 2.5 * (reduction.output_domain_size() as f64 / trials as f64).sqrt();
-        assert!(err < budget, "empirical vs exact pushforward: {err} > {budget}");
+        assert!(
+            err < budget,
+            "empirical vs exact pushforward: {err} > {budget}"
+        );
     }
 
     #[test]
@@ -285,7 +279,9 @@ mod tests {
         };
 
         // Matching reference: accept (run a few trials, take majority).
-        let accepts = (0..5).filter(|_| run(&reference, &mut rng).is_accept()).count();
+        let accepts = (0..5)
+            .filter(|_| run(&reference, &mut rng).is_accept())
+            .count();
         assert!(accepts >= 4, "identity accepted only {accepts}/5");
 
         // Far input (uniform is far from this zipf): reject.

@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, topology) in topologies {
         let diameter = topology.diameter();
-        let tester =
-            GraphUniformityTester::new(n, eps, topology, RoundModel::congest_for(n));
+        let tester = GraphUniformityTester::new(n, eps, topology, RoundModel::congest_for(n));
         let q = tester.predicted_sample_count();
 
         let mut rounds = 0;

@@ -25,7 +25,9 @@ fn main() {
 
     println!("== the hard family (Section 3) ==");
     let z = PerturbationVector::random(dom.cube_size(), &mut rng);
-    let nu = dom.perturbed_distribution(&z, eps).expect("valid parameters");
+    let nu = dom
+        .perturbed_distribution(&z, eps)
+        .expect("valid parameters");
     println!(
         "nu_z on n = {n}: l1 distance from uniform = {:.3} (= eps exactly)",
         distance::l1_distance(&nu, &dom.uniform())
@@ -49,7 +51,10 @@ fn main() {
 
     println!("== the main lemmas, checked exactly (q = {q}, eps = {eps}) ==");
     let dom_small = PairedDomain::new(2); // exact z-enumeration: 2^4 vectors
-    let players: [(&str, &dyn distributed_uniformity::lowerbound::player::PlayerFunction); 3] = [
+    let players: [(
+        &str,
+        &dyn distributed_uniformity::lowerbound::player::PlayerFunction,
+    ); 3] = [
         ("collision indicator", &CollisionIndicator::new(1)),
         ("sign dictator", &SignDictator::new(0)),
         ("sign parity", &SignParity),

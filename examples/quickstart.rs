@@ -44,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accept_far = prepared.acceptance_rate(&far, trials, &mut rng);
 
     println!("over {trials} protocol executions:");
-    println!("  uniform input accepted: {:.1}% (want >= 66.7%)", 100.0 * accept_uniform);
-    println!("  eps-far input accepted: {:.1}% (want <= 33.3%)", 100.0 * accept_far);
+    println!(
+        "  uniform input accepted: {:.1}% (want >= 66.7%)",
+        100.0 * accept_uniform
+    );
+    println!(
+        "  eps-far input accepted: {:.1}% (want <= 33.3%)",
+        100.0 * accept_far
+    );
 
     assert!(accept_uniform > 2.0 / 3.0, "completeness violated");
     assert!(accept_far < 1.0 / 3.0, "soundness violated");

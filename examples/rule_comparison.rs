@@ -21,7 +21,9 @@ fn measured_q_star(rule: Rule, n: usize, k: usize, eps: f64, seed: u64) -> usize
         .build()
         .expect("valid configuration");
     let uniform = families::uniform(n).alias_sampler();
-    let far = families::two_level(n, eps).expect("valid far instance").alias_sampler();
+    let far = families::two_level(n, eps)
+        .expect("valid far instance")
+        .alias_sampler();
     let trials = 80;
     let result = minimal_sufficient(2, 1 << 17, |q| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ q as u64);

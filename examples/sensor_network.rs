@@ -49,11 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("per-sensor measurements: q = {q_balanced}\n");
-    println!("{:<28}{:>12}{:>12}{:>14}", "protocol", "nominal ok", "drift alarm", "interleaved");
+    println!(
+        "{:<28}{:>12}{:>12}{:>14}",
+        "protocol", "nominal ok", "drift alarm", "interleaved"
+    );
 
-    let mut balanced_nominal = |r: &mut rand::rngs::StdRng| prepared.run(&nominal, r).verdict.is_accept();
-    let mut balanced_drift = |r: &mut rand::rngs::StdRng| prepared.run(&drifted, r).verdict.is_reject();
-    let mut balanced_inter = |r: &mut rand::rngs::StdRng| prepared.run(&interleaved, r).verdict.is_reject();
+    let mut balanced_nominal =
+        |r: &mut rand::rngs::StdRng| prepared.run(&nominal, r).verdict.is_accept();
+    let mut balanced_drift =
+        |r: &mut rand::rngs::StdRng| prepared.run(&drifted, r).verdict.is_reject();
+    let mut balanced_inter =
+        |r: &mut rand::rngs::StdRng| prepared.run(&interleaved, r).verdict.is_reject();
     println!(
         "{:<28}{:>11.0}%{:>11.0}%{:>13.0}%",
         "threshold (basestation)",
@@ -66,8 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         |r: &mut rand::rngs::StdRng| and_rule.run(&nominal, q_balanced, r).verdict.is_accept();
     let mut and_drift =
         |r: &mut rand::rngs::StdRng| and_rule.run(&drifted, q_balanced, r).verdict.is_reject();
-    let mut and_inter =
-        |r: &mut rand::rngs::StdRng| and_rule.run(&interleaved, q_balanced, r).verdict.is_reject();
+    let mut and_inter = |r: &mut rand::rngs::StdRng| {
+        and_rule
+            .run(&interleaved, q_balanced, r)
+            .verdict
+            .is_reject()
+    };
     println!(
         "{:<28}{:>11.0}%{:>11.0}%{:>13.0}%",
         "AND rule (same budget)",

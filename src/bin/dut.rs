@@ -29,6 +29,7 @@ COMMANDS:
     test      run a tester and report acceptance rates
     predict   print the theory predictions for a configuration
     advise    recommend a decision rule
+    report    summarize a JSONL trace (written via DUT_TRACE=<path>)
 
 COMMON OPTIONS:
     --n <int>         domain size                  [default: 1024]
@@ -46,14 +47,29 @@ test OPTIONS:
 
 advise OPTIONS:
     --locality <name> and | threshold:<T> | any    [default: any]
+
+report USAGE:
+    dut report <trace.jsonl>
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `report` takes a positional path, not --key value pairs.
+    if args.first().map(String::as_str) == Some("report") {
+        return match cmd_report(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // DUT_TRACE=<path> traces this invocation too.
+    dut_obs::init_from_env();
     let result = match command.as_str() {
         "test" => cmd_test(&options),
         "predict" => cmd_predict(&options),
@@ -64,6 +80,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    let recorder = dut_obs::global();
+    recorder.emit_metrics_snapshot();
+    recorder.flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -87,17 +106,25 @@ fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
     Some((command, options))
 }
 
-fn get_usize(options: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+fn get_usize(
+    options: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
     match options.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} needs an integer, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} needs an integer, got `{v}`")),
     }
 }
 
 fn get_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match options.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} needs a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} needs a number, got `{v}`")),
     }
 }
 
@@ -147,7 +174,8 @@ fn parse_input(
                 dom.cube_size(),
                 rng,
             );
-            dom.perturbed_distribution(&z, eps).map_err(|e| e.to_string())
+            dom.perturbed_distribution(&z, eps)
+                .map_err(|e| e.to_string())
         }
         other => Err(format!(
             "unknown input `{other}` (uniform | two-level | alternating | zipf | hard)"
@@ -174,7 +202,9 @@ fn cmd_test(options: &HashMap<String, String>) -> Result<(), String> {
         .build()
         .map_err(|e| e.to_string())?;
     let q = match options.get("q") {
-        Some(v) => v.parse().map_err(|_| format!("--q needs an integer, got `{v}`"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--q needs an integer, got `{v}`"))?,
         None => tester.predicted_sample_count(),
     };
     println!("configuration: n={n} k={k} eps={eps} rule={rule} q={q} input={input_spec}");
@@ -182,7 +212,10 @@ fn cmd_test(options: &HashMap<String, String>) -> Result<(), String> {
 
     let target = input.alias_sampler();
     let accept = prepared.acceptance_rate(&target, trials, &mut rng);
-    println!("acceptance on `{input_spec}` over {trials} runs: {:.1}%", 100.0 * accept);
+    println!(
+        "acceptance on `{input_spec}` over {trials} runs: {:.1}%",
+        100.0 * accept
+    );
 
     if input_spec != "uniform" {
         let uniform = families::uniform(n).alias_sampler();
@@ -207,19 +240,40 @@ fn cmd_test(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: dut report <trace.jsonl>".into());
+    };
+    let summary = dut_obs::report::summarize_file(path)?;
+    print!("{summary}");
+    Ok(())
+}
+
 fn cmd_predict(options: &HashMap<String, String>) -> Result<(), String> {
     let n = get_usize(options, "n", 1024)?;
     let k = get_usize(options, "k", 16)?;
     let eps = get_f64(options, "eps", 0.5)?;
     println!("theory predictions for n={n}, k={k}, eps={eps}:");
-    println!("  centralized (Paninski)             q ~ {:>10.0}", theory::centralized(n, eps));
-    println!("  any rule (Thm 1.1 floor)           q ≥ {:>10.0}", theory::theorem_1_1(n, k, eps));
-    println!("  optimal threshold upper ([7])      q ~ {:>10.0}", theory::fmo_threshold_upper(n, k, eps));
+    println!(
+        "  centralized (Paninski)             q ~ {:>10.0}",
+        theory::centralized(n, eps)
+    );
+    println!(
+        "  any rule (Thm 1.1 floor)           q ≥ {:>10.0}",
+        theory::theorem_1_1(n, k, eps)
+    );
+    println!(
+        "  optimal threshold upper ([7])      q ~ {:>10.0}",
+        theory::fmo_threshold_upper(n, k, eps)
+    );
     println!(
         "  AND rule (Thm 1.2 floor)           q ≥ {:>10.0}",
         theory::theorem_1_2(n, k, eps).max(theory::theorem_1_1(n, k, eps))
     );
-    println!("  AND rule upper ([7])               q ~ {:>10.0}", theory::fmo_and_upper(n, k, eps));
+    println!(
+        "  AND rule upper ([7])               q ~ {:>10.0}",
+        theory::fmo_and_upper(n, k, eps)
+    );
     println!(
         "  Thm 1.2 validity range             k ≤ 2^(1/eps) = {:.0}",
         theory::theorem_1_2_k_range(eps)
@@ -254,8 +308,10 @@ fn cmd_advise(options: &HashMap<String, String>) -> Result<(), String> {
     let rec = recommend(n, k, eps, locality);
     println!("recommended rule: {}", rec.rule);
     println!("predicted samples/player: {:.0}", rec.predicted_samples);
-    println!("alternatives: AND {:.0} | optimal {:.0} | centralized {:.0}",
-        rec.and_rule_samples, rec.optimal_samples, rec.centralized_samples);
+    println!(
+        "alternatives: AND {:.0} | optimal {:.0} | centralized {:.0}",
+        rec.and_rule_samples, rec.optimal_samples, rec.centralized_samples
+    );
     println!("rationale: {}", rec.rationale);
     Ok(())
 }

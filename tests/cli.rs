@@ -23,7 +23,17 @@ fn predict_prints_all_bounds() {
 #[test]
 fn advise_recommends_a_rule() {
     let out = dut()
-        .args(["advise", "--n", "1024", "--k", "32", "--eps", "0.5", "--locality", "any"])
+        .args([
+            "advise",
+            "--n",
+            "1024",
+            "--k",
+            "32",
+            "--eps",
+            "0.5",
+            "--locality",
+            "any",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());
@@ -36,12 +46,29 @@ fn advise_recommends_a_rule() {
 fn test_command_reports_rates() {
     let out = dut()
         .args([
-            "test", "--n", "256", "--k", "8", "--eps", "0.9", "--rule", "balanced",
-            "--input", "two-level", "--trials", "40", "--seed", "7",
+            "test",
+            "--n",
+            "256",
+            "--k",
+            "8",
+            "--eps",
+            "0.9",
+            "--rule",
+            "balanced",
+            "--input",
+            "two-level",
+            "--trials",
+            "40",
+            "--seed",
+            "7",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("acceptance on `two-level`"));
     assert!(text.contains("completeness"));
@@ -51,8 +78,7 @@ fn test_command_reports_rates() {
 fn hard_family_input_works() {
     let out = dut()
         .args([
-            "test", "--n", "256", "--k", "8", "--eps", "0.8", "--input", "hard",
-            "--trials", "20",
+            "test", "--n", "256", "--k", "8", "--eps", "0.8", "--input", "hard", "--trials", "20",
         ])
         .output()
         .expect("binary runs");
@@ -83,12 +109,27 @@ fn bad_option_value_fails_cleanly() {
 fn threshold_rule_spec_parses() {
     let out = dut()
         .args([
-            "test", "--n", "256", "--k", "8", "--eps", "0.9", "--rule", "threshold:2",
-            "--trials", "20", "--q", "80",
+            "test",
+            "--n",
+            "256",
+            "--k",
+            "8",
+            "--eps",
+            "0.9",
+            "--rule",
+            "threshold:2",
+            "--trials",
+            "20",
+            "--q",
+            "80",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).expect("utf8");
     assert!(text.contains("rule=threshold(2)"));
     assert!(text.contains("q=80"));

@@ -77,9 +77,11 @@ fn centralized_and_balanced_reject_far_families() {
     let n = 512;
     let eps = 0.6;
     let mut r = rng(3);
-    let far_instances = [families::two_level(n, eps).unwrap(),
+    let far_instances = [
+        families::two_level(n, eps).unwrap(),
         families::alternating(n, eps).unwrap(),
-        families::uniform_on_prefix(n, n / 4).unwrap()];
+        families::uniform_on_prefix(n, n / 4).unwrap(),
+    ];
     for rule in [Rule::Balanced, Rule::Centralized] {
         let tester = UniformityTester::builder()
             .domain_size(n)

@@ -31,11 +31,7 @@ fn and_rule_loses_alarms_to_message_loss() {
 
     let detection = |q: usize, loss: f64, seed: u64| -> f64 {
         let player = node_player(tester.node_threshold(q));
-        let net = FaultyNetwork::new(
-            k,
-            FaultModel::new(0.0, loss),
-            MissingPolicy::AssumeAccept,
-        );
+        let net = FaultyNetwork::new(k, FaultModel::new(0.0, loss), MissingPolicy::AssumeAccept);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         (0..trials)
             .filter(|_| {
@@ -56,7 +52,10 @@ fn and_rule_loses_alarms_to_message_loss() {
     .minimal;
     let reliable = detection(q, 0.0, 2);
     let lossy = detection(q, 0.5, 3);
-    assert!(reliable > 2.0 / 3.0, "reliable detection at q={q}: {reliable}");
+    assert!(
+        reliable > 2.0 / 3.0,
+        "reliable detection at q={q}: {reliable}"
+    );
     assert!(
         lossy < reliable - 0.12,
         "50% loss should hurt the just-provisioned AND rule: {reliable} -> {lossy} (q={q})"
@@ -76,11 +75,7 @@ fn majority_rule_robust_to_moderate_loss() {
     // Every node sees massive collisions on a point mass and rejects.
     let player = node_player(1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let net = FaultyNetwork::new(
-        k,
-        FaultModel::new(0.1, 0.3),
-        MissingPolicy::AssumeAccept,
-    );
+    let net = FaultyNetwork::new(k, FaultModel::new(0.1, 0.3), MissingPolicy::AssumeAccept);
     let detected = (0..trials)
         .filter(|_| {
             net.run(&far, q, &player, &DecisionRule::Majority, &mut rng)
@@ -106,11 +101,7 @@ fn assume_reject_trades_false_alarms_for_safety() {
     let uniform = families::uniform(n).alias_sampler();
     let player = node_player(u64::MAX); // local test never rejects
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let net = FaultyNetwork::new(
-        k,
-        FaultModel::new(0.0, 0.05),
-        MissingPolicy::AssumeReject,
-    );
+    let net = FaultyNetwork::new(k, FaultModel::new(0.0, 0.05), MissingPolicy::AssumeReject);
     let false_alarms = (0..trials)
         .filter(|_| {
             net.run(&uniform, q, &player, &DecisionRule::And, &mut rng)
@@ -144,11 +135,7 @@ fn exclude_policy_preserves_two_sided_guarantee_under_crashes() {
         (distributed_uniformity::probability::empirical::collision_count_of(samples) as f64)
             <= midpoint
     };
-    let net = FaultyNetwork::new(
-        k,
-        FaultModel::new(0.25, 0.0),
-        MissingPolicy::Exclude,
-    );
+    let net = FaultyNetwork::new(k, FaultModel::new(0.25, 0.0), MissingPolicy::Exclude);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let ok = (0..trials)
         .filter(|_| {

@@ -140,7 +140,9 @@ fn protocol_success_tracks_divergence_budget() {
     let k = 4;
     let q = 2;
     // Budget check: impossible regime.
-    assert!((k as f64) * divergence::per_player_cap(n, q, eps) < divergence::required_budget(1.0 / 3.0));
+    assert!(
+        (k as f64) * divergence::per_player_cap(n, q, eps) < divergence::required_budget(1.0 / 3.0)
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let prepared = BalancedThresholdTester::new(n, k, eps).prepare(q, 500, &mut rng);
     let uniform = families::uniform(n).alias_sampler();

@@ -46,8 +46,8 @@ fn mixture_barrier_sandwiches_real_tester() {
 
     // The information-theoretic floor: per-player budget at which even
     // the POOLED samples (k*q) sit below the chi^2 = 1/4 crossing.
-    let pooled_floor = mixture::q_where_chi2_exceeds(&dom, eps, 0.25, 1 << 16)
-        .expect("crossing exists");
+    let pooled_floor =
+        mixture::q_where_chi2_exceeds(&dom, eps, 0.25, 1 << 16).expect("crossing exists");
     let q_too_small = (pooled_floor / k / 4).max(1);
 
     let tester = BalancedThresholdTester::new(n, k, eps);
@@ -106,8 +106,8 @@ fn distributed_identity_testing_via_reduction() {
     let q = tester.predicted_sample_count().min(30_000);
     let prepared = tester.prepare(q, 400, &mut rng);
 
-    let mut run = |input: &distributed_uniformity::probability::DenseDistribution,
-                   rng: &mut rand::rngs::StdRng| {
+    let run = |input: &distributed_uniformity::probability::DenseDistribution,
+               rng: &mut rand::rngs::StdRng| {
         // Simulate the k players: each draws q reduced samples.
         let sampler = input.alias_sampler();
         let bits: Vec<bool> = (0..k)
@@ -133,7 +133,9 @@ fn distributed_identity_testing_via_reduction() {
         "matching reference accepted only {accepts_reference}/{trials}"
     );
     let uniform_input = families::uniform(n);
-    let accepts_far = (0..trials).filter(|_| run(&uniform_input, &mut rng)).count();
+    let accepts_far = (0..trials)
+        .filter(|_| run(&uniform_input, &mut rng))
+        .count();
     assert!(
         accepts_far <= 1,
         "far input accepted {accepts_far}/{trials}"

@@ -1,0 +1,265 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! A small wall-clock benchmark harness: each benchmark warms up for
+//! `warm_up_time`, estimates the iteration rate, then takes
+//! `sample_size` timed samples spread over `measurement_time` and
+//! reports the median/min/max ns-per-iteration to stdout in a
+//! criterion-like format. No statistics beyond that, no plots, no
+//! saved baselines — but relative comparisons between runs of the same
+//! binary (the only thing the repo's perf acceptance criteria need)
+//! work the same way.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time exists in this shim).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_millis(1500),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the total measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "need at least one sample");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.into().id);
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into().id);
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Times a closure inside a benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, sample_size: usize) -> Self {
+        Self {
+            warm_up,
+            measurement,
+            sample_size,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `routine`: warm-up, rate estimation, then timed
+    /// samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up while estimating the iteration rate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let total_iters = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{group}/{id}: no samples collected");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{group}/{id}  time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; this harness takes no options.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! A deterministic, shrink-free property-testing harness: each
+//! `proptest!` test derives a fixed RNG seed from its own name, draws
+//! `ProptestConfig::cases` random inputs from its strategies, and
+//! panics (with the case number) on the first failing case. Without
+//! shrinking, failures report the raw sampled case — rerunning the
+//! test reproduces it exactly, since seeding is name-derived and
+//! stable.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(..)]` header), `prop_assert!` /
+//! `prop_assert_eq!`, range and tuple strategies, `Just`,
+//! `any::<T>()`, `prop::bool::ANY`, `prop::collection::vec`, and the
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`
+//! combinators.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Strategy for a fair random bool.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The canonical bool strategy.
+        pub const ANY: Any = Any;
+
+        impl crate::strategy::Strategy for Any {
+            type Value = bool;
+            fn new_value(&self, rng: &mut rand::rngs::StdRng) -> Option<bool> {
+                use rand::Rng as _;
+                Some(rng.random())
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// The `proptest::prelude` equivalent.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn sums_commute(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let outcome = (|rng: &mut rand::rngs::StdRng|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ($($pat,)+) = (
+                            $( $crate::strategy::generate(&($strat), rng, stringify!($strat)) ),+ ,
+                        );
+                        $body
+                        ::std::result::Result::Ok(())
+                    })(&mut rng);
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..6), flag in prop::bool::ANY) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!(u8::from(flag) < 2);
+        }
+
+        #[test]
+        fn vec_respects_sizes(v in prop::collection::vec(0i32..3, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..3).contains(&x)));
+        }
+
+        #[test]
+        fn combinators_compose(x in (1u64..100).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn flat_map_nests(v in (2usize..6).prop_flat_map(|n| prop::collection::vec(0u8..10, n)) ) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn filter_map_retries(x in (0u32..100).prop_filter_map("must be even", |v| (v % 2 == 0).then_some(v))) {
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn any_u64_works(seed in any::<u64>(), j in Just(7)) {
+            let _ = seed;
+            prop_assert_eq!(j, 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        // No `#[test]` on the inner fn: it is invoked directly, and a
+        // nested test item would be unnameable to the harness anyway.
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
