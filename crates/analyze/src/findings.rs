@@ -1,0 +1,123 @@
+//! Findings and the aggregate lint report.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (e.g. `float-eq`).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )?;
+        write!(f, "    hint: {}", self.hint)
+    }
+}
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Files analyzed (excluded files are not counted).
+    pub files_checked: usize,
+    /// Suppressions that matched a finding (justified exceptions).
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the tree is lint-clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings into reporting order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        if !self.findings.is_empty() {
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "dut lint: {} file{} checked, {} finding{}, {} suppressed",
+            self.files_checked,
+            if self.files_checked == 1 { "" } else { "s" },
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_location_rule_and_hint() {
+        let finding = Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "float-eq",
+            message: "float compared with `==`".into(),
+            hint: "use an epsilon comparison or f64::total_cmp",
+        };
+        let text = finding.to_string();
+        assert!(text.starts_with("crates/x/src/lib.rs:7: [float-eq]"));
+        assert!(text.contains("hint:"));
+    }
+
+    #[test]
+    fn report_sorts_and_summarizes() {
+        let mut report = Report {
+            findings: vec![
+                Finding {
+                    path: "b.rs".into(),
+                    line: 2,
+                    rule: "unwrap",
+                    message: "m".into(),
+                    hint: "h",
+                },
+                Finding {
+                    path: "a.rs".into(),
+                    line: 9,
+                    rule: "unwrap",
+                    message: "m".into(),
+                    hint: "h",
+                },
+            ],
+            files_checked: 2,
+            suppressed: 1,
+        };
+        report.sort();
+        assert_eq!(report.findings[0].path, "a.rs");
+        assert!(!report.is_clean());
+        assert!(report
+            .to_string()
+            .contains("2 files checked, 2 findings, 1 suppressed"));
+    }
+}

@@ -1,0 +1,518 @@
+//! A minimal, comment- and string-aware Rust lexer.
+//!
+//! `dut-analyze` runs in an offline build environment, so it cannot
+//! depend on `syn` or `proc-macro2`. The rule set only needs a token
+//! stream with line numbers — identifiers, literals, and operators —
+//! plus the line comments (for `// dut-lint: allow(...)` suppressions).
+//! This lexer provides exactly that: it understands nested block
+//! comments, all string flavors (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`),
+//! char vs. lifetime disambiguation, and int vs. float literals, and
+//! deliberately nothing more.
+
+/// Token classification, as coarse as the rules allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `mod`, `fn`, … are idents here).
+    Ident,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String, byte-string, or char literal (content not retained).
+    Str,
+    /// Operator or delimiter, possibly multi-character (`==`, `::`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text (for `Str`, a placeholder — contents are opaque).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when this token is the operator/delimiter `op`.
+    #[must_use]
+    pub fn is_punct(&self, op: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == op
+    }
+}
+
+/// A `//` comment with its position, kept for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Comment text after the `//` (excluding the newline).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// True when only whitespace precedes the `//` on its line, i.e.
+    /// the comment stands alone and refers to the *next* code line.
+    pub standalone: bool,
+}
+
+/// Lexer output: the token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `//` comments in source order (doc comments included).
+    pub comments: Vec<LineComment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `source`, returning tokens and line comments.
+///
+/// Unterminated strings or block comments are tolerated (the rest of
+/// the file is consumed as the literal/comment); the linter must never
+/// panic on weird input, it degrades to fewer tokens.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_has_token: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a token has been emitted on the current line (used to
+    /// mark comments as standalone or trailing).
+    line_has_token: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_token = false;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead(self.pos) => self.raw_string(),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.quoted_string(b'"');
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(self.pos + 1) => {
+                    self.pos += 1;
+                    self.raw_string();
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                }
+                b'"' => self.quoted_string(b'"'),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+        self.line_has_token = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.bytes.len() && self.bytes[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.out.comments.push(LineComment {
+            text,
+            line: self.line,
+            standalone: !self.line_has_token,
+        });
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// True when a raw string (`r"` or `r#…"`) starts at `at`.
+    fn raw_string_ahead(&self, at: usize) -> bool {
+        let mut i = at + 1;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) {
+        // At `r`; count the hashes to know the closing delimiter.
+        self.pos += 1;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let line = self.line;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    let mut close = 0usize;
+                    while close < hashes && self.peek(1 + close) == Some(b'#') {
+                        close += 1;
+                    }
+                    self.pos += 1 + close;
+                    if close == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: String::from("\"…\""),
+            line,
+        });
+        self.line_has_token = true;
+    }
+
+    fn quoted_string(&mut self, quote: u8) {
+        let line = self.line;
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: String::from("\"…\""),
+            line,
+        });
+        self.line_has_token = true;
+    }
+
+    /// Disambiguates char literals (`'x'`, `'\n'`) from lifetimes
+    /// (`'a`, `'static`): a lifetime has no closing quote.
+    fn char_or_lifetime(&mut self) {
+        let scan_to_close = |this: &mut Self| {
+            while let Some(b) = this.peek(0) {
+                this.pos += if b == b'\\' { 2 } else { 1 };
+                if b == b'\'' {
+                    break;
+                }
+            }
+            this.push(TokenKind::Str, String::from("'…'"));
+        };
+        match self.peek(1) {
+            // Escaped char literal: skip to the closing quote.
+            Some(b'\\') => {
+                self.pos += 2;
+                scan_to_close(self);
+            }
+            // Non-ASCII char literal (`'∞'`): scan to the close quote.
+            Some(b) if !b.is_ascii() => {
+                self.pos += 1;
+                scan_to_close(self);
+            }
+            // Single-byte char literal over any non-quote byte:
+            // `'"'`, `'('`, `' '`, `b'"'` …
+            _ if self.peek(2) == Some(b'\'') && self.peek(1) != Some(b'\'') => {
+                self.pos += 3;
+                self.push(TokenKind::Str, String::from("'…'"));
+            }
+            _ => {
+                // `'X…'` with a closing quote is a char; otherwise a
+                // lifetime — consume only the quote, the label lexes
+                // as a harmless identifier on the next iteration.
+                let mut i = self.pos + 1;
+                while self
+                    .bytes
+                    .get(i)
+                    .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                if i > self.pos + 1 && self.bytes.get(i) == Some(&b'\'') {
+                    self.pos = i + 1;
+                    self.push(TokenKind::Str, String::from("'…'"));
+                } else {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, String::from("'"));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        } else {
+            self.digits();
+            // A decimal point makes it a float only when followed by a
+            // digit (else `1.max(2)`, `0..n`, `tuple.0` style usage).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                is_float = true;
+                self.pos += 1;
+                self.digits();
+            } else if self.peek(0) == Some(b'.')
+                && !matches!(self.peek(1), Some(b'.') | Some(b'_'))
+                && !self.peek(1).is_some_and(|b| b.is_ascii_alphabetic())
+            {
+                // Trailing-dot float: `1.` at expression end.
+                is_float = true;
+                self.pos += 1;
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let mut i = self.pos + 1;
+                if matches!(self.bytes.get(i), Some(b'+' | b'-')) {
+                    i += 1;
+                }
+                if self.bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    self.pos = i;
+                    self.digits();
+                }
+            }
+            // Suffix (`f64`, `u32`, …).
+            let suffix_start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            let suffix = &self.bytes[suffix_start..self.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                is_float = true;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text);
+    }
+
+    fn digits(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text);
+    }
+
+    fn punct(&mut self) {
+        for op in OPERATORS {
+            if self.bytes[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, (*op).to_owned());
+                return;
+            }
+        }
+        // Single byte (or the lead byte of a multi-byte char — emit it
+        // raw; rules only match ASCII operators).
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b.is_ascii() {
+            self.push(TokenKind::Punct, (b as char).to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_field_access_vs_ranges() {
+        let toks = kinds("x.0 == 1.0 && 0..n != 2e-3f64");
+        assert!(toks.contains(&(TokenKind::Float, "1.0".into())));
+        assert!(
+            toks.contains(&(TokenKind::Float, "2e-3".into())) || {
+                // exponent with sign folds the suffix differently; accept
+                // any float token starting with 2e
+                toks.iter()
+                    .any(|(k, t)| *k == TokenKind::Float && t.starts_with("2e"))
+            }
+        );
+        // `x.0` must not produce a float.
+        assert_eq!(toks[0], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokenKind::Int, "0".into()));
+        // `0..n` keeps the range operator.
+        assert!(toks.contains(&(TokenKind::Punct, "..".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped_but_recorded() {
+        let lexed = lex("let a = 1; // trailing note\n// standalone note\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].standalone);
+        assert!(lexed.comments[1].standalone);
+        assert_eq!(lexed.comments[1].line, 2);
+        // Comment text never becomes tokens.
+        assert!(!lexed.tokens.iter().any(|t| t.text.contains("note")));
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak_tokens() {
+        let lexed = lex("//! println!(\"hi\")\n/// thread_rng()\nfn f() {}\n");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("println")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn strings_hide_contents_and_track_lines() {
+        let lexed = lex("let s = \"HashMap == 1.0\";\nlet t = r#\"thread_rng\"#;\nlet u = 3;");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        let u = lexed.tokens.iter().find(|t| t.is_ident("u")).unwrap();
+        assert_eq!(u.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_and_newlines() {
+        let lexed = lex("/* a /* b */ c\nstill comment */ let x = 1;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("let")));
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let toks = kinds("fn f<'a>(c: char) { let x = 'x'; let nl = '\\n'; }");
+        assert!(toks.contains(&(TokenKind::Punct, "'".into())));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Str && t == "'…'")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds("self.expect(b'\"')?; let s = b\"bytes == 1.0\";");
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(!toks.iter().any(|(_, t)| t == "bytes"));
+        // The `==` inside the byte string must not surface.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "=="));
+    }
+
+    #[test]
+    fn multi_char_operators_munch_maximally() {
+        let toks = kinds("a == b != c <= d .. e ..= f :: g");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "<=", "..", "..=", "::"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! `dut-analyze`: workspace static analysis for the distributed
+//! uniformity testing repo (the `dut lint` subcommand).
+//!
+//! Every claim this repo makes about the Meir–Minzer–Oshman bounds
+//! rests on simulations being reproducible and numerically sound: an
+//! unseeded RNG, a `HashMap`-ordered reduction, or a float `==` in a
+//! verdict path silently invalidates a scaling-law fit. This crate
+//! enforces those invariants mechanically, on every commit:
+//!
+//! * **determinism** — no OS entropy (`thread_rng`, `from_entropy`),
+//!   no wall-clock branching (`SystemTime::now`), no randomized
+//!   iteration order (`HashMap`/`HashSet`) in non-test code;
+//! * **numeric soundness** — no float `==`/`!=` against literals, no
+//!   `partial_cmp` (use `total_cmp`), no silent float→int `as` casts
+//!   in probability/stats, no `.unwrap()` in library code;
+//! * **structure** — every bench experiment emits a dut-obs run
+//!   manifest; library crates never print (output goes through obs or
+//!   returned values).
+//!
+//! The environment is offline, so there is no `syn`: analysis runs on
+//! a small comment- and string-aware lexer ([`lexer`]). Rules are
+//! heuristic where a lexer must be (see each rule's docs); the
+//! workspace `[lints]` table promotes the matching clippy lints
+//! (`float_cmp`, `unwrap_used`, `cast_possible_truncation`) to deny so
+//! the type-aware and token-aware passes agree.
+//!
+//! Findings print as `file:line: [rule] message` plus a fix hint, and
+//! any unsuppressed finding makes `dut lint` exit nonzero. Justified
+//! exceptions are annotated inline:
+//!
+//! ```text
+//! // dut-lint: allow(float-eq): boolean tables hold exact 0.0/1.0
+//! ```
+//!
+//! The reason after the `:` is mandatory — a reasonless suppression is
+//! itself a finding (`bad-suppression`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Tests assert exact constructed values and index with small literals.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use findings::{Finding, Report};
+pub use rules::{check_file, RuleInfo, RULES};
+pub use source::{classify, FileKind, SourceFile};
+
+use std::path::Path;
+
+/// Lints the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be walked or a source file
+/// cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let files =
+        walk::rust_files(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    let mut report = Report::default();
+    for relative in files {
+        let path_text = relative.to_string_lossy().replace('\\', "/");
+        if classify(&path_text) == FileKind::Excluded {
+            continue;
+        }
+        let absolute = root.join(&relative);
+        let source = std::fs::read_to_string(&absolute)
+            .map_err(|e| format!("cannot read {}: {e}", absolute.display()))?;
+        let file = SourceFile::parse(&path_text, &source);
+        let outcome = check_file(&file);
+        report.files_checked += 1;
+        report.suppressed += outcome.suppressed;
+        report.findings.extend(outcome.findings);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Lints a single in-memory source, as the fixture tests do.
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> rules::FileOutcome {
+    check_file(&SourceFile::parse(path, source))
+}
+
+/// Renders the rule table (for `dut lint --rules`).
+#[must_use]
+pub fn rules_table() -> String {
+    use std::fmt::Write;
+    let mut out = String::from("rule                   family        summary\n");
+    for rule in RULES {
+        let _ = writeln!(out, "{:<22} {:<13} {}", rule.id, rule.family, rule.summary);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rules_table_lists_every_rule() {
+        let table = super::rules_table();
+        for rule in super::RULES {
+            assert!(table.contains(rule.id), "missing {}", rule.id);
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! The rule set: determinism, numeric soundness, and structure.
+//!
+//! Every rule works on the token stream of one [`SourceFile`] — no
+//! type information. Where a check is necessarily heuristic (e.g.
+//! float comparisons are only detected against float literals or
+//! `f64::` constants), the limitation is documented on the rule.
+
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::{FileKind, SourceFile};
+
+/// Rule metadata, surfaced by `dut lint --rules` and the README.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier used in findings and suppressions.
+    pub id: &'static str,
+    /// Rule family: `determinism`, `numeric`, or `structure`.
+    pub family: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// All rules, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "nondet-rng",
+        family: "determinism",
+        summary: "bans thread_rng/from_entropy/SystemTime::now — every run must derive from the master seed",
+    },
+    RuleInfo {
+        id: "unordered-collection",
+        family: "determinism",
+        summary: "flags HashMap/HashSet in non-test code — iteration order feeding results or messages must be deterministic",
+    },
+    RuleInfo {
+        id: "float-eq",
+        family: "numeric",
+        summary: "flags ==/!= against float literals or f64:: constants in library code",
+    },
+    RuleInfo {
+        id: "partial-cmp",
+        family: "numeric",
+        summary: "flags partial_cmp on floats — use f64::total_cmp, which is total and panic-free",
+    },
+    RuleInfo {
+        id: "lossy-cast",
+        family: "numeric",
+        summary: "flags float-to-integer `as` casts in probability/stats code (silent saturation)",
+    },
+    RuleInfo {
+        id: "unwrap",
+        family: "numeric",
+        summary: "bans .unwrap() in library code — propagate a Result or document the invariant with .expect(\"…\")",
+    },
+    RuleInfo {
+        id: "println",
+        family: "structure",
+        summary: "bans println!/print! in library crates — output goes through dut-obs or returned values",
+    },
+    RuleInfo {
+        id: "missing-manifest",
+        family: "structure",
+        summary: "every bench experiment binary must emit a dut-obs run manifest",
+    },
+    RuleInfo {
+        id: "bad-suppression",
+        family: "structure",
+        summary: "dut-lint suppression comments must parse and carry a reason",
+    },
+];
+
+/// Integer types a float `as` cast can silently truncate into.
+const INT_TYPES: &[&str] = &[
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Float methods whose result is still a float at cast time.
+const FLOAT_PRODUCERS: &[&str] = &[
+    "round", "floor", "ceil", "trunc", "sqrt", "abs", "exp", "ln",
+];
+
+/// Outcome of checking one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified suppression.
+    pub suppressed: usize,
+}
+
+/// Runs every applicable rule on `file`.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> FileOutcome {
+    let mut outcome = FileOutcome::default();
+    if file.kind == FileKind::Excluded {
+        return outcome;
+    }
+    let mut raw: Vec<Finding> = Vec::new();
+
+    scan_tokens(file, &mut raw);
+    check_manifest(file, &mut raw);
+
+    // Malformed suppressions are findings themselves and cannot be
+    // suppressed.
+    for (line, problem) in &file.malformed {
+        raw.push(finding(
+            file,
+            *line,
+            "bad-suppression",
+            problem.clone(),
+            "syntax: `// dut-lint: allow(<rule>): <reason>`",
+        ));
+    }
+
+    // One finding per (rule, line): repeated hits on a line add noise,
+    // not information.
+    raw.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+
+    for f in raw {
+        if f.rule != "bad-suppression" && file.is_suppressed(f.rule, f.line) {
+            outcome.suppressed += 1;
+        } else {
+            outcome.findings.push(f);
+        }
+    }
+    outcome
+}
+
+fn finding(
+    file: &SourceFile,
+    line: u32,
+    rule: &'static str,
+    message: String,
+    hint: &'static str,
+) -> Finding {
+    Finding {
+        path: file.path.clone(),
+        line,
+        rule,
+        message,
+        hint,
+    }
+}
+
+/// Token-stream rules, one linear pass.
+fn scan_tokens(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let in_library = file.kind == FileKind::Library;
+    let in_numeric_crate =
+        file.path.starts_with("crates/probability/") || file.path.starts_with("crates/stats/");
+    for (i, token) in tokens.iter().enumerate() {
+        if file.is_test_line(token.line) {
+            continue;
+        }
+        let line = token.line;
+
+        // --- determinism -------------------------------------------------
+        if token.kind == TokenKind::Ident {
+            match token.text.as_str() {
+                "thread_rng" | "from_entropy" => out.push(finding(
+                    file,
+                    line,
+                    "nondet-rng",
+                    format!("`{}` draws OS entropy; runs become unreproducible", token.text),
+                    "seed a StdRng from the experiment's master seed (stats::seed::derive_seed)",
+                )),
+                "SystemTime" if matches!(tokens.get(i + 2), Some(t) if t.is_ident("now")) => out
+                    .push(finding(
+                        file,
+                        line,
+                        "nondet-rng",
+                        "`SystemTime::now` makes behavior depend on the wall clock".to_owned(),
+                        "derive timing-free logic from the seed; for span timing use dut-obs",
+                    )),
+                "HashMap" | "HashSet" => out.push(finding(
+                    file,
+                    line,
+                    "unordered-collection",
+                    format!(
+                        "`{}` iterates in randomized order; anything derived from it is nondeterministic",
+                        token.text
+                    ),
+                    "use BTreeMap/BTreeSet, or sort before iterating",
+                )),
+                _ => {}
+            }
+        }
+
+        // Rules below only apply to library code.
+        if !in_library {
+            continue;
+        }
+
+        // --- numeric soundness -------------------------------------------
+        if token.is_punct("==") || token.is_punct("!=") {
+            if float_operand(tokens, i) {
+                out.push(finding(
+                    file,
+                    line,
+                    "float-eq",
+                    format!("float compared with `{}`", token.text),
+                    "compare with an epsilon, a non-equality bound (`<= 0.0`), or f64::total_cmp",
+                ));
+            }
+        } else if token.is_punct(".") {
+            match tokens.get(i + 1) {
+                Some(t) if t.is_ident("partial_cmp") => out.push(finding(
+                    file,
+                    line,
+                    "partial-cmp",
+                    "`partial_cmp` on floats panics or misorders on NaN".to_owned(),
+                    "use f64::total_cmp (total order, no unwrap/expect needed)",
+                )),
+                Some(t)
+                    if t.is_ident("unwrap")
+                        && matches!(tokens.get(i + 2), Some(t) if t.is_punct("("))
+                        && matches!(tokens.get(i + 3), Some(t) if t.is_punct(")")) =>
+                {
+                    out.push(finding(
+                        file,
+                        line,
+                        "unwrap",
+                        "`.unwrap()` in library code hides the panic condition".to_owned(),
+                        "propagate a Result, or state the invariant with .expect(\"why this holds\")",
+                    ));
+                }
+                _ => {}
+            }
+        } else if token.is_ident("as")
+            && in_numeric_crate
+            && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Ident && INT_TYPES.contains(&t.text.as_str()))
+            && float_cast_source(tokens, i)
+        {
+            out.push(finding(
+                file,
+                line,
+                "lossy-cast",
+                format!(
+                    "float-to-`{}` `as` cast silently saturates and truncates",
+                    tokens[i + 1].text
+                ),
+                "bound the value first and document why the cast is exact, then suppress",
+            ));
+        }
+
+        // --- structure ---------------------------------------------------
+        if (token.is_ident("println") || token.is_ident("print"))
+            && matches!(tokens.get(i + 1), Some(t) if t.is_punct("!"))
+        {
+            out.push(finding(
+                file,
+                line,
+                "println",
+                format!("`{}!` in a library crate writes to stdout", token.text),
+                "return the value, or emit a dut-obs event/metric",
+            ));
+        }
+    }
+}
+
+/// Whether either operand of the comparison at `i` is a float literal
+/// or an `f64::`/`f32::` associated constant. (Comparisons between two
+/// float *variables* are invisible to a lexer — clippy's `float_cmp`,
+/// promoted to deny in the workspace lints, covers those.)
+fn float_operand(tokens: &[Token], i: usize) -> bool {
+    if i > 0 && tokens[i - 1].kind == TokenKind::Float {
+        return true;
+    }
+    match tokens.get(i + 1) {
+        Some(t) if t.kind == TokenKind::Float => true,
+        // `== -1.0`
+        Some(t) if t.is_punct("-") => {
+            matches!(tokens.get(i + 2), Some(t) if t.kind == TokenKind::Float)
+        }
+        // `== f64::INFINITY`
+        Some(t) if t.is_ident("f64") || t.is_ident("f32") => {
+            matches!(tokens.get(i + 2), Some(t) if t.is_punct("::"))
+        }
+        _ => false,
+    }
+}
+
+/// Whether the expression before an `as` token (at `i`) is visibly a
+/// float: a float literal, or a call of a float-producing method like
+/// `.round()`.
+fn float_cast_source(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &tokens[i - 1];
+    if prev.kind == TokenKind::Float {
+        return true;
+    }
+    if !prev.is_punct(")") {
+        return false;
+    }
+    // Walk back over the matching parens, then expect `.method`.
+    let mut depth = 0usize;
+    let mut j = i - 1;
+    loop {
+        if tokens[j].is_punct(")") {
+            depth += 1;
+        } else if tokens[j].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+    j >= 2
+        && tokens[j - 1].kind == TokenKind::Ident
+        && FLOAT_PRODUCERS.contains(&tokens[j - 1].text.as_str())
+        && tokens[j - 2].is_punct(".")
+}
+
+/// Structure rule: every bench experiment binary opens a dut-obs run
+/// manifest (`Harness::emit_manifest`) so traces are attributable.
+fn check_manifest(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.path.starts_with("crates/bench/src/bin/") {
+        return;
+    }
+    if !file.tokens.iter().any(|t| t.is_ident("emit_manifest")) {
+        out.push(finding(
+            file,
+            1,
+            "missing-manifest",
+            "experiment binary never emits a dut-obs run manifest".to_owned(),
+            "call harness.emit_manifest(\"<experiment>\") at the top of main()",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> FileOutcome {
+        check_file(&SourceFile::parse(path, src))
+    }
+
+    fn rule_ids(outcome: &FileOutcome) -> Vec<&'static str> {
+        outcome.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn detects_thread_rng_and_system_time() {
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f() {\n let mut r = rand::thread_rng();\n let t = SystemTime::now();\n}",
+        );
+        assert_eq!(rule_ids(&out), vec!["nondet-rng", "nondet-rng"]);
+    }
+
+    #[test]
+    fn detects_hash_collections_outside_tests_only() {
+        let src = "\
+use std::collections::HashMap;
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+}
+";
+        let out = lint("crates/x/src/lib.rs", src);
+        assert_eq!(rule_ids(&out), vec!["unordered-collection"]);
+        assert_eq!(out.findings[0].line, 1);
+    }
+
+    #[test]
+    fn detects_float_eq_variants() {
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f(v: f64) -> bool { v == 0.0 || 1.0 != v || v == -2.5 || v == f64::INFINITY }",
+        );
+        assert_eq!(out.findings.len(), 1, "deduped per line");
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f(v: f64) -> bool {\n v == 0.0\n}",
+        );
+        assert_eq!(rule_ids(&out), vec!["float-eq"]);
+    }
+
+    #[test]
+    fn integer_eq_is_fine() {
+        let out = lint("crates/x/src/lib.rs", "fn f(v: u64) -> bool { v == 0 }");
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn detects_partial_cmp_and_unwrap() {
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        );
+        assert_eq!(rule_ids(&out), vec!["partial-cmp", "unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }",
+        );
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_only_in_numeric_crates() {
+        let src = "fn f(v: f64) -> usize { v.round() as usize }";
+        assert_eq!(
+            rule_ids(&lint("crates/stats/src/sweep.rs", src)),
+            vec!["lossy-cast"]
+        );
+        assert_eq!(
+            rule_ids(&lint("crates/probability/src/dense.rs", src)),
+            vec!["lossy-cast"]
+        );
+        assert!(lint("crates/simnet/src/rates.rs", src).findings.is_empty());
+        // Integer-to-integer casts are not this rule's business.
+        let int_src = "fn f(v: u64) -> usize { v as usize }";
+        assert!(lint("crates/stats/src/sweep.rs", int_src)
+            .findings
+            .is_empty());
+    }
+
+    #[test]
+    fn println_banned_in_libraries_allowed_in_bins() {
+        let src = "fn f() { println!(\"x\"); }";
+        assert_eq!(rule_ids(&lint("crates/x/src/lib.rs", src)), vec!["println"]);
+        assert!(lint("src/bin/dut.rs", src).findings.is_empty());
+        assert!(lint("crates/bench/src/bin/e1_foo.rs", src)
+            .findings
+            .iter()
+            .all(|f| f.rule != "println"));
+    }
+
+    #[test]
+    fn manifest_required_for_bench_bins() {
+        let out = lint("crates/bench/src/bin/e1_foo.rs", "fn main() {}");
+        assert_eq!(rule_ids(&out), vec!["missing-manifest"]);
+        let out = lint(
+            "crates/bench/src/bin/e1_foo.rs",
+            "fn main() { let h = Harness::from_env(); h.emit_manifest(\"e1\"); }",
+        );
+        assert!(out.findings.is_empty());
+        // Non-bench bins don't need a manifest.
+        assert!(lint("src/bin/dut.rs", "fn main() {}").findings.is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_and_counts() {
+        let src = "\
+// dut-lint: allow(float-eq): boolean-valued table entries are exact
+fn f(v: f64) -> bool { v == 1.0 }
+";
+        let out = lint("crates/x/src/lib.rs", src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn reasonless_suppression_reports_and_does_not_silence() {
+        let src = "fn f(v: f64) -> bool { v == 1.0 } // dut-lint: allow(float-eq)\n";
+        let out = lint("crates/x/src/lib.rs", src);
+        let ids = rule_ids(&out);
+        assert!(ids.contains(&"bad-suppression"));
+        assert!(ids.contains(&"float-eq"));
+    }
+
+    #[test]
+    fn rules_table_is_consistent() {
+        assert!(RULES.iter().all(|r| !r.summary.is_empty()));
+        let mut ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len());
+    }
+}

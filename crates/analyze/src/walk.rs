@@ -1,0 +1,82 @@
+//! Workspace file discovery.
+//!
+//! Walks the repository for `.rs` files that belong to the lint scope:
+//! `src/` and `crates/*/src/` trees. `vendor/` (offline shims),
+//! `target/`, integration `tests/`, `examples/`, and fixture corpora
+//! are excluded — the path classification in [`crate::source`] is the
+//! single source of truth, the walk just avoids descending into trees
+//! that could never contain linted files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const PRUNED: &[&str] = &[
+    "target", "vendor", ".git", "results", "logs", "fixtures", "tests", "examples",
+];
+
+/// Collects every candidate `.rs` file under `root`, returning paths
+/// *relative to* `root`, sorted, `/`-separated.
+///
+/// # Errors
+///
+/// Returns any I/O error except `NotFound` on optional subtrees.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            descend(&dir, &mut out)?;
+        }
+    }
+    let mut relative: Vec<PathBuf> = out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    relative.sort();
+    Ok(relative)
+}
+
+fn descend(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if PRUNED.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_fixtures() {
+        // CARGO_MANIFEST_DIR = crates/analyze → workspace root is ../..
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root exists");
+        let files = rust_files(root).expect("walk succeeds");
+        let as_strings: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(as_strings.iter().any(|p| p == "crates/analyze/src/walk.rs"));
+        assert!(as_strings.iter().any(|p| p == "src/bin/dut.rs"));
+        assert!(!as_strings.iter().any(|p| p.contains("/fixtures/")));
+        assert!(!as_strings.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!as_strings.iter().any(|p| p.contains("/tests/")));
+    }
+}

@@ -1,0 +1,8 @@
+//! BAD: suppressions without a reason, or that do not parse.
+pub fn exact(v: f64) -> bool {
+    // dut-lint: allow(float-eq)
+    let a = v == 1.0;
+    // dut-lint: alllow(float-eq): typo in keyword
+    let b = v == 0.0;
+    a || b
+}

@@ -1,0 +1,4 @@
+//! BAD: strict float equality against literals and f64 constants.
+pub fn degenerate(mass: f64) -> bool {
+    mass == 0.0 || mass != 1.0 || mass == f64::INFINITY
+}

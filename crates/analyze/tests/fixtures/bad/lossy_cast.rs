@@ -1,0 +1,4 @@
+//! BAD (in probability/stats code): silent float-to-int `as` cast.
+pub fn quantile_index(alpha: f64, len: usize) -> usize {
+    (alpha * len as f64).floor() as usize
+}

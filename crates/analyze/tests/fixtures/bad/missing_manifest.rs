@@ -1,0 +1,6 @@
+//! BAD (as crates/bench/src/bin/*): no dut-obs run manifest.
+fn main() {
+    let harness = Harness::from_env();
+    let _ = harness.trials;
+    println!("result = 42");
+}

@@ -1,0 +1,7 @@
+//! BAD: draws OS entropy and wall-clock time in library code.
+pub fn noisy_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    let t = SystemTime::now();
+    let _ = (rng.random::<u64>(), t);
+    0
+}

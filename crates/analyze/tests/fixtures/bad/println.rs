@@ -1,0 +1,5 @@
+//! BAD: a library crate writing to stdout.
+pub fn announce(q: usize) {
+    println!("sampling q = {q}");
+    print!("...");
+}

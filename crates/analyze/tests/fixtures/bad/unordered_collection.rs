@@ -1,0 +1,13 @@
+//! BAD: hash collections iterate in randomized order.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut out = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

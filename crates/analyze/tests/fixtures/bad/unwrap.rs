@@ -1,0 +1,4 @@
+//! BAD: `.unwrap()` hides the panic condition from readers.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

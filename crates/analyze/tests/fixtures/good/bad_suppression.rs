@@ -1,0 +1,5 @@
+//! GOOD: a suppression that parses and carries its justification.
+pub fn exact(v: f64) -> bool {
+    // dut-lint: allow(float-eq): table entries are exactly 0.0 or 1.0 by construction
+    v == 1.0
+}

@@ -1,0 +1,4 @@
+//! GOOD: non-equality bounds on provably non-negative quantities.
+pub fn degenerate(mass: f64) -> bool {
+    mass <= 0.0 || (mass - 1.0).abs() < 1e-12 || mass.is_infinite()
+}

@@ -1,0 +1,4 @@
+//! GOOD: the cast is centralized behind a clamped, documented helper.
+pub fn quantile_index(alpha: f64, len: usize) -> usize {
+    dut_stats::convert::floor_to_usize(alpha * len as f64)
+}

@@ -1,0 +1,6 @@
+//! GOOD (as crates/bench/src/bin/*): the run is attributable.
+fn main() {
+    let harness = Harness::from_env();
+    harness.emit_manifest("e0_fixture");
+    println!("result = 42");
+}

@@ -1,0 +1,5 @@
+//! GOOD: all randomness derives from an explicit master seed.
+pub fn derived_rng(master_seed: u64, trial: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(master_seed ^ trial)
+}

@@ -1,0 +1,4 @@
+//! GOOD: total_cmp is a total order, panic-free on NaN.
+pub fn sort_probs(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

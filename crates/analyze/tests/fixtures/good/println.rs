@@ -1,0 +1,4 @@
+//! GOOD: libraries return values; the obs layer carries diagnostics.
+pub fn describe(q: usize) -> String {
+    format!("sampling q = {q}")
+}

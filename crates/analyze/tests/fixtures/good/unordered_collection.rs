@@ -1,0 +1,13 @@
+//! GOOD: ordered collections keep iteration deterministic.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *out.entry(x).or_insert(0) += 1;
+    }
+    out
+}

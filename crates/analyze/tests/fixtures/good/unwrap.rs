@@ -1,0 +1,8 @@
+//! GOOD: the invariant is stated, or the error is propagated.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().expect("callers pass a non-empty trial batch")
+}
+
+pub fn try_first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

@@ -43,6 +43,7 @@ fn measure<T: CentralizedTester + Sync>(
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("a1_tester_ablation");
     let n = 1 << 10;
     let eps = 0.5;
     println!("# A1 — centralized tester ablation (n = {n}, eps = {eps})\n");
@@ -136,7 +137,7 @@ fn main() {
             }
         }
         let mean = samples as f64 / trials as f64;
-        let verdict = if rejects * 2 > trials as usize {
+        let verdict = if rejects as u64 * 2 > trials {
             "reject"
         } else {
             "accept"

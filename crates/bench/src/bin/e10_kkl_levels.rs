@@ -19,6 +19,7 @@ use rand::SeedableRng;
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e10_kkl_levels");
     let mut rng = rand::rngs::StdRng::seed_from_u64(harness.seed);
     println!("# E10 — KKL level inequality and the price of bias\n");
 

@@ -20,6 +20,7 @@ use rand::SeedableRng;
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e11_mixture_barrier");
     let mut rng = rand::rngs::StdRng::seed_from_u64(harness.seed);
     println!("# E11 — the sqrt(n) mixture barrier (exact chi^2 + MC total variation)\n");
 

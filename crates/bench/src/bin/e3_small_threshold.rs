@@ -41,6 +41,7 @@ fn q_star_for_budget(
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e3_small_threshold");
     let n = 1 << 10;
     let k = 64;
     let eps = 0.5;

@@ -37,6 +37,7 @@ fn minimal_k(
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e4_single_sample");
     println!("# E4 — single-sample testing [1] and distributed learning (Thm 1.4)\n");
 
     // --- sweep message length ---
@@ -50,7 +51,8 @@ fn main() {
     ]);
     let mut points_l = Vec::new();
     for (i, &ell) in [4u32, 6, 8, 10].iter().enumerate() {
-        let proto = SingleSampleProtocol::new(n, ell as u8, eps);
+        let proto =
+            SingleSampleProtocol::new(n, u8::try_from(ell).expect("ell is a small bit count"), eps);
         let k = minimal_k(&proto, n, eps, &harness, 800 + i as u64);
         println!("l = {ell}: k* = {k}");
         points_l.push(((f64::from(ell) / 2.0).exp2(), k as f64));

@@ -55,7 +55,7 @@ fn cases(dom: PairedDomain, q: usize, rng: &mut rand::rngs::StdRng) -> Vec<Case>
         },
     ];
     // Random functions only when the table fits.
-    if (dom.ell() + 1) * q as u32 <= 16 {
+    if (dom.ell() + 1) * dut_core::fourier::character::mask(q) <= 16 {
         for &p in &[0.5, 0.05] {
             v.push(Case {
                 name: format!("random(p={p})"),
@@ -68,6 +68,7 @@ fn cases(dom: PairedDomain, q: usize, rng: &mut rand::rngs::StdRng) -> Vec<Case>
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e5_lemma42_numeric");
     println!("# E5 — exact verification of Lemmas 5.1, 4.2 and 4.3\n");
     let mut rng = rand::rngs::StdRng::seed_from_u64(harness.seed);
 

@@ -18,6 +18,7 @@ use rand::SeedableRng;
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e6_message_length");
     let n = 1 << 10;
     let k = 32;
     let eps = 0.5;

@@ -37,6 +37,7 @@ fn minimal_tau(n: usize, eps: f64, rates: RateVector, harness: &Harness, stream:
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e7_asymmetric_rates");
     let n = 1 << 10;
     let eps = 0.6;
     println!("# E7 — asymmetric sampling rates (n = {n}, eps = {eps})\n");

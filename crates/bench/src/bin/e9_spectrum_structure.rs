@@ -22,6 +22,7 @@ use rand::SeedableRng;
 
 fn main() {
     let harness = Harness::from_env();
+    harness.emit_manifest("e9_spectrum_structure");
     let mut rng = rand::rngs::StdRng::seed_from_u64(harness.seed);
     println!("# E9 — spectrum structure of the hard family\n");
 
@@ -34,7 +35,7 @@ fn main() {
         let z = PerturbationVector::random(dom.cube_size(), &mut rng);
         let q = 1 + rng.random_range(0..6usize);
         let xs: Vec<u32> = (0..q)
-            .map(|_| rng.random_range(0..dom.cube_size()) as u32)
+            .map(|_| dut_core::fourier::character::mask(rng.random_range(0..dom.cube_size())))
             .collect();
         let ss: Vec<i8> = (0..q)
             .map(|_| if rng.random::<bool>() { 1 } else { -1 })
@@ -52,7 +53,7 @@ fn main() {
     let small = PairedDomain::new(2);
     let mut mismatches = 0u64;
     let mut coefficients = 0u64;
-    let cube = small.cube_size() as u32;
+    let cube = dut_core::fourier::character::mask(small.cube_size());
     for t0 in 0..cube {
         for t1 in 0..cube {
             for t2 in 0..cube {
@@ -112,7 +113,7 @@ fn main() {
         "MC E[a_r^m] (+/- se)".into(),
         "Lemma 5.5 bound".into(),
     ]);
-    let trials = (harness.trials * 20) as u32;
+    let trials = u32::try_from(harness.trials * 20).expect("trial count fits a u32");
     for &d in &[16u32, 64] {
         for &q in &[6u32, 12] {
             for r in 1..=2u32 {

@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests assert exact constructed values and index with small literals.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
 use dut_core::probability::AliasSampler;
 use dut_core::stats::runner::run_trials;

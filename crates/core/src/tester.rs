@@ -97,7 +97,7 @@ impl UniformityTester {
             Rule::Balanced => 6.0 * theory::fmo_threshold_upper(self.n, self.k, self.epsilon),
             Rule::Centralized => 4.0 * theory::centralized(self.n, self.epsilon),
         };
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 
     /// Binds the tester to a per-player sample count, performing any

@@ -12,6 +12,29 @@ pub fn chi(s: u32, x: u32) -> i8 {
     }
 }
 
+/// Converts a coefficient/cube-point index (bounded by `2^num_vars`,
+/// and every function in this crate keeps `num_vars` far below 32)
+/// into the `u32` bitmask form the character functions take.
+///
+/// # Panics
+///
+/// Panics if `index` does not fit in a `u32`.
+#[must_use]
+pub fn mask(index: usize) -> u32 {
+    u32::try_from(index).expect("cube index fits a u32 bitmask")
+}
+
+/// Converts a small non-negative subset size into the `i32` exponent
+/// that `f64::powi` takes.
+///
+/// # Panics
+///
+/// Panics if `exponent` exceeds `i32::MAX`.
+#[must_use]
+pub fn powi_exp(exponent: u64) -> i32 {
+    i32::try_from(exponent).expect("exponent fits an i32")
+}
+
 /// 64-bit variant of [`chi`] for wide domains.
 #[must_use]
 pub fn chi64(s: u64, x: u64) -> i8 {

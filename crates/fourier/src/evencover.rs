@@ -16,7 +16,7 @@
 
 use crate::character::{binomial, double_factorial, subsets_of_size};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tests whether the multiset `{xs[j] : j ∈ subset}` is evenly covered
 /// (every value appears an even number of times).
@@ -32,7 +32,7 @@ pub fn is_evenly_covered(xs: &[u32], subset: u64) -> bool {
         subset < (1u64 << xs.len()) || xs.len() >= 64,
         "subset selects positions beyond the tuple"
     );
-    let mut parity: HashMap<u32, bool> = HashMap::new();
+    let mut parity: BTreeMap<u32, bool> = BTreeMap::new();
     let mut s = subset;
     while s != 0 {
         let j = s.trailing_zeros() as usize;
@@ -73,7 +73,7 @@ pub fn even_word_count(alphabet_size: u64, len: u64) -> u128 {
     for j in 0..=alphabet_size {
         let base = d - 2 * j as i128;
         let pow = base
-            .checked_pow(len as u32)
+            .checked_pow(u32::try_from(len).expect("len is asserted <= 24"))
             .expect("even_word_count overflow");
         let coef = i128::try_from(binomial(alphabet_size, j)).expect("binomial fits i128");
         total = total
@@ -117,7 +117,8 @@ pub fn x_s_count_bound(cube_size: u64, q: u64, subset_size: u64) -> f64 {
         return 0.0;
     }
     let r = subset_size / 2;
-    double_factorial(subset_size.saturating_sub(1)) as f64 * (cube_size as f64).powi((q - r) as i32)
+    double_factorial(subset_size.saturating_sub(1)) as f64
+        * (cube_size as f64).powi(crate::character::powi_exp(q - r))
 }
 
 /// `a_r(x)`: the number of subsets `S` of size `2r` for which `x_S` is
@@ -128,7 +129,7 @@ pub fn x_s_count_bound(cube_size: u64, q: u64, subset_size: u64) -> f64 {
 /// Panics if `xs.len() > 24` (enumeration guard) or `2r > xs.len()`.
 #[must_use]
 pub fn a_r_count(xs: &[u32], r: u32) -> u64 {
-    let q = xs.len() as u32;
+    let q = crate::character::mask(xs.len());
     assert!(q <= 24, "a_r_count enumeration limited to q <= 24");
     assert!(2 * r <= q, "subset size 2r exceeds q");
     subsets_of_size(q, 2 * r)
@@ -175,7 +176,7 @@ pub fn a_r_mean_exact(cube_size: u64, q: u64, r: u64) -> f64 {
     let subsets = binomial(q, 2 * r) as f64;
     let even = even_word_count(cube_size, 2 * r) as f64;
     // |X_{2r}| / D^q = even_words(2r) / D^{2r}.
-    subsets * even / (cube_size as f64).powi(2 * r as i32)
+    subsets * even / (cube_size as f64).powi(crate::character::powi_exp(2 * r))
 }
 
 /// The Lemma 5.5 moment bound on `E_x[a_r(x)^m]`:

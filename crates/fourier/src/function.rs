@@ -179,7 +179,9 @@ impl BooleanFunction {
 
     /// True if every value is `0.0` or `1.0`.
     #[must_use]
+    #[allow(clippy::float_cmp)]
     pub fn is_boolean(&self) -> bool {
+        // dut-lint: allow(float-eq): membership in {0.0, 1.0} is an exact predicate — both values are representable and an epsilon band would accept non-boolean functions
         self.values.iter().all(|&v| v == 0.0 || v == 1.0)
     }
 
@@ -211,7 +213,7 @@ impl BooleanFunction {
     pub fn coefficient(&self, s: u32) -> f64 {
         let mut acc = 0.0;
         for (x, &v) in self.values.iter().enumerate() {
-            acc += v * f64::from(crate::character::chi(s, x as u32));
+            acc += v * f64::from(crate::character::chi(s, crate::character::mask(x)));
         }
         acc / self.values.len() as f64
     }

@@ -16,7 +16,7 @@ use crate::{BooleanFunction, Spectrum};
 pub fn level_inequality_bound(mu: f64, r: u32, delta: f64) -> f64 {
     assert!(delta > 0.0, "delta must be positive");
     assert!((0.0..=1.0).contains(&mu), "mu must be a probability");
-    if mu == 0.0 {
+    if mu <= 0.0 {
         return 0.0;
     }
     delta.powi(-(r as i32)) * mu.powf(2.0 / (1.0 + delta))
@@ -46,8 +46,8 @@ impl LevelCheck {
     /// `observed / bound`; values ≤ 1 mean the inequality holds.
     #[must_use]
     pub fn ratio(&self) -> f64 {
-        if self.bound == 0.0 {
-            if self.observed == 0.0 {
+        if self.bound <= 0.0 {
+            if self.observed <= 0.0 {
                 0.0
             } else {
                 f64::INFINITY

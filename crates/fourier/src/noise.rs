@@ -21,7 +21,7 @@ pub fn noise_operator(f: &BooleanFunction, rho: f64) -> BooleanFunction {
         .coefficients()
         .iter()
         .enumerate()
-        .map(|(s, &c)| c * rho.powi((s as u32).count_ones() as i32))
+        .map(|(s, &c)| c * rho.powi(crate::character::mask(s).count_ones() as i32))
         .collect();
     BooleanFunction::from_values(Spectrum::from_coefficients(damped).to_values())
 }
@@ -37,7 +37,7 @@ pub fn noise_stability(spec: &Spectrum, rho: f64) -> f64 {
     spec.coefficients()
         .iter()
         .enumerate()
-        .map(|(s, &c)| c * c * rho.powi((s as u32).count_ones() as i32))
+        .map(|(s, &c)| c * c * rho.powi(crate::character::mask(s).count_ones() as i32))
         .sum()
 }
 
@@ -63,7 +63,7 @@ pub fn total_influence(spec: &Spectrum) -> f64 {
     spec.coefficients()
         .iter()
         .enumerate()
-        .map(|(s, &c)| f64::from((s as u32).count_ones()) * c * c)
+        .map(|(s, &c)| f64::from(crate::character::mask(s).count_ones()) * c * c)
         .sum()
 }
 

@@ -84,7 +84,7 @@ impl Spectrum {
         self.coeffs
             .iter()
             .enumerate()
-            .filter(|(s, _)| (*s as u32).count_ones() == r)
+            .filter(|(s, _)| crate::character::mask(*s).count_ones() == r)
             .map(|(_, c)| c * c)
             .sum()
     }
@@ -97,7 +97,7 @@ impl Spectrum {
             .iter()
             .enumerate()
             .skip(1)
-            .filter(|(s, _)| (*s as u32).count_ones() <= r)
+            .filter(|(s, _)| crate::character::mask(*s).count_ones() <= r)
             .map(|(_, c)| c * c)
             .sum()
     }
@@ -116,12 +116,8 @@ impl Spectrum {
             .iter()
             .enumerate()
             .skip(1)
-            .max_by(|a, b| {
-                a.1.abs()
-                    .partial_cmp(&b.1.abs())
-                    .expect("coefficients are finite")
-            })
-            .map(|(s, &c)| (s as u32, c))
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(s, &c)| (crate::character::mask(s), c))
     }
 
     /// Inverts back to the value table (inverse WHT).

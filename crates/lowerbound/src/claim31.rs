@@ -59,7 +59,7 @@ pub fn density_expansion(
         }
         total += epsilon.powi(size as i32) * sign;
     }
-    total / n.powi(q as i32)
+    total / n.powi(dut_fourier::character::powi_exp(q as u64))
 }
 
 /// The averaged coefficient `b_x(T) = E_z[Π_{j∈T} z(x_j)]`, computed

@@ -94,8 +94,8 @@ pub fn average_divergence_fact_6_3_bound<G: PlayerFunction + ?Sized>(
 ) -> f64 {
     let m = exact::z_moments_exact(dom, q, g, epsilon);
     let var = exact::var_g_from_mu(m.mu);
-    if var == 0.0 {
-        return if m.second_moment == 0.0 {
+    if var <= 0.0 {
+        return if m.second_moment <= 0.0 {
             0.0
         } else {
             f64::INFINITY

@@ -24,7 +24,7 @@ pub const MAX_VECTORS: u64 = 1 << 20;
 /// Panics if `n^q` exceeds [`MAX_TUPLES`].
 pub fn for_each_tuple<F: FnMut(&[PairedSample])>(dom: &PairedDomain, q: usize, mut visit: F) {
     let n = dom.universe_size();
-    let total = (n as u128).pow(q as u32);
+    let total = (n as u128).pow(dut_fourier::character::mask(q));
     assert!(total <= MAX_TUPLES, "tuple enumeration too large: {total}");
     let mut tuple: Vec<PairedSample> = vec![dom.decode(0); q];
     let mut digits = vec![0usize; q];

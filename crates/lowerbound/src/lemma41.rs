@@ -32,7 +32,7 @@ pub fn restricted_spectra(g: &TableFunction) -> Vec<Spectrum> {
     let q = g.sample_count();
     let ell = dom.ell();
     let cube = dom.cube_size() as u64;
-    let total = cube.pow(q as u32);
+    let total = cube.pow(dut_fourier::character::mask(q));
     assert!(total <= 1 << 22, "cube-tuple enumeration too large");
     let width = ell + 1;
     (0..total)
@@ -42,8 +42,8 @@ pub fn restricted_spectra(g: &TableFunction) -> Vec<Spectrum> {
             let mut mask = 0u32;
             let mut values = 0u32;
             let mut c = code;
-            for i in 0..q as u32 {
-                let x = (c % cube) as u32;
+            for i in 0..dut_fourier::character::mask(q) {
+                let x = u32::try_from(c % cube).expect("cube digit fits a u32");
                 c /= cube;
                 let cube_mask = (1u32 << ell) - 1;
                 mask |= cube_mask << (i * width);
@@ -73,14 +73,15 @@ pub fn lemma_4_1_rhs(g: &TableFunction, z: &PerturbationVector, epsilon: f64) ->
     let cube = dom.cube_size() as u64;
     let n = dom.universe_size() as f64;
     let spectra = restricted_spectra(g);
-    let scale = 2.0f64.powi(q as i32) / n.powi(q as i32);
+    let qe = dut_fourier::character::powi_exp(q as u64);
+    let scale = 2.0f64.powi(qe) / n.powi(qe);
     let mut total = 0.0f64;
     for (code, spectrum) in spectra.iter().enumerate() {
         // Decode the cube tuple for the z product.
         let mut digits = Vec::with_capacity(q);
         let mut c = code as u64;
         for _ in 0..q {
-            digits.push((c % cube) as u32);
+            digits.push(u32::try_from(c % cube).expect("cube digit fits a u32"));
             c /= cube;
         }
         for subset in 1u32..(1 << q) {

@@ -34,7 +34,7 @@ impl LemmaCheck {
     /// variance) report 0 when the lhs is enumeration round-off.
     #[must_use]
     pub fn ratio(&self) -> f64 {
-        if self.rhs == 0.0 {
+        if self.rhs <= 0.0 {
             if self.lhs.abs() < 1e-12 {
                 0.0
             } else {

@@ -39,7 +39,7 @@ use rand::Rng;
 #[must_use]
 pub fn mixture_density(dom: &PairedDomain, epsilon: f64, tuple: &[PairedSample]) -> f64 {
     mixture_likelihood_ratio(epsilon, tuple)
-        * (dom.universe_size() as f64).powi(-(tuple.len() as i32))
+        * (dom.universe_size() as f64).powi(-dut_fourier::character::powi_exp(tuple.len() as u64))
 }
 
 /// The likelihood ratio `E_z[ν_z^q(w)] / uniform^q(w)` of a sample
@@ -106,7 +106,7 @@ pub fn mixture_density_by_enumeration(
         }
         total += epsilon.powi(subset.count_ones() as i32) * sign;
     }
-    total / n.powi(q as i32)
+    total / n.powi(dut_fourier::character::powi_exp(q as u64))
 }
 
 /// Exact total variation `TV(E_z[ν_z^q], uniform^q)` by full tuple
@@ -118,7 +118,8 @@ pub fn mixture_density_by_enumeration(
 /// [`crate::exact::for_each_tuple`].
 #[must_use]
 pub fn tv_mixture_uniform_exact(dom: &PairedDomain, q: usize, epsilon: f64) -> f64 {
-    let uniform_mass = (dom.universe_size() as f64).powi(-(q as i32));
+    let uniform_mass =
+        (dom.universe_size() as f64).powi(-dut_fourier::character::powi_exp(q as u64));
     let mut tv = 0.0f64;
     crate::exact::for_each_tuple(dom, q, |tuple| {
         let m = mixture_density(dom, epsilon, tuple);

@@ -21,7 +21,7 @@ pub fn sample_nu_z<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PairedSample {
     debug_assert_eq!(z.len(), dom.cube_size());
-    let x = rng.random_range(0..dom.cube_size()) as u32;
+    let x = dut_fourier::character::mask(rng.random_range(0..dom.cube_size()));
     let p_plus = (1.0 + f64::from(z.sign(x)) * epsilon) / 2.0;
     let s = if rng.random::<f64>() < p_plus { 1 } else { -1 };
     (x, s)
@@ -29,7 +29,7 @@ pub fn sample_nu_z<R: Rng + ?Sized>(
 
 /// Draws one sample from the uniform distribution on the paired domain.
 pub fn sample_uniform<R: Rng + ?Sized>(dom: &PairedDomain, rng: &mut R) -> PairedSample {
-    let x = rng.random_range(0..dom.cube_size()) as u32;
+    let x = dut_fourier::character::mask(rng.random_range(0..dom.cube_size()));
     let s = if rng.random::<bool>() { 1 } else { -1 };
     (x, s)
 }

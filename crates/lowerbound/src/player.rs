@@ -162,7 +162,7 @@ impl TableFunction {
     pub fn new(dom: PairedDomain, q: usize, table: BooleanFunction) -> Self {
         assert_eq!(
             table.num_vars(),
-            (dom.ell() + 1) * q as u32,
+            (dom.ell() + 1) * dut_fourier::character::mask(q),
             "table must have (ell+1)*q variables"
         );
         assert!(table.is_boolean(), "player functions are 0/1-valued");
@@ -177,7 +177,7 @@ impl TableFunction {
     /// Panics if the bit count `(ℓ+1)·q` exceeds
     /// [`BooleanFunction::MAX_VARS`] or `p ∉ [0,1]`.
     pub fn random<R: Rng + ?Sized>(dom: PairedDomain, q: usize, p: f64, rng: &mut R) -> Self {
-        let bits = (dom.ell() + 1) * q as u32;
+        let bits = (dom.ell() + 1) * dut_fourier::character::mask(q);
         Self::new(dom, q, BooleanFunction::random(bits, p, rng))
     }
 
@@ -202,7 +202,9 @@ impl TableFunction {
 
 impl PlayerFunction for TableFunction {
     fn output(&self, samples: &[PairedSample]) -> bool {
-        self.table.eval(encode_tuple(&self.dom, samples)) == 1.0
+        // Truth tables store exact 0.0/1.0; a midpoint threshold is
+        // equivalent and robust, with no float equality involved.
+        self.table.eval(encode_tuple(&self.dom, samples)) > 0.5
     }
 }
 
@@ -227,7 +229,7 @@ pub fn encode_tuple(dom: &PairedDomain, samples: &[PairedSample]) -> u32 {
         if s == -1 {
             part |= 1 << dom.ell();
         }
-        mask |= part << (i as u32 * width);
+        mask |= part << (dut_fourier::character::mask(i) * width);
     }
     mask
 }
@@ -240,7 +242,7 @@ pub fn decode_tuple(dom: &PairedDomain, mask: u32, q: usize) -> Vec<PairedSample
     let cube_mask = (1u32 << dom.ell()) - 1;
     (0..q)
         .map(|i| {
-            let part = (mask >> (i as u32 * width)) & ((1u32 << width) - 1);
+            let part = (mask >> (dut_fourier::character::mask(i) * width)) & ((1u32 << width) - 1);
             let x = part & cube_mask;
             let s = if part >> dom.ell() == 1 { -1 } else { 1 };
             (x, s)

@@ -2,6 +2,7 @@
 //! inequalities as universally-quantified properties over random
 //! player functions and parameters.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use dut_lowerbound::{claim31, exact, lemmas, player, theory};
 use dut_probability::{PairedDomain, PerturbationVector};
 use proptest::prelude::*;

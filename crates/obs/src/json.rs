@@ -41,7 +41,12 @@ impl Json {
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss,
+                clippy::float_cmp
+            )]
+            // dut-lint: allow(float-eq): fract() of an integral f64 is exactly +0.0 — this is an exact integrality test, an epsilon would accept non-integers
             Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
             _ => None,
         }

@@ -340,11 +340,13 @@ fn approx_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
     buckets.last().map_or(0, |b| b.0)
 }
 
+#[allow(clippy::float_cmp)]
 fn display_json(value: &Json) -> String {
     match value {
         Json::Null => "null".into(),
         Json::Bool(b) => b.to_string(),
         Json::Num(x) => {
+            // dut-lint: allow(float-eq): fract() of an integral f64 is exactly +0.0 — exact integrality test picking the display format
             if x.fract() == 0.0 && x.abs() < 9e15 {
                 format!("{x:.0}")
             } else {

@@ -61,10 +61,10 @@ pub fn kl_divergence(p: &DenseDistribution, q: &DenseDistribution) -> f64 {
     assert_same_domain(p, q);
     let mut total = 0.0;
     for (&a, &b) in p.probs().iter().zip(q.probs()) {
-        if a == 0.0 {
+        if a <= 0.0 {
             continue;
         }
-        if b == 0.0 {
+        if b <= 0.0 {
             return f64::INFINITY;
         }
         total += a * (a / b).log2();
@@ -84,7 +84,7 @@ pub fn chi_squared_divergence(p: &DenseDistribution, q: &DenseDistribution) -> f
     assert_same_domain(p, q);
     let mut total = 0.0;
     for (&a, &b) in p.probs().iter().zip(q.probs()) {
-        if b == 0.0 {
+        if b <= 0.0 {
             if a > 0.0 {
                 return f64::INFINITY;
             }
@@ -128,9 +128,9 @@ pub fn bernoulli_kl(alpha: f64, beta: f64) -> f64 {
     assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
     assert!((0.0..=1.0).contains(&beta), "beta out of range: {beta}");
     let term = |p: f64, q: f64| -> f64 {
-        if p == 0.0 {
+        if p <= 0.0 {
             0.0
-        } else if q == 0.0 {
+        } else if q <= 0.0 {
             f64::INFINITY
         } else {
             p * (p / q).log2()
@@ -151,7 +151,7 @@ pub fn bernoulli_kl_chi2_bound(alpha: f64, beta: f64) -> f64 {
     assert!((0.0..=1.0).contains(&alpha), "alpha out of range: {alpha}");
     assert!((0.0..=1.0).contains(&beta), "beta out of range: {beta}");
     let var = beta * (1.0 - beta);
-    if var == 0.0 {
+    if var <= 0.0 {
         return f64::INFINITY;
     }
     (alpha - beta) * (alpha - beta) / (var * std::f64::consts::LN_2)
@@ -207,7 +207,7 @@ fn check_same_domain(
 pub fn jensen_shannon_divergence(p: &DenseDistribution, q: &DenseDistribution) -> f64 {
     assert_same_domain(p, q);
     let term = |a: f64, m: f64| -> f64 {
-        if a == 0.0 {
+        if a <= 0.0 {
             0.0
         } else {
             a * (a / m).log2()
@@ -242,10 +242,10 @@ pub fn renyi_divergence(p: &DenseDistribution, q: &DenseDistribution, alpha: f64
     );
     let mut total = 0.0f64;
     for (&a, &b) in p.probs().iter().zip(q.probs()) {
-        if a == 0.0 {
+        if a <= 0.0 {
             continue;
         }
-        if b == 0.0 {
+        if b <= 0.0 {
             // p^alpha * q^{1-alpha}: infinite for alpha > 1; zero
             // contribution for alpha < 1.
             if alpha > 1.0 {

@@ -145,7 +145,7 @@ impl Histogram {
         let mut stat = 0.0;
         for (i, &c) in self.counts.iter().enumerate() {
             let e = q * reference.prob(i);
-            if e == 0.0 {
+            if e <= 0.0 {
                 if c > 0 {
                     return f64::INFINITY;
                 }

@@ -100,7 +100,7 @@ impl PairedDomain {
     #[must_use]
     pub fn decode(&self, index: usize) -> (u32, i8) {
         assert!(index < self.universe_size(), "index {index} out of range");
-        let x = (index / 2) as u32;
+        let x = u32::try_from(index / 2).expect("universe index fits a u32 cube point");
         let s = if index.is_multiple_of(2) { 1 } else { -1 };
         (x, s)
     }

@@ -44,11 +44,14 @@ impl Fingerprint {
     /// Builds the fingerprint from a histogram.
     #[must_use]
     pub fn from_histogram(histogram: &Histogram) -> Self {
-        let max = histogram.counts().iter().copied().max().unwrap_or(0) as usize;
+        let max = usize::try_from(histogram.counts().iter().copied().max().unwrap_or(0))
+            .expect("multiplicities are bounded by the (usize) sample count");
         let mut counts = vec![0u64; max];
         for &c in histogram.counts() {
             if c > 0 {
-                counts[(c - 1) as usize] += 1;
+                let slot = usize::try_from(c - 1)
+                    .expect("multiplicities are bounded by the (usize) sample count");
+                counts[slot] += 1;
             }
         }
         Self {
@@ -67,8 +70,9 @@ impl Fingerprint {
     #[must_use]
     pub fn count_of(&self, multiplicity: u64) -> u64 {
         assert!(multiplicity >= 1, "multiplicities start at 1");
-        self.counts
-            .get((multiplicity - 1) as usize)
+        usize::try_from(multiplicity - 1)
+            .ok()
+            .and_then(|slot| self.counts.get(slot))
             .copied()
             .unwrap_or(0)
     }

@@ -131,10 +131,7 @@ impl Sampler for CdfSampler {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u = rng.random::<f64>();
         // First index with cdf[i] >= u.
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

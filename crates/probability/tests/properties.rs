@@ -1,5 +1,6 @@
 //! Property-based tests for the probability substrate.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use dut_probability::{
     distance, empirical, families, DenseDistribution, Histogram, PairedDomain, PerturbationVector,
     Sampler,

@@ -10,7 +10,7 @@
 
 use crate::rounds::{RoundAlgorithm, RoundMessage, RoundModel, RoundNetwork, RoundStats};
 use crate::topology::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Convergecast of a sum over a BFS spanning tree rooted at node 0.
 ///
@@ -106,13 +106,13 @@ impl RoundAlgorithm for Convergecast {
         &self,
         state: &mut ConvergecastState,
         _round: usize,
-        inbox: &HashMap<usize, RoundMessage>,
-    ) -> HashMap<usize, RoundMessage> {
+        inbox: &BTreeMap<usize, RoundMessage>,
+    ) -> BTreeMap<usize, RoundMessage> {
         for message in inbox.values() {
             state.partial_sum += message.payload;
             state.pending_children -= 1;
         }
-        let mut outbox = HashMap::new();
+        let mut outbox = BTreeMap::new();
         if state.id != 0 && !state.reported && state.pending_children == 0 {
             outbox.insert(state.parent, RoundMessage::sized(state.partial_sum));
             state.reported = true;

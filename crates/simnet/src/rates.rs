@@ -78,7 +78,7 @@ impl RateVector {
         assert!(tau.is_finite() && tau > 0.0, "time budget must be positive");
         self.rates
             .iter()
-            .map(|&r| ((r * tau).floor() as usize).max(1))
+            .map(|&r| dut_stats::convert::floor_to_usize(r * tau).max(1))
             .collect()
     }
 }

@@ -15,7 +15,7 @@
 //! protocol that would violate CONGEST fails loudly.
 
 use crate::topology::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The synchronous model: per-round, per-edge message budget in bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,12 +83,16 @@ pub trait RoundAlgorithm {
     /// One round: reads messages delivered this round (sender →
     /// message) and returns messages to send (neighbor → message).
     /// Returning an empty map is allowed.
+    ///
+    /// Inboxes and outboxes are `BTreeMap`s so that message delivery
+    /// and accounting iterate in node order: a run is a pure function
+    /// of the seed, never of hasher state.
     fn round(
         &self,
         state: &mut Self::State,
         round: usize,
-        inbox: &HashMap<usize, RoundMessage>,
-    ) -> HashMap<usize, RoundMessage>;
+        inbox: &BTreeMap<usize, RoundMessage>,
+    ) -> BTreeMap<usize, RoundMessage>;
 }
 
 /// Statistics of one protocol execution.
@@ -140,7 +144,7 @@ impl RoundNetwork {
         let mut states: Vec<A::State> = (0..n)
             .map(|id| algorithm.init(id, &self.topology))
             .collect();
-        let mut inboxes: Vec<HashMap<usize, RoundMessage>> = vec![HashMap::new(); n];
+        let mut inboxes: Vec<BTreeMap<usize, RoundMessage>> = vec![BTreeMap::new(); n];
         let mut stats = RoundStats {
             rounds,
             messages: 0,
@@ -148,7 +152,7 @@ impl RoundNetwork {
             max_message_bits: 0,
         };
         for round in 0..rounds {
-            let mut next_inboxes: Vec<HashMap<usize, RoundMessage>> = vec![HashMap::new(); n];
+            let mut next_inboxes: Vec<BTreeMap<usize, RoundMessage>> = vec![BTreeMap::new(); n];
             for (id, state) in states.iter_mut().enumerate() {
                 let outbox = algorithm.round(state, round, &inboxes[id]);
                 for (to, message) in outbox {
@@ -211,8 +215,8 @@ mod tests {
             &self,
             state: &mut FloodState,
             _round: usize,
-            inbox: &HashMap<usize, RoundMessage>,
-        ) -> HashMap<usize, RoundMessage> {
+            inbox: &BTreeMap<usize, RoundMessage>,
+        ) -> BTreeMap<usize, RoundMessage> {
             for message in inbox.values() {
                 state.value = state.value.max(message.payload);
             }

@@ -1,5 +1,6 @@
 //! Property-based tests for the network model and decision rules.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use dut_simnet::{DecisionRule, Message, Network, PlayerContext, RateVector, Verdict};
 use proptest::prelude::*;
 use rand::SeedableRng;

@@ -64,9 +64,10 @@ where
             statistic(&resample)
         })
         .collect();
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics must not be NaN"));
-    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize).min(resamples - 1);
+    stats.sort_by(|a, b| a.total_cmp(b));
+    let lo_idx = crate::convert::floor_to_usize((alpha / 2.0) * resamples as f64);
+    let hi_idx =
+        crate::convert::ceil_to_usize((1.0 - alpha / 2.0) * resamples as f64).min(resamples - 1);
     BootstrapInterval {
         point,
         lower: stats[lo_idx.min(resamples - 1)],
@@ -129,9 +130,10 @@ pub fn bootstrap_slope_ci<R: Rng + ?Sized>(
         }
         stats.push(crate::sweep::log_log_slope(&resample));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("slopes must not be NaN"));
-    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
-    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize).min(resamples - 1);
+    stats.sort_by(|a, b| a.total_cmp(b));
+    let lo_idx = crate::convert::floor_to_usize((alpha / 2.0) * resamples as f64);
+    let hi_idx =
+        crate::convert::ceil_to_usize((1.0 - alpha / 2.0) * resamples as f64).min(resamples - 1);
     BootstrapInterval {
         point,
         lower: stats[lo_idx.min(resamples - 1)],
@@ -200,7 +202,7 @@ mod tests {
         let values: Vec<f64> = (0..101).map(f64::from).collect();
         let ci = bootstrap_ci(&values, 500, 0.1, &mut r, |v| {
             let mut sorted = v.to_vec();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted.sort_by(|a, b| a.total_cmp(b));
             sorted[sorted.len() / 2]
         });
         assert!(ci.contains(50.0), "{ci:?}");

@@ -27,8 +27,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests assert exact constructed values and index with small literals.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
 pub mod bootstrap;
+pub mod convert;
 pub mod runner;
 pub mod search;
 pub mod seed;

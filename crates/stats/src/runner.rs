@@ -18,7 +18,8 @@ where
     F: Fn(u64) -> bool + Sync,
 {
     assert!(trials > 0, "need at least one trial");
-    let threads = available_threads().min(trials as usize).max(1);
+    let trial_cap = usize::try_from(trials).unwrap_or(usize::MAX);
+    let threads = available_threads().min(trial_cap).max(1);
     let start = Instant::now();
     let registry = dut_obs::metrics::global();
     registry.set_gauge(Gauge::RunnerThreads, threads as u64);
@@ -72,9 +73,10 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(trials > 0, "need at least one trial");
-    let threads = available_threads().min(trials as usize).max(1);
+    let len = usize::try_from(trials).expect("trial count fits a usize");
+    let threads = available_threads().min(len).max(1);
     dut_obs::metrics::global().set_gauge(Gauge::RunnerThreads, threads as u64);
-    let mut values = vec![0.0f64; trials as usize];
+    let mut values = vec![0.0f64; len];
     if threads == 1 {
         for (i, v) in values.iter_mut().enumerate() {
             *v = trial(derive_seed(master_seed, i as u64));
@@ -82,7 +84,7 @@ where
         dut_obs::metrics::global().add(Counter::TrialsRun, trials);
         return values;
     }
-    let chunk = trials.div_ceil(threads as u64) as usize;
+    let chunk = len.div_ceil(threads);
     std::thread::scope(|scope| {
         for (t, slice) in values.chunks_mut(chunk).enumerate() {
             let trial = &trial;

@@ -19,7 +19,7 @@ pub fn geometric_grid(start: usize, factor: f64, count: usize) -> Vec<usize> {
     let mut grid = Vec::with_capacity(count);
     let mut value = start as f64;
     for _ in 0..count {
-        let rounded = value.round() as usize;
+        let rounded = crate::convert::round_to_usize(value);
         if grid.last() != Some(&rounded) {
             grid.push(rounded);
         }

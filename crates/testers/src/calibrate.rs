@@ -21,8 +21,8 @@ pub fn upper_quantile(values: &[f64], alpha: f64) -> f64 {
     assert!(!values.is_empty(), "need at least one value");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
-    let allowed_above = (alpha * sorted.len() as f64).floor() as usize;
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let allowed_above = dut_stats::convert::floor_to_usize(alpha * sorted.len() as f64);
     let index = sorted.len() - 1 - allowed_above.min(sorted.len() - 1);
     sorted[index]
 }

@@ -95,7 +95,7 @@ impl CentralizedTester for Chi2Tester {
     fn recommended_sample_count(&self) -> usize {
         let n = self.reference.support_size() as f64;
         let q = 5.0 * n.sqrt() / (self.epsilon * self.epsilon);
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 }
 

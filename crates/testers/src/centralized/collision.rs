@@ -78,7 +78,7 @@ impl CentralizedTester for CollisionTester {
         // q such that the eps^2 C(q,2)/n gap is several standard
         // deviations (~sqrt(C(q,2)/n)) wide: q ≈ c·sqrt(n)/eps^2.
         let q = 4.0 * (self.n as f64).sqrt() / (self.epsilon * self.epsilon);
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 }
 

@@ -53,7 +53,7 @@ impl CentralizedTester for EmpiricalL1Tester {
 
     fn recommended_sample_count(&self) -> usize {
         let q = 16.0 * self.n as f64 / (self.epsilon * self.epsilon);
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 }
 

@@ -77,7 +77,7 @@ impl CentralizedTester for PaninskiTester {
 
     fn recommended_sample_count(&self) -> usize {
         let q = 4.0 * (self.n as f64).sqrt() / (self.epsilon * self.epsilon);
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 }
 

@@ -80,7 +80,7 @@ impl SequentialUniformityTester {
     #[must_use]
     pub fn with_default_errors(n: usize, epsilon: f64) -> Self {
         let e2 = epsilon * epsilon;
-        let budget = (16.0 * n as f64 / (e2 * e2)).ceil() as usize;
+        let budget = dut_stats::convert::ceil_to_usize(16.0 * n as f64 / (e2 * e2));
         Self::new(n, epsilon, 0.2, 0.2, budget.max(8))
     }
 

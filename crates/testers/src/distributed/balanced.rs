@@ -82,7 +82,7 @@ impl BalancedThresholdTester {
     #[must_use]
     pub fn predicted_sample_count(&self) -> usize {
         let q = 6.0 * (self.n as f64 / self.k as f64).sqrt() / (self.epsilon * self.epsilon);
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 
     /// Calibrates the referee threshold for `q` samples per node by
@@ -118,7 +118,8 @@ impl BalancedThresholdTester {
         let z = 1.3;
         let mean = self.k as f64 * p_uniform;
         let sd = (self.k as f64 * p_uniform * (1.0 - p_uniform)).sqrt();
-        let referee_min_rejects = ((mean + z * sd).floor() as usize + 1).min(self.k);
+        let referee_min_rejects =
+            (dut_stats::convert::floor_to_usize(mean + z * sd) + 1).min(self.k);
         PreparedBalancedTester {
             n: self.n,
             k: self.k,

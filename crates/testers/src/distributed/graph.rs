@@ -82,7 +82,7 @@ impl GraphUniformityTester {
     pub fn predicted_sample_count(&self) -> usize {
         let q = 6.0 * (self.n as f64 / self.topology.len() as f64).sqrt()
             / (self.epsilon * self.epsilon);
-        (q.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(q).max(2)
     }
 
     /// Runs one execution: sampling, convergecast, root decision.

@@ -61,15 +61,17 @@ impl FourierLearner {
     /// a pseudorandom non-zero element of the dual group.
     #[must_use]
     pub fn assigned_character(&self, shared_seed: u64, node: usize) -> u32 {
-        1 + (derive_seed(shared_seed, node as u64) % (self.n as u64 - 1).max(1)) as u32
+        let offset = derive_seed(shared_seed, node as u64) % (self.n as u64 - 1).max(1);
+        1 + u32::try_from(offset).expect("character index is below the u32-sized dual group")
     }
 
     /// Quantizes `v ∈ [-1, 1]` to the message alphabet.
     #[must_use]
     pub fn quantize(&self, v: f64) -> u32 {
         let levels = (1u32 << self.message_bits) - 1;
-        let t = ((v.clamp(-1.0, 1.0) + 1.0) / 2.0 * f64::from(levels)).round();
-        t as u32
+        let t = (v.clamp(-1.0, 1.0) + 1.0) / 2.0 * f64::from(levels);
+        u32::try_from(dut_stats::convert::round_to_usize(t))
+            .expect("quantized level is bounded by the u32 alphabet")
     }
 
     /// Dequantizes a message back to `[-1, 1]`.
@@ -94,7 +96,7 @@ impl FourierLearner {
             let a = self.assigned_character(shared_seed, node);
             let mut acc = 0.0f64;
             for _ in 0..self.q {
-                let sample = sampler.sample(rng) as u32;
+                let sample = u32::try_from(sampler.sample(rng)).expect("domain element fits a u32");
                 acc += f64::from(chi(a, sample));
             }
             let v = acc / self.q as f64;

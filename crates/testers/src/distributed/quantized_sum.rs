@@ -156,7 +156,9 @@ impl PreparedQuantizedSumTester {
                 .inner
                 .encode_count(collision_count_of(&samples), self.q);
             statistic += code;
-            messages.push(Message::new(code as u32, self.inner.message_bits));
+            let code_word =
+                u32::try_from(code).expect("encoded count is bounded by the message alphabet");
+            messages.push(Message::new(code_word, self.inner.message_bits));
         }
         QuantizedSumOutcome {
             verdict: Verdict::from_accept_bit(statistic as f64 <= self.referee_threshold),

@@ -77,7 +77,7 @@ impl SingleSampleProtocol {
     pub fn predicted_node_count(&self) -> usize {
         let m = self.bucket_count() as f64;
         let k = 6.0 * self.n as f64 / (m.sqrt() * self.epsilon * self.epsilon);
-        (k.ceil() as usize).max(2)
+        dut_stats::convert::ceil_to_usize(k).max(2)
     }
 
     /// The referee threshold on bucket collisions among `k` messages:
@@ -128,7 +128,10 @@ impl SingleSampleProtocol {
         let m = self.bucket_count();
         let per_bucket = self.n / m;
         let mut assignment: Vec<u16> = (0..m)
-            .flat_map(|b| std::iter::repeat_n(b as u16, per_bucket))
+            .flat_map(|b| {
+                let bucket = u16::try_from(b).expect("bucket count fits a u16");
+                std::iter::repeat_n(bucket, per_bucket)
+            })
             .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(shared_seed);
         assignment.shuffle(&mut rng);

@@ -114,7 +114,7 @@ impl TThresholdTester {
     #[must_use]
     pub fn node_threshold(&self, q: usize) -> u64 {
         let lambda = self.lambda_uniform(q);
-        if lambda == 0.0 {
+        if lambda <= 0.0 {
             // q < 2: a node can never see a collision; threshold 1 makes
             // it never reject (count is always 0).
             return 1;

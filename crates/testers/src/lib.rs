@@ -53,6 +53,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Tests assert exact constructed values and index with small literals.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
 pub mod calibrate;
 pub mod centralized;

@@ -19,7 +19,7 @@ pub fn poisson_upper_tail(lambda: f64, t: u64) -> f64 {
     if t == 0 {
         return 1.0;
     }
-    if lambda == 0.0 {
+    if lambda <= 0.0 {
         return 0.0;
     }
     // Sum the lower tail Pr[X < t] in log-stable fashion, then complement.
@@ -78,7 +78,7 @@ pub fn poisson_threshold_for_tail(lambda: f64, alpha: f64) -> u64 {
         lambda.is_finite() && lambda >= 0.0,
         "lambda must be non-negative"
     );
-    let mut t = lambda.ceil() as u64;
+    let mut t = dut_stats::convert::ceil_to_usize(lambda) as u64;
     // Walk down while the tail at t-1 still satisfies alpha.
     while t > 0 && poisson_upper_tail(lambda, t - 1) <= alpha {
         t -= 1;

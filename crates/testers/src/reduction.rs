@@ -50,7 +50,7 @@ impl IdentityToUniformityReduction {
             });
         }
         let n = reference.support_size();
-        let granularity = (20.0 * n as f64 / epsilon).ceil() as usize;
+        let granularity = dut_stats::convert::ceil_to_usize(20.0 * n as f64 / epsilon);
         let mixed: Vec<f64> = reference
             .probs()
             .iter()
@@ -58,7 +58,7 @@ impl IdentityToUniformityReduction {
             .collect();
         let block_sizes: Vec<usize> = mixed
             .iter()
-            .map(|&p| ((p * granularity as f64).floor() as usize).max(1))
+            .map(|&p| dut_stats::convert::floor_to_usize(p * granularity as f64).max(1))
             .collect();
         let mut block_offsets = Vec::with_capacity(n);
         let mut acc = 0usize;

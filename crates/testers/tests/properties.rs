@@ -1,5 +1,6 @@
 //! Property-based tests for the tester library.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use dut_probability::{families, DenseDistribution, Sampler};
 use dut_testers::calibrate::upper_quantile;
 use dut_testers::centralized::CentralizedTester;

@@ -16,7 +16,10 @@ use distributed_uniformity::lowerbound::theory;
 use distributed_uniformity::probability::{families, DenseDistribution};
 use distributed_uniformity::{Rule, UniformityTester};
 use rand::SeedableRng;
-use std::collections::HashMap;
+// BTreeMap, not HashMap: flag lookups never iterate today, but any
+// future "unknown option" listing must print in a stable order
+// (the unordered-collection lint bans HashMap here).
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -30,6 +33,7 @@ COMMANDS:
     predict   print the theory predictions for a configuration
     advise    recommend a decision rule
     report    summarize a JSONL trace (written via DUT_TRACE=<path>)
+    lint      run workspace static analysis (determinism / numeric / obs rules)
 
 COMMON OPTIONS:
     --n <int>         domain size                  [default: 1024]
@@ -50,11 +54,15 @@ advise OPTIONS:
 
 report USAGE:
     dut report <trace.jsonl>
+
+lint USAGE:
+    dut lint [workspace-root]     lint the workspace (default: cwd)
+    dut lint --rules              list rule IDs and what they enforce
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `report` takes a positional path, not --key value pairs.
+    // `report` and `lint` take positional args, not --key value pairs.
     if args.first().map(String::as_str) == Some("report") {
         return match cmd_report(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -63,6 +71,9 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return cmd_lint(&args[1..]);
     }
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
@@ -93,9 +104,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+fn parse(args: &[String]) -> Option<(String, BTreeMap<String, String>)> {
     let command = args.first()?.clone();
-    let mut options = HashMap::new();
+    let mut options = BTreeMap::new();
     let mut i = 1;
     while i < args.len() {
         let key = args[i].strip_prefix("--")?;
@@ -107,7 +118,7 @@ fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
 }
 
 fn get_usize(
-    options: &HashMap<String, String>,
+    options: &BTreeMap<String, String>,
     key: &str,
     default: usize,
 ) -> Result<usize, String> {
@@ -119,7 +130,7 @@ fn get_usize(
     }
 }
 
-fn get_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+fn get_f64(options: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match options.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -183,7 +194,7 @@ fn parse_input(
     }
 }
 
-fn cmd_test(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_test(options: &BTreeMap<String, String>) -> Result<(), String> {
     let n = get_usize(options, "n", 1024)?;
     let k = get_usize(options, "k", 16)?;
     let eps = get_f64(options, "eps", 0.5)?;
@@ -240,6 +251,61 @@ fn cmd_test(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `dut lint [root]` — workspace static analysis (dut-analyze).
+///
+/// Exits nonzero on any unsuppressed finding, so CI can gate on it.
+/// The pass runs under a `lint.workspace` span and emits a
+/// `lint_summary` event, so `dut report` shows analysis cost next to
+/// experiment cost.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--rules") {
+        print!("{}", dut_analyze::rules_table());
+        return ExitCode::SUCCESS;
+    }
+    let root = match args {
+        [] => match std::env::current_dir() {
+            Ok(dir) => dir,
+            Err(error) => {
+                eprintln!("error: cannot resolve cwd: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        [path] => std::path::PathBuf::from(path),
+        _ => {
+            eprintln!("usage: dut lint [workspace-root] | dut lint --rules");
+            return ExitCode::FAILURE;
+        }
+    };
+    dut_obs::init_from_env();
+    let result = {
+        let _span = dut_obs::span!("lint.workspace");
+        dut_analyze::lint_workspace(&root)
+    };
+    let recorder = dut_obs::global();
+    let code = match result {
+        Ok(report) => {
+            recorder.emit_with(|| {
+                dut_obs::Event::new("lint_summary")
+                    .with("files", report.files_checked as u64)
+                    .with("findings", report.findings.len() as u64)
+                    .with("suppressed", report.suppressed as u64)
+            });
+            println!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    };
+    recorder.flush();
+    code
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("usage: dut report <trace.jsonl>".into());
@@ -249,7 +315,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_predict(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_predict(options: &BTreeMap<String, String>) -> Result<(), String> {
     let n = get_usize(options, "n", 1024)?;
     let k = get_usize(options, "k", 16)?;
     let eps = get_f64(options, "eps", 0.5)?;
@@ -285,7 +351,7 @@ fn cmd_predict(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_advise(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_advise(options: &BTreeMap<String, String>) -> Result<(), String> {
     let n = get_usize(options, "n", 1024)?;
     let k = get_usize(options, "k", 16)?;
     let eps = get_f64(options, "eps", 0.5)?;

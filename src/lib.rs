@@ -23,5 +23,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Tests assert exact constructed values and index with small literals.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
 pub use dut_core::*;

@@ -1,5 +1,6 @@
 //! Smoke tests for the `dut` command-line binary.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use std::process::Command;
 
 fn dut() -> Command {

@@ -2,6 +2,7 @@
 //! rules when the network is unreliable — the systems-facing
 //! consequence of the locality trade-off.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use distributed_uniformity::probability::families;
 use distributed_uniformity::simnet::{
     DecisionRule, FaultModel, FaultyNetwork, MissingPolicy, PlayerContext,

@@ -2,6 +2,7 @@
 //! observer (bit-identical results instrumented or not), and a JSONL
 //! trace must round-trip through the `dut report` analyzer.
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use distributed_uniformity::obs;
 use distributed_uniformity::probability::families;
 use distributed_uniformity::stats::runner::run_trials;

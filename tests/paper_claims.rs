@@ -1,6 +1,7 @@
 //! Cross-cutting checks of the paper's headline claims, at test-suite
 //! scale (the full-scale versions are the E1–E11 benchmark binaries).
 
+#![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use distributed_uniformity::lowerbound::{mixture, theory};
 use distributed_uniformity::probability::{families, PairedDomain};
 use distributed_uniformity::testers::reduction::IdentityToUniformityReduction;
@@ -148,7 +149,7 @@ fn distributed_identity_testing_via_reduction() {
 fn fixed_q_regimes_meet_at_the_boundary() {
     let n = 1 << 12;
     let eps = 0.25; // boundary at q = 16
-    let boundary = (1.0 / (eps * eps)) as usize;
+    let boundary = dut_stats::convert::round_to_usize(1.0 / (eps * eps));
     let below = theory::min_players_for_fixed_q(n, boundary - 1, eps);
     let at = theory::min_players_for_fixed_q(n, boundary, eps);
     let above = theory::min_players_for_fixed_q(n, boundary + 1, eps);
