@@ -1,0 +1,268 @@
+//! E12 — fault tolerance and graceful degradation: how the paper's
+//! decision rules survive an unreliable network.
+//!
+//! Three measurements, all with the T-threshold collision protocol at
+//! a fixed `(n, k, ε)`:
+//!
+//! 1. **Degradation curves** — two-sided error versus fault rate under
+//!    iid and Gilbert–Elliott (bursty) message loss, for the AND rule
+//!    and a calibrated `Threshold{4}` rule, under each missing-bit
+//!    policy. The coupling discipline in the resilience layer makes
+//!    each curve monotone per seed, not merely in expectation.
+//! 2. **Recovery** — detection restored (and bits charged) by blind
+//!    repetition and ack/retry at heavy loss, in the scarce-alarm
+//!    regime where the AND rule's single alarm is load-bearing.
+//! 3. **Byzantine tolerance** — measured break point in the number of
+//!    bit-flipping players, next to the predicted `min(T-1, k-T)`.
+//!
+//! ```bash
+//! cargo run --release -p dut-bench --bin e12_fault_tolerance [-- --smoke]
+//! ```
+
+use dut_bench::Harness;
+use dut_core::probability::empirical::collision_count_of;
+use dut_core::probability::families;
+use dut_core::simnet::{
+    byzantine_tolerance, rejection_rate, ByzantinePlan, DecisionRule, FaultPlan, GilbertElliott,
+    IidFaults, MissingPolicy, PlayerContext, Recovery, ResilientNetwork,
+};
+use dut_core::stats::table::Table;
+use dut_core::testers::TThresholdTester;
+
+const N: usize = 256;
+const K: usize = 16;
+const EPS: f64 = 0.9;
+/// Well-provisioned budget: every honest node detects the far input.
+const Q_STRONG: usize = 100;
+/// Just-provisioned budget: per-node detection is scarce (≈ 0.2), the
+/// regime where faults bite hardest.
+const Q_SCARCE: usize = 40;
+
+/// The collision-counting node of the T-threshold protocol, calibrated
+/// for referee threshold `t` at `(N, K, q)`.
+fn node_player(t: usize, q: usize) -> impl Fn(&PlayerContext, &[usize]) -> bool {
+    let threshold = TThresholdTester::new(N, K, t).node_threshold(q);
+    move |_ctx: &PlayerContext, samples: &[usize]| collision_count_of(samples) < threshold
+}
+
+fn policy_name(policy: MissingPolicy) -> &'static str {
+    match policy {
+        MissingPolicy::AssumeAccept => "assume-accept",
+        MissingPolicy::AssumeReject => "assume-reject",
+        MissingPolicy::Exclude => "exclude",
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let harness = Harness::from_env();
+    harness.emit_manifest("e12_fault_tolerance");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let trials = if smoke {
+        20
+    } else {
+        usize::try_from(harness.trials).expect("trials fits usize")
+    };
+    println!(
+        "# E12 — fault tolerance (n = {N}, k = {K}, eps = {EPS}, trials = {trials}{})\n",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let uniform = families::uniform(N).alias_sampler();
+    let far = families::two_level(N, EPS)
+        .expect("valid far instance")
+        .alias_sampler();
+    let mut stream: u64 = 12_000;
+    let mut next_stream = || {
+        stream += 1;
+        stream
+    };
+
+    // --- 1. degradation curves: rate x model x rule x policy ---
+    println!("## graceful degradation under message loss\n");
+    let iid_rates: &[f64] = if smoke {
+        &[0.0, 0.2, 0.4]
+    } else {
+        &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    };
+    // The bursty channel's mean loss tops out at its stationary
+    // bad-state probability (~0.375).
+    let ge_rates: &[f64] = if smoke {
+        &[0.0, 0.2, 0.37]
+    } else {
+        &[0.0, 0.1, 0.2, 0.3, 0.37]
+    };
+    type PlanMaker = Box<dyn Fn(f64) -> Box<dyn FaultPlan>>;
+    let models: Vec<(&str, &[f64], PlanMaker)> = vec![
+        (
+            "iid",
+            iid_rates,
+            Box::new(|r| Box::new(IidFaults::loss_only(r))),
+        ),
+        (
+            "ge",
+            ge_rates,
+            Box::new(|r| Box::new(GilbertElliott::bursty_with_mean_loss(r))),
+        ),
+    ];
+    let rules: &[(&str, DecisionRule, usize)] = &[
+        ("and", DecisionRule::And, 1),
+        ("thr4", DecisionRule::Threshold { min_rejects: 4 }, 4),
+    ];
+    let policies = [
+        MissingPolicy::AssumeAccept,
+        MissingPolicy::AssumeReject,
+        MissingPolicy::Exclude,
+    ];
+    let mut degradation = Table::new(vec![
+        "model".into(),
+        "rate".into(),
+        "rule".into(),
+        "policy".into(),
+        "err_uniform".into(),
+        "err_far".into(),
+        "bits/run".into(),
+    ]);
+    for (model_name, rates, mk_plan) in &models {
+        for &(rule_name, ref rule, rule_t) in rules {
+            for policy in policies {
+                let net = ResilientNetwork::new(K, policy);
+                let player = node_player(rule_t, Q_SCARCE);
+                for &rate in *rates {
+                    let s = next_stream();
+                    let mut plan_u = mk_plan(rate);
+                    let on_uniform = rejection_rate(
+                        &net,
+                        &uniform,
+                        Q_SCARCE,
+                        &player,
+                        rule,
+                        plan_u.as_mut(),
+                        trials,
+                        harness.seed,
+                        s,
+                    );
+                    let mut plan_f = mk_plan(rate);
+                    let on_far = rejection_rate(
+                        &net,
+                        &far,
+                        Q_SCARCE,
+                        &player,
+                        rule,
+                        plan_f.as_mut(),
+                        trials,
+                        harness.seed,
+                        s + 500,
+                    );
+                    degradation.push_row(vec![
+                        (*model_name).to_owned(),
+                        format!("{rate:.2}"),
+                        rule_name.to_owned(),
+                        policy_name(policy).to_owned(),
+                        format!("{:.3}", on_uniform.error_on_uniform()),
+                        format!("{:.3}", on_far.error_on_far()),
+                        format!("{:.1}", on_far.mean_delivered_bits),
+                    ]);
+                }
+            }
+        }
+    }
+    harness.save("e12_degradation", &degradation);
+
+    // --- 2. recovery at heavy loss ---
+    println!("## recovery at 70% iid loss (AND rule, scarce alarms)\n");
+    let recoveries: &[(&str, Recovery)] = if smoke {
+        &[
+            ("none", Recovery::None),
+            ("repeat:3", Recovery::Repetition { copies: 3 }),
+            ("ack:3", Recovery::AckRetry { max_attempts: 3 }),
+        ]
+    } else {
+        &[
+            ("none", Recovery::None),
+            ("repeat:3", Recovery::Repetition { copies: 3 }),
+            ("repeat:5", Recovery::Repetition { copies: 5 }),
+            ("ack:3", Recovery::AckRetry { max_attempts: 3 }),
+            ("ack:5", Recovery::AckRetry { max_attempts: 5 }),
+        ]
+    };
+    let mut recovery_table = Table::new(vec![
+        "recovery".into(),
+        "detection (far)".into(),
+        "bits/run".into(),
+        "retries/run".into(),
+    ]);
+    let loss = 0.7;
+    let player = node_player(1, Q_SCARCE);
+    for &(name, recovery) in recoveries {
+        let net = ResilientNetwork::new(K, MissingPolicy::AssumeAccept).with_recovery(recovery);
+        let mut plan = IidFaults::loss_only(loss);
+        let measured = rejection_rate(
+            &net,
+            &far,
+            Q_SCARCE,
+            &player,
+            &DecisionRule::And,
+            &mut plan,
+            trials,
+            harness.seed,
+            next_stream(),
+        );
+        println!("{name}: detection = {:.3}", measured.rejection_rate);
+        recovery_table.push_row(vec![
+            name.to_owned(),
+            format!("{:.3}", measured.rejection_rate),
+            format!("{:.1}", measured.mean_delivered_bits),
+            format!("{:.1}", measured.mean_retries),
+        ]);
+    }
+    harness.save("e12_recovery", &recovery_table);
+
+    // --- 3. byzantine tolerance: measured vs predicted ---
+    println!("## byzantine tolerance: measured break point vs predicted min(T-1, k-T)\n");
+    let mut byz = Table::new(vec![
+        "rule".into(),
+        "predicted".into(),
+        "measured".into(),
+        "flipper errors (uniform, t = 0, 1, ...)".into(),
+    ]);
+    for &(rule_name, ref rule, rule_t) in rules {
+        let predicted =
+            byzantine_tolerance(rule, K).expect("named rules have a threshold equivalent");
+        let scan_to = (predicted + 2).min(K);
+        let player = node_player(rule_t, Q_STRONG);
+        let mut errors = Vec::new();
+        let mut measured: Option<usize> = None;
+        for flippers in 0..=scan_to {
+            let net = ResilientNetwork::new(K, MissingPolicy::AssumeAccept);
+            let mut plan = ByzantinePlan::flippers(flippers);
+            let err = rejection_rate(
+                &net,
+                &uniform,
+                Q_STRONG,
+                &player,
+                rule,
+                &mut plan,
+                trials,
+                harness.seed,
+                next_stream(),
+            )
+            .error_on_uniform();
+            errors.push(format!("{err:.2}"));
+            if err > 1.0 / 3.0 && measured.is_none() {
+                measured = Some(flippers.saturating_sub(1));
+            }
+        }
+        let measured_cell = measured.map_or_else(|| format!(">={scan_to}"), |m| m.to_string());
+        println!("{rule_name}: predicted {predicted}, measured {measured_cell}");
+        byz.push_row(vec![
+            rule_name.to_owned(),
+            predicted.to_string(),
+            measured_cell,
+            errors.join(" "),
+        ]);
+    }
+    harness.save("e12_byzantine", &byz);
+
+    harness.finish();
+}

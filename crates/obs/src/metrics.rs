@@ -27,6 +27,18 @@ pub enum Counter {
     FaultsCrashed,
     /// Messages lost in transit (fault injection).
     FaultsMessagesLost,
+    /// Redundant transmissions after the first attempt (recovery).
+    FaultRetries,
+    /// Delivered duplicate bits beyond each player's first copy; these
+    /// are charged to the communication budget like first copies.
+    FaultRedundantBits,
+    /// Player bits corrupted by a Byzantine adversary.
+    FaultByzantineFlips,
+    /// Bits whose first transmission was lost but that a later
+    /// redundant copy delivered (recovery successes).
+    FaultRecoveredBits,
+    /// Senders the referee never heard from after all retry attempts.
+    FaultTimeouts,
     /// Monte-Carlo trials executed by `run_trials`/`run_measurements`.
     TrialsRun,
     /// Predicate evaluations spent inside `minimal_sufficient`.
@@ -36,7 +48,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    const COUNT: usize = 10;
+    const COUNT: usize = 15;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -47,6 +59,11 @@ impl Counter {
         Counter::VerdictReject,
         Counter::FaultsCrashed,
         Counter::FaultsMessagesLost,
+        Counter::FaultRetries,
+        Counter::FaultRedundantBits,
+        Counter::FaultByzantineFlips,
+        Counter::FaultRecoveredBits,
+        Counter::FaultTimeouts,
         Counter::TrialsRun,
         Counter::SearchProbes,
         Counter::SweepFits,
@@ -63,6 +80,11 @@ impl Counter {
             Counter::VerdictReject => "verdict_reject",
             Counter::FaultsCrashed => "faults_crashed",
             Counter::FaultsMessagesLost => "faults_messages_lost",
+            Counter::FaultRetries => "fault_retries",
+            Counter::FaultRedundantBits => "redundant_bits",
+            Counter::FaultByzantineFlips => "byzantine_flips",
+            Counter::FaultRecoveredBits => "recovered_bits",
+            Counter::FaultTimeouts => "fault_timeouts",
             Counter::TrialsRun => "trials_run",
             Counter::SearchProbes => "search_probes",
             Counter::SweepFits => "sweep_fits",

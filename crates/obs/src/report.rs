@@ -288,6 +288,28 @@ impl Report {
                     human_count(lost)
                 );
             }
+            let retries = self.counter("fault_retries");
+            let redundant = self.counter("redundant_bits");
+            let recovered = self.counter("recovered_bits");
+            let timeouts = self.counter("fault_timeouts");
+            if retries + redundant + recovered + timeouts > 0 {
+                let _ = writeln!(
+                    out,
+                    "  recovery         {} retries, {} redundant bits, {} recovered, {} timeouts",
+                    human_count(retries),
+                    human_count(redundant),
+                    human_count(recovered),
+                    human_count(timeouts)
+                );
+            }
+            let flips = self.counter("byzantine_flips");
+            if flips > 0 {
+                let _ = writeln!(
+                    out,
+                    "  byzantine        {} corrupted bits",
+                    human_count(flips)
+                );
+            }
             if let Some(&threads) = self.gauges.get("runner_threads").filter(|&&t| t > 0) {
                 let _ = writeln!(out, "  runner threads   {threads}");
             }
@@ -481,6 +503,29 @@ mod tests {
         assert!(text.contains("message bits"), "{text}");
         assert!(text.contains("accept"), "{text}");
         assert!(text.contains("probes: 2"), "{text}");
+    }
+
+    #[test]
+    fn render_surfaces_resilience_counters() {
+        let registry = crate::metrics::Registry::new();
+        registry.add(crate::metrics::Counter::NetRuns, 10);
+        registry.add(crate::metrics::Counter::FaultsMessagesLost, 12);
+        registry.add(crate::metrics::Counter::FaultRetries, 40);
+        registry.add(crate::metrics::Counter::FaultRedundantBits, 25);
+        registry.add(crate::metrics::Counter::FaultRecoveredBits, 9);
+        registry.add(crate::metrics::Counter::FaultTimeouts, 3);
+        registry.add(crate::metrics::Counter::FaultByzantineFlips, 2);
+        let trace = snapshot_event(&registry.snapshot()).to_json_line();
+        let report = Report::from_jsonl(&trace).unwrap();
+        let text = report.render();
+        assert!(
+            text.contains(
+                "recovery         40 retries, 25 redundant bits, 9 recovered, 3 timeouts"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("byzantine        2 corrupted bits"), "{text}");
+        assert!(text.contains("12 messages lost"), "{text}");
     }
 
     #[test]

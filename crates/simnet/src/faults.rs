@@ -6,12 +6,19 @@
 //! while counting rules degrade gracefully. [`FaultyNetwork`] runs the
 //! one-bit protocol with iid message loss and node crashes so that
 //! trade-off can be measured (see the root integration tests).
+//!
+//! This is the stable, simple front door; it delegates to the general
+//! [`resilience`](crate::resilience) machinery ([`ResilientNetwork`]
+//! with an [`IidFaults`] plan and no recovery), which also offers
+//! bursty channels, adversaries, and recovery protocols.
 
-use crate::network::{Network, RunOutcome, Transcript};
-use crate::player::{Player, PlayerContext};
-use crate::rule::{DecisionRule, Verdict};
+use crate::network::{Network, RunOutcome};
+use crate::resilience::{IidFaults, ResilientNetwork};
+use crate::rule::DecisionRule;
 use dut_probability::Sampler;
 use rand::Rng;
+
+use crate::player::Player;
 
 /// Independent fault probabilities applied to each player/message.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +104,13 @@ impl FaultyNetwork {
     /// samples but never reach the referee. If *every* bit is missing
     /// under [`MissingPolicy::Exclude`], the referee accepts (it has no
     /// evidence to act on).
+    ///
+    /// Communication accounting charges only *delivered* bits: a run
+    /// with losses or crashes adds fewer than `k` to the `bits_sent`
+    /// budget even when the missing policy pads the vote back to `k`
+    /// bits. Fault randomness is drawn from a stream separate from the
+    /// sampling stream (see [`ResilientNetwork::run`]), so the same
+    /// caller RNG state yields paired runs across fault rates.
     pub fn run<S, P, R>(
         &self,
         sampler: &S,
@@ -110,63 +124,15 @@ impl FaultyNetwork {
         P: Player + ?Sized,
         R: Rng + ?Sized,
     {
-        let k = self.inner.num_players();
-        let shared_seed: u64 = rng.random();
-        let mut bits: Vec<Option<bool>> = Vec::with_capacity(k);
-        let mut samples_drawn = Vec::with_capacity(k);
-        let mut crashed = 0u64;
-        let mut lost = 0u64;
-        for player_id in 0..k {
-            if rng.random::<f64>() < self.faults.crash_probability {
-                bits.push(None);
-                samples_drawn.push(0);
-                crashed += 1;
-                continue;
-            }
-            let ctx = PlayerContext {
-                player_id,
-                num_players: k,
-                shared_seed,
-            };
-            let samples = sampler.sample_many(samples_per_player, rng);
-            samples_drawn.push(samples.len());
-            let accept = player.accepts(&ctx, &samples);
-            if rng.random::<f64>() < self.faults.message_loss_probability {
-                bits.push(None);
-                lost += 1;
-            } else {
-                bits.push(Some(accept));
-            }
-        }
-        let effective: Vec<bool> = match self.missing_policy {
-            MissingPolicy::AssumeAccept => bits.iter().map(|b| b.unwrap_or(true)).collect(),
-            MissingPolicy::AssumeReject => bits.iter().map(|b| b.unwrap_or(false)).collect(),
-            MissingPolicy::Exclude => bits.iter().filter_map(|&b| b).collect(),
-        };
-        let verdict = if effective.is_empty() {
-            Verdict::Accept
-        } else {
-            rule.decide(&effective)
-        };
-        let registry = dut_obs::metrics::global();
-        registry.add(dut_obs::metrics::Counter::FaultsCrashed, crashed);
-        registry.add(dut_obs::metrics::Counter::FaultsMessagesLost, lost);
-        crate::network::record_run(
-            verdict,
-            samples_drawn.iter().map(|&q| q as u64).sum(),
-            effective.len() as u64,
+        let network = ResilientNetwork::new(self.inner.num_players(), self.missing_policy);
+        let mut plan = IidFaults::new(
+            self.faults.crash_probability,
+            self.faults.message_loss_probability,
         );
-        let messages = effective
-            .iter()
-            .map(|&b| crate::message::Message::from_accept_bit(b))
-            .collect();
+        let out = network.run(sampler, samples_per_player, player, rule, &mut plan, rng);
         RunOutcome {
-            verdict,
-            transcript: Transcript {
-                messages,
-                samples_drawn,
-                shared_seed,
-            },
+            verdict: out.verdict,
+            transcript: out.transcript,
         }
     }
 }
@@ -174,6 +140,7 @@ impl FaultyNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::player::PlayerContext;
     use dut_probability::families;
     use rand::SeedableRng;
 

@@ -56,6 +56,7 @@ mod rule;
 
 pub mod aggregation;
 pub mod faults;
+pub mod resilience;
 pub mod rounds;
 pub mod topology;
 
@@ -64,6 +65,11 @@ pub use message::Message;
 pub use network::{Network, RunOutcome, Transcript};
 pub use player::{BitPlayerAdapter, MessagePlayer, Player, PlayerContext};
 pub use rates::RateVector;
+pub use resilience::{
+    byzantine_tolerance, rejection_rate, ByzantineBehavior, ByzantinePlan, FaultPlan, FaultStats,
+    GilbertElliott, IidFaults, MeasuredRates, PartialCrash, PreSample, Recovery, ReliablePlan,
+    ResilientNetwork, ResilientOutcome, RobustRule, TargetedLoss,
+};
 pub use rounds::{RoundAlgorithm, RoundMessage, RoundModel, RoundNetwork, RoundStats};
 pub use rule::{CustomDecisionFn, DecisionRule, MessageReferee, Verdict};
 pub use topology::Topology;

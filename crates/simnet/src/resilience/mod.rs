@@ -1,0 +1,46 @@
+//! Fault injection, fault-aware protocols, and graceful degradation.
+//!
+//! This module generalizes [`FaultyNetwork`](crate::FaultyNetwork)'s
+//! hard-wired iid faults into a pluggable [`FaultPlan`] and asks the
+//! robustness question behind the paper's locality trade-off: the AND
+//! rule buys locality (any single player can raise the alarm) at the
+//! price of *maximal fragility* — one lost or corrupted message
+//! decides the verdict — while threshold rules degrade gracefully.
+//!
+//! Three layers:
+//!
+//! * **Fault models** ([`plan`], [`channel`], [`adversary`]): iid
+//!   loss/crashes ([`IidFaults`]), crash-with-partial-samples
+//!   ([`PartialCrash`]), bursty Gilbert–Elliott loss
+//!   ([`GilbertElliott`]), Byzantine players ([`ByzantinePlan`]) and a
+//!   transcript-aware targeted dropper ([`TargetedLoss`]).
+//! * **Recovery** ([`recovery`], [`robust`]): repetition coding and
+//!   ack/retry retransmission ([`Recovery`]) with referee-side
+//!   majority decoding, plus closed-form threshold recalibration
+//!   ([`RobustRule`]) and the Byzantine-tolerance bound
+//!   ([`byzantine_tolerance`]).
+//! * **Measurement** ([`network`], [`measure`]): [`ResilientNetwork`]
+//!   runs the protocol under a plan with full fault accounting
+//!   ([`FaultStats`], surfaced through `dut report`), and
+//!   [`rejection_rate`] produces paired, per-trial-coupled degradation
+//!   curves.
+//!
+//! Everything is deterministic given the caller's RNG; see the
+//! [`plan`] module docs for the coupling discipline that makes
+//! error-vs-fault-rate curves exactly monotone per seed.
+
+pub mod adversary;
+pub mod channel;
+pub mod measure;
+pub mod network;
+pub mod plan;
+pub mod recovery;
+pub mod robust;
+
+pub use adversary::{ByzantineBehavior, ByzantinePlan, TargetedLoss};
+pub use channel::GilbertElliott;
+pub use measure::{rejection_rate, MeasuredRates};
+pub use network::{FaultStats, ResilientNetwork, ResilientOutcome};
+pub use plan::{FaultPlan, IidFaults, PartialCrash, PreSample, ReliablePlan};
+pub use recovery::Recovery;
+pub use robust::{byzantine_tolerance, threshold_equivalent, RobustRule};

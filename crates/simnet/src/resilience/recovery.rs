@@ -1,0 +1,107 @@
+//! Referee-side recovery mechanisms.
+//!
+//! Both mechanisms trade communication for reliability, and both are
+//! *charged*: every delivered copy — redundant or not — counts against
+//! the protocol's bit budget (`bits_sent` in the metrics), so `dut
+//! report` shows exactly what reliability costs.
+
+use std::fmt;
+
+/// How the referee and players fight message loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// No recovery: one transmission per player, silence is final.
+    None,
+    /// Blind repetition coding: every player transmits its bit
+    /// `copies` times and the referee majority-decodes the copies it
+    /// receives. Redundancy is spent whether or not it was needed.
+    Repetition {
+        /// Transmissions per player (`≥ 1`; `1` is equivalent to
+        /// [`Recovery::None`]).
+        copies: usize,
+    },
+    /// Acknowledgment/timeout semantics: the referee ACKs each copy it
+    /// receives; a player retransmits only while unacknowledged, up to
+    /// `max_attempts` total attempts, after which the referee records
+    /// a timeout and falls back to its
+    /// [`MissingPolicy`](crate::MissingPolicy). Spends redundancy only
+    /// on actual losses.
+    AckRetry {
+        /// Maximum transmissions per player (`≥ 1`).
+        max_attempts: usize,
+    },
+}
+
+impl Recovery {
+    /// Upper bound on transmission rounds this mechanism runs.
+    #[must_use]
+    pub(crate) fn rounds(self) -> usize {
+        match self {
+            Recovery::None => 1,
+            Recovery::Repetition { copies } => copies,
+            Recovery::AckRetry { max_attempts } => max_attempts,
+        }
+    }
+
+    /// Whether retransmissions stop for a player once one copy got
+    /// through.
+    #[must_use]
+    pub(crate) fn stops_after_ack(self) -> bool {
+        matches!(self, Recovery::None | Recovery::AckRetry { .. })
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `copies`/`max_attempts`.
+    pub(crate) fn validate(self) {
+        match self {
+            Recovery::None => {}
+            Recovery::Repetition { copies } => {
+                assert!(copies >= 1, "repetition needs at least one copy");
+            }
+            Recovery::AckRetry { max_attempts } => {
+                assert!(max_attempts >= 1, "ack-retry needs at least one attempt");
+            }
+        }
+    }
+}
+
+impl fmt::Display for Recovery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Recovery::None => write!(f, "none"),
+            Recovery::Repetition { copies } => write!(f, "repeat({copies})"),
+            Recovery::AckRetry { max_attempts } => write!(f, "ack({max_attempts})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_and_ack_semantics() {
+        assert_eq!(Recovery::None.rounds(), 1);
+        assert_eq!(Recovery::Repetition { copies: 3 }.rounds(), 3);
+        assert_eq!(Recovery::AckRetry { max_attempts: 4 }.rounds(), 4);
+        assert!(Recovery::None.stops_after_ack());
+        assert!(Recovery::AckRetry { max_attempts: 4 }.stops_after_ack());
+        assert!(!Recovery::Repetition { copies: 3 }.stops_after_ack());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Recovery::None.to_string(), "none");
+        assert_eq!(Recovery::Repetition { copies: 3 }.to_string(), "repeat(3)");
+        assert_eq!(Recovery::AckRetry { max_attempts: 2 }.to_string(), "ack(2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_copies_rejected() {
+        Recovery::Repetition { copies: 0 }.validate();
+    }
+}

@@ -32,6 +32,7 @@ COMMANDS:
     test      run a tester and report acceptance rates
     predict   print the theory predictions for a configuration
     advise    recommend a decision rule
+    faults    render error-vs-fault-rate curves and Byzantine tolerance
     report    summarize a JSONL trace (written via DUT_TRACE=<path>)
     lint      run workspace static analysis (determinism / numeric / obs rules)
 
@@ -51,6 +52,15 @@ test OPTIONS:
 
 advise OPTIONS:
     --locality <name> and | threshold:<T> | any    [default: any]
+
+faults OPTIONS:
+    --model <name>    iid | ge | targeted          [default: iid]
+    --policy <name>   assume-accept | assume-reject | exclude
+                                                   [default: assume-accept]
+    --recovery <name> none | repeat:<R> | ack:<A>  [default: none]
+    --t <int>         counting-rule threshold      [default: max(2, k/4)]
+    --q <int>         samples per player           [default: 100]
+    --trials <int>    runs per sweep point         [default: 60]
 
 report USAGE:
     dut report <trace.jsonl>
@@ -85,6 +95,7 @@ fn main() -> ExitCode {
         "test" => cmd_test(&options),
         "predict" => cmd_predict(&options),
         "advise" => cmd_advise(&options),
+        "faults" => cmd_faults(&options),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -312,6 +323,178 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     };
     let summary = dut_obs::report::summarize_file(path)?;
     print!("{summary}");
+    Ok(())
+}
+
+/// `dut faults` — graceful-degradation curves and Byzantine tolerance.
+///
+/// Sweeps a fault model's intensity and prints the measured two-sided
+/// error of the AND rule next to a calibrated counting rule at the
+/// same `k`, `q`, `ε`, then probes how many Byzantine bit-flippers
+/// each rule absorbs before its error crosses 1/3 (predicted:
+/// `t < min(T, k − T + 1)`, so AND breaks at `t = 1`).
+fn cmd_faults(options: &BTreeMap<String, String>) -> Result<(), String> {
+    use distributed_uniformity::simnet::{
+        byzantine_tolerance, rejection_rate, ByzantinePlan, DecisionRule, FaultPlan,
+        GilbertElliott, IidFaults, MissingPolicy, Recovery, ResilientNetwork, TargetedLoss,
+    };
+    use distributed_uniformity::testers::TThresholdTester;
+
+    let n = get_usize(options, "n", 256)?;
+    let k = get_usize(options, "k", 16)?;
+    let eps = get_f64(options, "eps", 0.9)?;
+    let seed = get_usize(options, "seed", 20_190_729)? as u64;
+    let trials = get_usize(options, "trials", 60)?;
+    let q = get_usize(options, "q", 100)?;
+    let t = get_usize(options, "t", (k / 4).max(2))?;
+    if t == 0 || t > k {
+        return Err(format!("--t {t} outside 1..={k}"));
+    }
+    let model = options.get("model").map_or("iid", String::as_str);
+    let policy = match options
+        .get("policy")
+        .map_or("assume-accept", String::as_str)
+    {
+        "assume-accept" => MissingPolicy::AssumeAccept,
+        "assume-reject" => MissingPolicy::AssumeReject,
+        "exclude" => MissingPolicy::Exclude,
+        other => {
+            return Err(format!(
+                "unknown policy `{other}` (assume-accept | assume-reject | exclude)"
+            ))
+        }
+    };
+    let recovery = match options.get("recovery").map_or("none", String::as_str) {
+        "none" => Recovery::None,
+        other => {
+            let parse_count = |spec: &str| -> Result<usize, String> {
+                let count: usize = spec
+                    .parse()
+                    .map_err(|_| format!("--recovery needs an integer after `:`, got `{spec}`"))?;
+                if count == 0 {
+                    return Err("--recovery count must be at least 1".into());
+                }
+                Ok(count)
+            };
+            if let Some(copies) = other.strip_prefix("repeat:") {
+                Recovery::Repetition {
+                    copies: parse_count(copies)?,
+                }
+            } else if let Some(attempts) = other.strip_prefix("ack:") {
+                Recovery::AckRetry {
+                    max_attempts: parse_count(attempts)?,
+                }
+            } else {
+                return Err(format!(
+                    "unknown recovery `{other}` (none | repeat:<R> | ack:<A>)"
+                ));
+            }
+        }
+    };
+
+    let uniform = families::uniform(n).alias_sampler();
+    let far = families::two_level(n, eps)
+        .map_err(|e| e.to_string())?
+        .alias_sampler();
+    let network = ResilientNetwork::new(k, policy).with_recovery(recovery);
+    let node_player = |rule_t: usize| {
+        let threshold = TThresholdTester::new(n, k, rule_t).node_threshold(q);
+        move |_ctx: &distributed_uniformity::simnet::PlayerContext, samples: &[usize]| {
+            distributed_uniformity::probability::empirical::collision_count_of(samples) < threshold
+        }
+    };
+
+    // Each measurement gets its own fault-randomness stream, derived
+    // deterministically from its position, so output is reproducible.
+    let mut stream = 0u64;
+    let mut measure =
+        |rule: &DecisionRule, rule_t: usize, plan: &mut dyn FaultPlan, far_side: bool| {
+            stream += 1;
+            let rates = rejection_rate(
+                &network,
+                if far_side { &far } else { &uniform },
+                q,
+                &node_player(rule_t),
+                rule,
+                plan,
+                trials,
+                seed,
+                stream,
+            );
+            if far_side {
+                rates.error_on_far()
+            } else {
+                rates.error_on_uniform()
+            }
+        };
+
+    let thr_rule = DecisionRule::Threshold { min_rejects: t };
+    println!(
+        "fault tolerance: n={n} k={k} eps={eps} q={q} trials={trials} model={model} \
+         policy={policy:?} recovery={recovery}"
+    );
+    println!();
+
+    // Sweep points: fault intensity per model. Targeted loss sweeps
+    // its per-round deletion budget instead of a probability.
+    type PlanFactory = Box<dyn Fn() -> Box<dyn FaultPlan>>;
+    let sweep: Vec<(String, PlanFactory)> = match model {
+        "iid" => (0..=5)
+            .map(|s| {
+                let rate = f64::from(s) * 0.1;
+                let label = format!("{rate:.2}");
+                let factory: PlanFactory = Box::new(move || Box::new(IidFaults::loss_only(rate)));
+                (label, factory)
+            })
+            .collect(),
+        "ge" => (0..=5)
+            .map(|s| {
+                let rate = f64::from(s) * 0.07;
+                let label = format!("{rate:.2}");
+                let factory: PlanFactory =
+                    Box::new(move || Box::new(GilbertElliott::bursty_with_mean_loss(rate)));
+                (label, factory)
+            })
+            .collect(),
+        "targeted" => (0..=4usize)
+            .map(|budget| {
+                let label = format!("b={budget}");
+                let factory: PlanFactory =
+                    Box::new(move || Box::new(TargetedLoss::alarm_silencer(budget)));
+                (label, factory)
+            })
+            .collect(),
+        other => return Err(format!("unknown model `{other}` (iid | ge | targeted)")),
+    };
+
+    println!("graceful degradation (two-sided error per fault intensity):");
+    println!("  rate   and:errU  and:errF  thr({t}):errU  thr({t}):errF");
+    for (label, factory) in &sweep {
+        let and_u = measure(&DecisionRule::And, 1, factory().as_mut(), false);
+        let and_f = measure(&DecisionRule::And, 1, factory().as_mut(), true);
+        let thr_u = measure(&thr_rule, t, factory().as_mut(), false);
+        let thr_f = measure(&thr_rule, t, factory().as_mut(), true);
+        println!("  {label:<6} {and_u:<9.3} {and_f:<9.3} {thr_u:<12.3} {thr_f:<12.3}");
+    }
+    println!();
+
+    println!("byzantine tolerance (bit-flippers until two-sided error ≥ 1/3):");
+    println!("  rule          predicted  measured");
+    for (rule, rule_t) in [(DecisionRule::And, 1), (thr_rule.clone(), t)] {
+        let predicted = byzantine_tolerance(&rule, k).unwrap_or(0);
+        let scan_to = (predicted + 2).min(k);
+        let mut measured = None;
+        for flippers in 0..=scan_to {
+            let err_u = measure(&rule, rule_t, &mut ByzantinePlan::flippers(flippers), false);
+            let err_f = measure(&rule, rule_t, &mut ByzantinePlan::flippers(flippers), true);
+            if err_u.max(err_f) >= 1.0 / 3.0 {
+                measured = Some(flippers.saturating_sub(1));
+                break;
+            }
+        }
+        let measured = measured.map_or_else(|| format!(">={scan_to}"), |m| m.to_string());
+        println!("  {:<13} {predicted:<10} {measured}", rule.name());
+    }
     Ok(())
 }
 

@@ -137,6 +137,52 @@ fn threshold_rule_spec_parses() {
 }
 
 #[test]
+fn faults_renders_curves_and_tolerance() {
+    let out = dut()
+        .args([
+            "faults",
+            "--n",
+            "256",
+            "--k",
+            "8",
+            "--eps",
+            "0.9",
+            "--q",
+            "60",
+            "--trials",
+            "10",
+            "--t",
+            "2",
+            "--recovery",
+            "repeat:2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("graceful degradation"));
+    assert!(text.contains("byzantine tolerance"));
+    assert!(text.contains("recovery=repeat(2)"));
+    // And's predicted tolerance is always zero.
+    assert!(text.contains("and           0"));
+}
+
+#[test]
+fn faults_rejects_unknown_model() {
+    let out = dut()
+        .args(["faults", "--model", "martian"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("unknown model"));
+}
+
+#[test]
 fn help_prints_usage() {
     let out = dut().args(["help"]).output().expect("binary runs");
     assert!(out.status.success());

@@ -84,8 +84,12 @@ fn majority_rule_robust_to_moderate_loss() {
                 .is_reject()
         })
         .count();
+    // Theory: each alarm survives crash and loss w.p. 0.9 · 0.7 = 0.63,
+    // so the reject count is Binomial(32, 0.63) and exceeds k/2 = 16
+    // about 91% of the time. Assert well below the mean so the margin
+    // absorbs binomial noise over 120 trials.
     assert!(
-        detected as f64 / f64::from(trials as u32) > 0.9,
+        detected as f64 / f64::from(trials as u32) > 0.8,
         "majority detection under faults = {detected}/{trials}"
     );
 }
