@@ -55,7 +55,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "println",
         family: "structure",
-        summary: "bans println!/print! in library crates — output goes through dut-obs or returned values",
+        summary: "bans println!/print!/eprintln!/eprint!/dbg! in library crates — output goes through dut-obs or returned values",
     },
     RuleInfo {
         id: "missing-manifest",
@@ -245,14 +245,23 @@ fn scan_tokens(file: &SourceFile, out: &mut Vec<Finding>) {
         }
 
         // --- structure ---------------------------------------------------
-        if (token.is_ident("println") || token.is_ident("print"))
+        if token.kind == TokenKind::Ident
+            && matches!(
+                token.text.as_str(),
+                "println" | "print" | "eprintln" | "eprint" | "dbg"
+            )
             && matches!(tokens.get(i + 1), Some(t) if t.is_punct("!"))
         {
+            let stream = if token.text.starts_with('e') || token.text == "dbg" {
+                "stderr"
+            } else {
+                "stdout"
+            };
             out.push(finding(
                 file,
                 line,
                 "println",
-                format!("`{}!` in a library crate writes to stdout", token.text),
+                format!("`{}!` in a library crate writes to {stream}", token.text),
                 "return the value, or emit a dut-obs event/metric",
             ));
         }
@@ -436,6 +445,29 @@ mod tests {
             .findings
             .iter()
             .all(|f| f.rule != "println"));
+    }
+
+    #[test]
+    fn eprintln_and_dbg_banned_in_libraries() {
+        let src = "\
+fn f(x: u64) -> u64 {
+    eprintln!(\"warning: {x}\");
+    eprint!(\"partial\");
+    dbg!(x)
+}
+";
+        let out = lint("crates/x/src/lib.rs", src);
+        assert_eq!(rule_ids(&out), vec!["println", "println", "println"]);
+        assert!(out.findings.iter().all(|f| f.message.contains("stderr")));
+        assert!(lint("src/bin/dut.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn debug_format_is_not_dbg_macro() {
+        // `dbg` as a plain path segment or variable is fine; only the
+        // macro invocation prints.
+        let src = "fn f() { let dbg = 1; let _ = dbg + 1; }";
+        assert!(lint("crates/x/src/lib.rs", src).findings.is_empty());
     }
 
     #[test]

@@ -1,5 +1,11 @@
-//! BAD: a library crate writing to stdout.
+//! BAD: a library crate writing to stdout or stderr.
 pub fn announce(q: usize) {
     println!("sampling q = {q}");
     print!("...");
+    eprintln!("warning: q = {q} looks large");
+    eprint!("partial warning");
+}
+
+pub fn inspect(q: usize) -> usize {
+    dbg!(q)
 }

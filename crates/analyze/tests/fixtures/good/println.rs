@@ -1,4 +1,9 @@
-//! GOOD: libraries return values; the obs layer carries diagnostics.
+//! GOOD: libraries return values; the obs layer carries diagnostics,
+//! including warnings that would otherwise go to stderr.
 pub fn describe(q: usize) -> String {
     format!("sampling q = {q}")
+}
+
+pub fn warn_large(q: usize) {
+    dut_obs::global().emit_with(|| dut_obs::Event::new("large_q").with("q", q));
 }

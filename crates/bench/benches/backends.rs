@@ -1,0 +1,56 @@
+//! Microbenchmarks for the sampling backends: per-draw (inverse-CDF)
+//! vs the occupancy-histogram fast path, across the `q/n` regimes the
+//! protocols actually hit. `dut bench` is the CI-facing gate; this
+//! bench gives per-point criterion statistics for local tuning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dut_core::probability::{families, SampleBackend};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Keep whole-suite wall time reasonable: criterion defaults (3s warmup,
+/// 5s measurement, 100 samples) are overkill for these stable kernels.
+fn fast(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(20);
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_draw");
+    fast(&mut group);
+    // (n, q) spanning sparse (q < n), balanced, and dense (q >> n)
+    // occupancy regimes.
+    for &(n, q) in &[
+        (1usize << 10, 1u64 << 8),
+        (1 << 10, 1 << 12),
+        (1 << 10, 1 << 16),
+    ] {
+        let dual = families::uniform(n).dual_sampler();
+        let label = format!("n{n}_q{q}");
+        for backend in SampleBackend::ALL {
+            group.bench_with_input(BenchmarkId::new(backend.name(), &label), &q, |b, &q| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+                b.iter(|| black_box(dual.draw(backend, q, &mut rng)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_backend_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_setup");
+    fast(&mut group);
+    for &n in &[1usize << 10, 1 << 14] {
+        let dist = families::uniform(n);
+        group.bench_with_input(BenchmarkId::new("dual_tables", n), &n, |b, _| {
+            b.iter(|| black_box(dist.dual_sampler()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_backend_setup);
+criterion_main!(benches);

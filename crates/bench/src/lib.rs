@@ -16,7 +16,7 @@
 // Tests assert exact constructed values and index with small literals.
 #![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
-use dut_core::probability::AliasSampler;
+use dut_core::probability::{AliasSampler, SampleBackend};
 use dut_core::stats::runner::run_trials;
 use dut_core::stats::search::{minimal_sufficient, SearchResult};
 use dut_core::stats::seed::derive_seed;
@@ -34,6 +34,10 @@ pub struct Harness {
     pub seed: u64,
     /// Output directory for CSV tables (`DUT_RESULTS`, default `results`).
     pub results_dir: PathBuf,
+    /// Sampling backend for experiments that draw occupancy histograms
+    /// (`DUT_BACKEND`: `per-draw` or `histogram`, default per-draw —
+    /// the correctness oracle; both backends draw from the same law).
+    pub backend: SampleBackend,
 }
 
 impl Harness {
@@ -53,10 +57,15 @@ impl Harness {
         let results_dir = std::env::var("DUT_RESULTS")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
+        let backend = std::env::var("DUT_BACKEND")
+            .ok()
+            .and_then(|v| SampleBackend::parse(&v))
+            .unwrap_or_default();
         Self {
             trials,
             seed,
             results_dir,
+            backend,
         }
     }
 
@@ -66,11 +75,13 @@ impl Harness {
         let experiment = experiment.to_owned();
         let trials = self.trials;
         let seed = self.seed;
+        let backend = self.backend;
         dut_obs::global().emit_with(move || {
             dut_obs::Event::new("manifest")
                 .with("experiment", experiment)
                 .with("seed", seed)
                 .with("trials", trials)
+                .with("backend", backend.name())
                 .with("build", git_describe())
                 .with("threads", dut_core::stats::runner::available_threads())
         });
@@ -203,8 +214,10 @@ mod tests {
             trials: 200,
             seed: 1,
             results_dir: PathBuf::from("results"),
+            backend: SampleBackend::default(),
         };
         assert_eq!(h.trials, 200);
+        assert_eq!(h.backend, SampleBackend::PerDraw);
     }
 
     #[test]

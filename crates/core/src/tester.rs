@@ -1,6 +1,6 @@
 use crate::config::{Rule, UniformityTesterBuilder};
 use dut_lowerbound::theory;
-use dut_probability::Sampler;
+use dut_probability::{DualSampler, SampleBackend, Sampler};
 use dut_simnet::Verdict;
 use dut_testers::centralized::CentralizedTester as _;
 use dut_testers::{BalancedThresholdTester, CollisionTester, TThresholdTester};
@@ -158,6 +158,48 @@ impl PreparedUniformityTester {
         }
     }
 
+    /// Runs one execution with every player's samples realized as an
+    /// occupancy histogram by the chosen [`SampleBackend`]. All the
+    /// rules this type prepares consume only collision counts, so the
+    /// verdict law is identical to [`Self::run`]; the histogram backend
+    /// makes each run O(n + q) per player instead of O(q log n).
+    pub fn run_dual<R>(&self, sampler: &DualSampler, backend: SampleBackend, rng: &mut R) -> Verdict
+    where
+        R: Rng + ?Sized,
+    {
+        match &self.variant {
+            PreparedVariant::Biased(t) => t.run_counts(sampler, backend, self.q, rng).verdict,
+            PreparedVariant::Balanced(b) => b.run_counts(sampler, backend, rng).verdict,
+            PreparedVariant::Centralized(c) => {
+                let histogram = sampler.draw(backend, self.q as u64, rng);
+                c.test_histogram(&histogram)
+            }
+        }
+    }
+
+    /// Estimates the acceptance probability of [`Self::run_dual`] over
+    /// `trials` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn acceptance_rate_dual<R>(
+        &self,
+        sampler: &DualSampler,
+        backend: SampleBackend,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64
+    where
+        R: Rng + ?Sized,
+    {
+        assert!(trials > 0, "need at least one trial");
+        let accepts = (0..trials)
+            .filter(|_| self.run_dual(sampler, backend, rng).is_accept())
+            .count();
+        accepts as f64 / trials as f64
+    }
+
     /// Estimates the acceptance probability over `trials` runs.
     ///
     /// # Panics
@@ -244,6 +286,38 @@ mod tests {
         let balanced = build(Rule::Balanced, n, k, eps).predicted_sample_count();
         let centralized = build(Rule::Centralized, n, k, eps).predicted_sample_count();
         assert!(balanced < centralized);
+    }
+
+    /// Every prepared variant, both backends: uniform accepted and far
+    /// rejected at the usual 2/3 margins. Parameters mirror the
+    /// per-rule end-to-end tests above.
+    fn check_dual_rates(rule: Rule, n: usize, k: usize, eps: f64, q: Option<usize>, seed: u64) {
+        let uniform = families::uniform(n).dual_sampler();
+        let far = families::two_level(n, eps).unwrap().dual_sampler();
+        let tester = build(rule, n, k, eps);
+        let mut r = rng(seed);
+        let prepared = tester.prepare(q.unwrap_or_else(|| tester.predicted_sample_count()), &mut r);
+        for backend in SampleBackend::ALL {
+            let up = prepared.acceptance_rate_dual(&uniform, backend, 60, &mut r);
+            let fp = prepared.acceptance_rate_dual(&far, backend, 60, &mut r);
+            assert!(up > 2.0 / 3.0, "{rule:?}/{backend}: uniform rate {up}");
+            assert!(fp < 1.0 / 3.0, "{rule:?}/{backend}: far rate {fp}");
+        }
+    }
+
+    #[test]
+    fn dual_backends_balanced_rates() {
+        check_dual_rates(Rule::Balanced, 1 << 10, 32, 0.5, None, 11);
+    }
+
+    #[test]
+    fn dual_backends_centralized_rates() {
+        check_dual_rates(Rule::Centralized, 1 << 10, 1, 0.5, None, 13);
+    }
+
+    #[test]
+    fn dual_backends_and_rule_rates() {
+        check_dual_rates(Rule::And, 1 << 8, 8, 0.9, Some(400), 17);
     }
 
     #[test]

@@ -45,10 +45,17 @@ pub enum Counter {
     SearchProbes,
     /// Scaling-law fits computed by `dut-stats::sweep`.
     SweepFits,
+    /// Occupancy histograms drawn via the conditional-binomial fast
+    /// path (one per player per run under `SampleBackend::Histogram`).
+    HistogramDraws,
+    /// Calibration thresholds answered from the memoized cache.
+    CalibrationCacheHits,
+    /// Calibration thresholds computed fresh (cache misses).
+    CalibrationCacheMisses,
 }
 
 impl Counter {
-    const COUNT: usize = 15;
+    const COUNT: usize = 18;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -67,6 +74,9 @@ impl Counter {
         Counter::TrialsRun,
         Counter::SearchProbes,
         Counter::SweepFits,
+        Counter::HistogramDraws,
+        Counter::CalibrationCacheHits,
+        Counter::CalibrationCacheMisses,
     ];
 
     /// The stable name used in trace snapshots.
@@ -88,6 +98,9 @@ impl Counter {
             Counter::TrialsRun => "trials_run",
             Counter::SearchProbes => "search_probes",
             Counter::SweepFits => "sweep_fits",
+            Counter::HistogramDraws => "histogram_draws",
+            Counter::CalibrationCacheHits => "calibration_cache_hits",
+            Counter::CalibrationCacheMisses => "calibration_cache_misses",
         }
     }
 }
@@ -98,19 +111,24 @@ impl Counter {
 pub enum Gauge {
     /// Worker threads chosen by the most recent `run_trials` call.
     RunnerThreads,
+    /// Sampling backend of the most recent count-based network run:
+    /// 1 for `SampleBackend::PerDraw`, 2 for `SampleBackend::Histogram`
+    /// (0 = no count-based run yet).
+    SamplingBackend,
 }
 
 impl Gauge {
-    const COUNT: usize = 1;
+    const COUNT: usize = 2;
 
     /// All gauges, in slot order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::RunnerThreads];
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::RunnerThreads, Gauge::SamplingBackend];
 
     /// The stable name used in trace snapshots.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Gauge::RunnerThreads => "runner_threads",
+            Gauge::SamplingBackend => "sampling_backend",
         }
     }
 }

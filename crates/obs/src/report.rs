@@ -310,8 +310,38 @@ impl Report {
                     human_count(flips)
                 );
             }
+            let hist_draws = self.counter("histogram_draws");
+            if hist_draws > 0 {
+                let _ = writeln!(
+                    out,
+                    "  histogram draws  {} (conditional-binomial fast path)",
+                    human_count(hist_draws)
+                );
+            }
+            let cache_hits = self.counter("calibration_cache_hits");
+            let cache_misses = self.counter("calibration_cache_misses");
+            if cache_hits + cache_misses > 0 {
+                let _ = writeln!(
+                    out,
+                    "  calib cache      {} hits, {} misses ({:.1}% hit rate)",
+                    human_count(cache_hits),
+                    human_count(cache_misses),
+                    100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64,
+                );
+            }
             if let Some(&threads) = self.gauges.get("runner_threads").filter(|&&t| t > 0) {
                 let _ = writeln!(out, "  runner threads   {threads}");
+            }
+            if let Some(&backend) = self.gauges.get("sampling_backend").filter(|&&b| b > 0) {
+                let _ = writeln!(
+                    out,
+                    "  sampling backend {}",
+                    if backend == 2 {
+                        "histogram"
+                    } else {
+                        "per-draw"
+                    }
+                );
             }
         }
 

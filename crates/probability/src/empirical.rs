@@ -55,6 +55,22 @@ impl Histogram {
         h
     }
 
+    /// Builds a histogram directly from a pre-computed count vector, as
+    /// produced by the occupancy fast path ([`crate::HistogramSampler`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or the total overflows `u64`.
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs a non-empty domain");
+        let total = counts
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .expect("histogram total overflows u64");
+        Self { counts, total }
+    }
+
     /// Records one sample.
     ///
     /// # Panics

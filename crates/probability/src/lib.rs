@@ -6,6 +6,9 @@
 //! * [`DenseDistribution`] — a validated probability vector with cheap
 //!   queries (point mass, ℓ₂ norm / collision probability, …),
 //! * samplers ([`AliasSampler`], [`CdfSampler`]) for drawing iid samples,
+//! * the occupancy fast path ([`occupancy`]): draws a `q`-sample
+//!   histogram directly in O(n + q) via conditional-binomial
+//!   stick-breaking, behind a [`SampleBackend`] switch,
 //! * statistical distances ([`distance`]): ℓ₁, total variation, ℓ₂,
 //!   KL, χ², Hellinger,
 //! * standard families ([`families`]): uniform, point mass, Zipf,
@@ -46,6 +49,7 @@ pub mod distance;
 pub mod empirical;
 pub mod families;
 pub mod moments;
+pub mod occupancy;
 pub mod paired;
 pub mod profile;
 pub mod sampler;
@@ -53,6 +57,7 @@ pub mod sampler;
 pub use dense::DenseDistribution;
 pub use empirical::Histogram;
 pub use error::DistributionError;
+pub use occupancy::{CountSampler, DualSampler, HistogramSampler, SampleBackend};
 pub use paired::{PairedDomain, PerturbationVector};
 pub use sampler::{AliasSampler, CdfSampler, Sampler, UniformSampler};
 

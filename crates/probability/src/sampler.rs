@@ -130,11 +130,14 @@ impl CdfSampler {
 impl Sampler for CdfSampler {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u = rng.random::<f64>();
-        // First index with cdf[i] >= u.
-        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
-            Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
-        }
+        // First index with cdf[i] >= u. Zero-mass elements duplicate their
+        // predecessor's CDF entry, and `binary_search_by` makes no
+        // first-match guarantee among equal entries — an exact hit could
+        // land on a zero-mass index. `partition_point` counts the strict
+        // `cdf[i] < u` prefix, which is exactly the first qualifying index.
+        self.cdf
+            .partition_point(|c| c.total_cmp(&u) == std::cmp::Ordering::Less)
+            .min(self.cdf.len() - 1)
     }
 
     fn support_size(&self) -> usize {
@@ -236,6 +239,46 @@ mod tests {
         let counts = frequencies(&d.cdf_sampler(), 5_000, 23);
         assert_eq!(counts[0], 0);
         assert_eq!(counts[1], 5_000);
+    }
+
+    /// Emits a fixed `u64` stream; `random::<f64>()` maps each word `w`
+    /// to `(w >> 11) · 2⁻⁵³`, so `1 << 63` plants `u = 0.5` exactly.
+    struct PlantedRng(Vec<u64>, usize);
+
+    impl rand::RngCore for PlantedRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let w = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn cdf_exact_hit_on_duplicated_entry_skips_zero_mass() {
+        // dist [0.5, 0.0, 0.5] -> cdf [0.5, 0.5, 1.0]. With u planted
+        // exactly on the duplicated 0.5 entry, the first index with
+        // cdf[i] >= u is 0; a binary search could land on the zero-mass
+        // index 1 (no first-match guarantee among equal entries).
+        let d = DenseDistribution::new(vec![0.5, 0.0, 0.5]).unwrap();
+        let s = d.cdf_sampler();
+        let mut rng = PlantedRng(vec![1u64 << 63], 0);
+        assert_eq!(s.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn cdf_exact_hit_on_long_zero_run() {
+        // A longer duplicate run: cdf [0.25, 0.25, 0.25, 0.25, 1.0].
+        // binary_search_by probes the middle of the run first and returns
+        // whatever equal entry it hits; partition_point must return 0.
+        let d = DenseDistribution::new(vec![0.25, 0.0, 0.0, 0.0, 0.75]).unwrap();
+        let s = d.cdf_sampler();
+        // u = 0.25 exactly: word w with (w >> 11) * 2^-53 = 2^-2.
+        let mut rng = PlantedRng(vec![1u64 << 62], 0);
+        assert_eq!(s.sample(&mut rng), 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // test code asserts exact values
 use dut_probability::{
-    distance, empirical, families, DenseDistribution, Histogram, PairedDomain, PerturbationVector,
-    Sampler,
+    distance, empirical, families, CountSampler, DenseDistribution, Histogram, PairedDomain,
+    PerturbationVector, SampleBackend, Sampler,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -159,5 +159,74 @@ proptest! {
         let m = families::mixture(&far, &u, lambda).expect("same domain");
         let dist = distance::l1_distance(&m, &u);
         prop_assert!((dist - lambda * 0.6).abs() < 1e-9);
+    }
+
+    // --- occupancy backends ---------------------------------------------
+
+    #[test]
+    fn backends_total_is_q(d in arb_distribution(), q in 0u64..4096, seed in any::<u64>()) {
+        let dual = d.dual_sampler();
+        for backend in SampleBackend::ALL {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            prop_assert_eq!(dual.draw(backend, q, &mut rng).total(), q);
+        }
+    }
+
+    #[test]
+    fn backends_respect_zero_mass(
+        mask in prop::collection::vec(prop::bool::ANY, 3..24),
+        seed in any::<u64>(),
+    ) {
+        // Plant explicit zeroes; neither backend may put a sample there.
+        let weights: Vec<f64> = mask.iter().map(|&on| if on { 1.0 } else { 0.0 }).collect();
+        if weights.iter().sum::<f64>() > 0.0 {
+            let d = DenseDistribution::from_weights(weights).expect("some positive mass");
+            let dual = d.dual_sampler();
+            for backend in SampleBackend::ALL {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let h = dual.draw(backend, 512, &mut rng);
+                for (i, &on) in mask.iter().enumerate() {
+                    if !on {
+                        prop_assert_eq!(h.count(i), 0, "{} put mass at zero cell {}", backend, i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_count_samplers_agree_in_expectation(d in arb_distribution(), seed in any::<u64>()) {
+        // Alias, inverse-CDF and stick-breaking engines target the same
+        // law; with q = 2048 each marginal mean must sit within 6 sigma
+        // of q * p_i for every engine (same derived-seed stream each).
+        let q = 2048u64;
+        let alias = d.alias_sampler();
+        let cdf = d.cdf_sampler();
+        let hist = d.histogram_sampler();
+        let engines: [&dyn Fn(&mut rand::rngs::StdRng) -> Histogram; 3] = [
+            &|r| alias.draw_counts(q, r),
+            &|r| cdf.draw_counts(q, r),
+            &|r| hist.draw_counts(q, r),
+        ];
+        for (e, engine) in engines.iter().enumerate() {
+            let reps = 8u64;
+            let mut totals = vec![0u64; d.support_size()];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (e as u64) << 32);
+            for _ in 0..reps {
+                let h = engine(&mut rng);
+                for (i, t) in totals.iter_mut().enumerate() {
+                    *t += h.count(i);
+                }
+            }
+            let m = (reps * q) as f64;
+            for (i, &t) in totals.iter().enumerate() {
+                let p = d.prob(i);
+                let sigma = (m * p * (1.0 - p)).sqrt();
+                prop_assert!(
+                    ((t as f64) - m * p).abs() <= 6.0 * sigma + 1e-9,
+                    "engine {} cell {}: {} vs mean {}", e, i, t, m * p
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! Bit-packed referee transcripts: the players' accept bits stored as
+//! `u64` words instead of one `bool` per byte.
+//!
+//! Every built-in decision rule only needs the *number* of rejecting
+//! players, which a packed vector answers with a handful of `popcount`
+//! instructions — so large-`k` sweeps stop paying an 8× memory tax and a
+//! linear scan per run on the aggregation path.
+
+/// A growable bit vector packed into `u64` words (`true` = accept).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An empty bit vector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bit vector with room for `bits` bits.
+    #[must_use]
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Packs a bool slice.
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        bits.iter().copied().collect()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits (accepting players), via `popcount` per word.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits (rejecting players).
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Iterates the bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Unpacks into a bool vector (for consumers that need a slice,
+    /// e.g. [`crate::DecisionRule::Custom`]).
+    #[must_use]
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// The underlying words; bits past `len` are zero.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl FromIterator<bool> for PackedBits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut packed = Self::with_capacity(iter.size_hint().0);
+        for bit in iter {
+            packed.push(bit);
+        }
+        packed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_round_trip() {
+        let mut p = PackedBits::new();
+        assert!(p.is_empty());
+        let pattern = [true, false, true, true, false];
+        for &b in &pattern {
+            p.push(b);
+        }
+        assert_eq!(p.len(), 5);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(p.get(i), b, "bit {i}");
+        }
+        assert_eq!(p.to_bools(), pattern);
+    }
+
+    #[test]
+    fn counts_across_word_boundary() {
+        // 130 bits: exercises three words and a partial tail.
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let p = PackedBits::from_bools(&bits);
+        assert_eq!(p.len(), 130);
+        assert_eq!(p.words().len(), 3);
+        let expected_ones = bits.iter().filter(|&&b| b).count();
+        assert_eq!(p.count_ones(), expected_ones);
+        assert_eq!(p.count_zeros(), 130 - expected_ones);
+        assert_eq!(p.to_bools(), bits);
+    }
+
+    #[test]
+    fn word_boundary_bits_land_in_right_word() {
+        let mut p = PackedBits::new();
+        for i in 0..65 {
+            p.push(i == 63 || i == 64);
+        }
+        assert!(p.get(63));
+        assert!(p.get(64));
+        assert!(!p.get(0));
+        assert_eq!(p.words()[0], 1u64 << 63);
+        assert_eq!(p.words()[1], 1u64);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: PackedBits = (0..10).map(|i| i % 2 == 0).collect();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.count_ones(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let p = PackedBits::from_bools(&[true]);
+        let _ = p.get(1);
+    }
+}

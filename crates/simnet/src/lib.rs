@@ -48,6 +48,7 @@
 // Tests assert exact constructed values and index with small literals.
 #![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
+mod bits;
 mod message;
 mod network;
 mod player;
@@ -60,10 +61,11 @@ pub mod resilience;
 pub mod rounds;
 pub mod topology;
 
+pub use bits::PackedBits;
 pub use faults::{FaultModel, FaultyNetwork, MissingPolicy};
 pub use message::Message;
 pub use network::{Network, RunOutcome, Transcript};
-pub use player::{BitPlayerAdapter, MessagePlayer, Player, PlayerContext};
+pub use player::{BitPlayerAdapter, CountPlayer, MessagePlayer, Player, PlayerContext};
 pub use rates::RateVector;
 pub use resilience::{
     byzantine_tolerance, rejection_rate, ByzantineBehavior, ByzantinePlan, FaultPlan, FaultStats,

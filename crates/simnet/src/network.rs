@@ -1,9 +1,10 @@
+use crate::bits::PackedBits;
 use crate::message::Message;
-use crate::player::{MessagePlayer, Player, PlayerContext};
+use crate::player::{CountPlayer, MessagePlayer, Player, PlayerContext};
 use crate::rates::RateVector;
 use crate::rule::{DecisionRule, MessageReferee, Verdict};
-use dut_obs::metrics::{Counter, HistogramId};
-use dut_probability::Sampler;
+use dut_obs::metrics::{Counter, Gauge, HistogramId};
+use dut_probability::{DualSampler, SampleBackend, Sampler};
 use rand::Rng;
 
 /// Records one finished execution in the global metrics registry and,
@@ -157,7 +158,7 @@ impl Network {
         );
         let shared_seed: u64 = rng.random();
         let mut messages = Vec::with_capacity(self.num_players);
-        let mut bits = Vec::with_capacity(self.num_players);
+        let mut bits = PackedBits::with_capacity(self.num_players);
         for (player_id, &q) in sample_counts.iter().enumerate() {
             let ctx = PlayerContext {
                 player_id,
@@ -169,7 +170,7 @@ impl Network {
             bits.push(accept);
             messages.push(Message::from_accept_bit(accept));
         }
-        let verdict = rule.decide(&bits);
+        let verdict = rule.decide_packed(&bits);
         record_run(
             verdict,
             sample_counts.iter().map(|&q| q as u64).sum(),
@@ -207,6 +208,60 @@ impl Network {
     {
         let counts = rates.samples_for_time(tau);
         self.run_with_sample_counts(sampler, &counts, player, rule, rng)
+    }
+
+    /// Runs the one-bit protocol for count-consuming players: every
+    /// player receives its `q`-sample occupancy histogram, realized by
+    /// the chosen [`SampleBackend`] — either by binning per-draw samples
+    /// or through the O(n + q) conditional-binomial fast path. Both
+    /// backends produce Multinomial(q, p)-distributed histograms, so
+    /// verdict distributions are identical in law.
+    pub fn run_counts<P, R>(
+        &self,
+        sampler: &DualSampler,
+        backend: SampleBackend,
+        samples_per_player: usize,
+        player: &P,
+        rule: &DecisionRule,
+        rng: &mut R,
+    ) -> RunOutcome
+    where
+        P: CountPlayer + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let registry = dut_obs::metrics::global();
+        registry.set_gauge(Gauge::SamplingBackend, backend.gauge_code());
+        if backend == SampleBackend::Histogram {
+            registry.add(Counter::HistogramDraws, self.num_players as u64);
+        }
+        let shared_seed: u64 = rng.random();
+        let mut messages = Vec::with_capacity(self.num_players);
+        let mut bits = PackedBits::with_capacity(self.num_players);
+        for player_id in 0..self.num_players {
+            let ctx = PlayerContext {
+                player_id,
+                num_players: self.num_players,
+                shared_seed,
+            };
+            let histogram = sampler.draw(backend, samples_per_player as u64, rng);
+            let accept = player.accepts_counts(&ctx, &histogram);
+            bits.push(accept);
+            messages.push(Message::from_accept_bit(accept));
+        }
+        let verdict = rule.decide_packed(&bits);
+        record_run(
+            verdict,
+            (samples_per_player * self.num_players) as u64,
+            self.num_players as u64,
+        );
+        RunOutcome {
+            verdict,
+            transcript: Transcript {
+                messages,
+                samples_drawn: vec![samples_per_player; self.num_players],
+                shared_seed,
+            },
+        }
     }
 
     /// Runs the `r`-bit message protocol with an arbitrary referee.
@@ -271,6 +326,34 @@ impl Network {
         let accepted = (0..trials)
             .filter(|_| {
                 self.run(sampler, samples_per_player, player, rule, rng)
+                    .verdict
+                    .is_accept()
+            })
+            .count();
+        accepted as f64 / trials as f64
+    }
+
+    /// Estimates the acceptance probability of a count-consuming
+    /// protocol under the chosen backend, running it `trials` times.
+    #[allow(clippy::too_many_arguments)]
+    pub fn acceptance_rate_counts<P, R>(
+        &self,
+        sampler: &DualSampler,
+        backend: SampleBackend,
+        samples_per_player: usize,
+        player: &P,
+        rule: &DecisionRule,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64
+    where
+        P: CountPlayer + ?Sized,
+        R: Rng + ?Sized,
+    {
+        assert!(trials > 0, "need at least one trial");
+        let accepted = (0..trials)
+            .filter(|_| {
+                self.run_counts(sampler, backend, samples_per_player, player, rule, rng)
                     .verdict
                     .is_accept()
             })
@@ -382,6 +465,54 @@ mod tests {
             net.acceptance_rate(&sampler, 1, &never, &DecisionRule::And, 50, &mut r),
             0.0
         );
+    }
+
+    #[test]
+    fn run_counts_on_both_backends() {
+        use dut_probability::{Histogram, SampleBackend};
+        let net = Network::new(6);
+        let dual = families::uniform(32).dual_sampler();
+        // Reject when the local histogram shows any collision: on a
+        // 32-element uniform domain with 2 samples collisions are rare,
+        // so the AND rule accepts most runs under either backend.
+        let player = |_ctx: &PlayerContext, h: &Histogram| h.collision_count() == 0;
+        for backend in SampleBackend::ALL {
+            let mut r = rng();
+            let mut accepts = 0usize;
+            for _ in 0..200 {
+                let out = net.run_counts(&dual, backend, 2, &player, &DecisionRule::And, &mut r);
+                assert_eq!(out.transcript.samples_drawn, vec![2; 6]);
+                accepts += usize::from(out.verdict.is_accept());
+            }
+            assert!(accepts > 120, "{backend}: only {accepts}/200 accepted");
+        }
+    }
+
+    #[test]
+    fn run_counts_deterministic_per_seed() {
+        use dut_probability::{Histogram, SampleBackend};
+        let net = Network::new(4);
+        let dual = families::uniform(16).dual_sampler();
+        let player = |_ctx: &PlayerContext, h: &Histogram| h.collision_count() < 2;
+        for backend in SampleBackend::ALL {
+            let a = net.run_counts(
+                &dual,
+                backend,
+                8,
+                &player,
+                &DecisionRule::Majority,
+                &mut rng(),
+            );
+            let b = net.run_counts(
+                &dual,
+                backend,
+                8,
+                &player,
+                &DecisionRule::Majority,
+                &mut rng(),
+            );
+            assert_eq!(a, b, "{backend} not deterministic per seed");
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::bits::PackedBits;
 use crate::message::Message;
 use std::fmt;
 use std::sync::Arc;
@@ -92,16 +93,44 @@ impl DecisionRule {
             !bits.is_empty(),
             "decision rule needs at least one player bit"
         );
+        if let DecisionRule::Custom(f) = self {
+            return f(bits);
+        }
         let rejects = bits.iter().filter(|&&b| !b).count();
+        self.decide_from_rejects(rejects, bits.len())
+    }
+
+    /// Applies the rule to a bit-packed transcript. The built-in rules
+    /// only need the rejection count, which packed words answer via
+    /// `popcount`; [`DecisionRule::Custom`] unpacks to its slice form.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DecisionRule::decide`].
+    #[must_use]
+    pub fn decide_packed(&self, bits: &PackedBits) -> Verdict {
+        assert!(
+            !bits.is_empty(),
+            "decision rule needs at least one player bit"
+        );
+        if let DecisionRule::Custom(f) = self {
+            return f(&bits.to_bools());
+        }
+        self.decide_from_rejects(bits.count_zeros(), bits.len())
+    }
+
+    /// The built-in rules as a function of `(rejects, k)` alone.
+    /// Callers have already dispatched [`DecisionRule::Custom`].
+    fn decide_from_rejects(&self, rejects: usize, num_players: usize) -> Verdict {
         match self {
             DecisionRule::And => Verdict::from_accept_bit(rejects == 0),
-            DecisionRule::Or => Verdict::from_accept_bit(rejects < bits.len()),
+            DecisionRule::Or => Verdict::from_accept_bit(rejects < num_players),
             DecisionRule::Threshold { min_rejects } => {
                 assert!(*min_rejects > 0, "threshold rule needs min_rejects >= 1");
                 Verdict::from_accept_bit(rejects < *min_rejects)
             }
-            DecisionRule::Majority => Verdict::from_accept_bit(2 * rejects <= bits.len()),
-            DecisionRule::Custom(f) => f(bits),
+            DecisionRule::Majority => Verdict::from_accept_bit(2 * rejects <= num_players),
+            DecisionRule::Custom(_) => unreachable!("Custom is dispatched before counting"),
         }
     }
 
@@ -192,6 +221,45 @@ mod tests {
         assert_eq!(rule.decide(&[false, true]), Verdict::Reject);
         assert_eq!(rule.decide(&[false, false]), Verdict::Accept);
         assert_eq!(rule.name(), "custom");
+    }
+
+    #[test]
+    fn decide_packed_agrees_with_slice_form() {
+        let rules = [
+            DecisionRule::And,
+            DecisionRule::Or,
+            DecisionRule::Threshold { min_rejects: 2 },
+            DecisionRule::Majority,
+            DecisionRule::Custom(Arc::new(|bits: &[bool]| {
+                let rejects = bits.iter().filter(|&&b| !b).count();
+                Verdict::from_accept_bit(rejects % 2 == 0)
+            })),
+        ];
+        // Every bit pattern over 5 players, plus a >64-player transcript
+        // to cross the packed word boundary.
+        for rule in &rules {
+            for pattern in 0u32..32 {
+                let bits: Vec<bool> = (0..5).map(|i| pattern & (1 << i) != 0).collect();
+                let packed = PackedBits::from_bools(&bits);
+                assert_eq!(
+                    rule.decide(&bits),
+                    rule.decide_packed(&packed),
+                    "rule {} on {bits:?}",
+                    rule.name()
+                );
+            }
+            let long: Vec<bool> = (0..100).map(|i| i % 7 != 0).collect();
+            assert_eq!(
+                rule.decide(&long),
+                rule.decide_packed(&PackedBits::from_bools(&long))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one player")]
+    fn decide_packed_empty_panics() {
+        let _ = DecisionRule::And.decide_packed(&PackedBits::new());
     }
 
     #[test]

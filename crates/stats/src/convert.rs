@@ -37,6 +37,17 @@ pub fn ceil_to_usize(value: f64) -> usize {
     round_to_usize(value.ceil())
 }
 
+/// Converts a `u64` trial count into a `usize`, saturating at
+/// `usize::MAX` on 32-bit targets where the count may not fit. The
+/// saturation only widens thread-count clamps and capacity hints — a
+/// batch of `usize::MAX` trials would never complete anyway — so both
+/// runner entry points share this one conversion instead of one
+/// panicking and the other saturating.
+#[must_use]
+pub fn saturating_usize_from_u64(value: u64) -> usize {
+    usize::try_from(value).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +73,16 @@ mod tests {
         assert_eq!(round_to_usize(f64::NEG_INFINITY), 0);
         assert_eq!(round_to_usize(f64::INFINITY), 9_007_199_254_740_992);
         assert_eq!(round_to_usize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn u64_to_usize_is_identity_in_range() {
+        assert_eq!(saturating_usize_from_u64(0), 0);
+        assert_eq!(saturating_usize_from_u64(1), 1);
+        assert_eq!(saturating_usize_from_u64(1 << 20), 1 << 20);
+        // On 64-bit targets the full range fits; either way the call
+        // never panics.
+        let _ = saturating_usize_from_u64(u64::MAX);
     }
 
     #[test]

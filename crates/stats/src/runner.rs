@@ -18,7 +18,7 @@ where
     F: Fn(u64) -> bool + Sync,
 {
     assert!(trials > 0, "need at least one trial");
-    let trial_cap = usize::try_from(trials).unwrap_or(usize::MAX);
+    let trial_cap = crate::convert::saturating_usize_from_u64(trials);
     let threads = available_threads().min(trial_cap).max(1);
     let start = Instant::now();
     let registry = dut_obs::metrics::global();
@@ -73,30 +73,40 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(trials > 0, "need at least one trial");
-    let len = usize::try_from(trials).expect("trial count fits a usize");
+    let len = crate::convert::saturating_usize_from_u64(trials);
     let threads = available_threads().min(len).max(1);
-    dut_obs::metrics::global().set_gauge(Gauge::RunnerThreads, threads as u64);
+    let start = Instant::now();
+    let registry = dut_obs::metrics::global();
+    registry.set_gauge(Gauge::RunnerThreads, threads as u64);
     let mut values = vec![0.0f64; len];
     if threads == 1 {
         for (i, v) in values.iter_mut().enumerate() {
             *v = trial(derive_seed(master_seed, i as u64));
         }
-        dut_obs::metrics::global().add(Counter::TrialsRun, trials);
-        return values;
+    } else {
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slice) in values.chunks_mut(chunk).enumerate() {
+                let trial = &trial;
+                let base = (t * chunk) as u64;
+                scope.spawn(move || {
+                    for (off, v) in slice.iter_mut().enumerate() {
+                        *v = trial(derive_seed(master_seed, base + off as u64));
+                    }
+                });
+            }
+        });
     }
-    let chunk = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slice) in values.chunks_mut(chunk).enumerate() {
-            let trial = &trial;
-            let base = (t * chunk) as u64;
-            scope.spawn(move || {
-                for (off, v) in slice.iter_mut().enumerate() {
-                    *v = trial(derive_seed(master_seed, base + off as u64));
-                }
-            });
-        }
+    registry.add(Counter::TrialsRun, trials);
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    registry.observe(HistogramId::TrialBatchMicros, elapsed_us);
+    dut_obs::global().emit_verbose_with(|| {
+        dut_obs::Event::new("trial_batch")
+            .with("kind", "measurements")
+            .with("trials", trials)
+            .with("threads", threads)
+            .with("elapsed_us", elapsed_us)
     });
-    dut_obs::metrics::global().add(Counter::TrialsRun, trials);
     values
 }
 
@@ -119,14 +129,21 @@ pub fn mean_and_sd(values: &[f64]) -> (f64, f64) {
 
 /// Worker count for trial batches: the `DUT_THREADS` env var when set
 /// to a positive integer (clamped to at least 1), otherwise the
-/// machine's available parallelism.
+/// machine's available parallelism. An unparseable value is ignored and
+/// reported as an `env_var_ignored` trace event — library code never
+/// writes to stderr directly.
 #[must_use]
 pub fn available_threads() -> usize {
     if let Ok(raw) = std::env::var("DUT_THREADS") {
         if let Ok(n) = raw.trim().parse::<usize>() {
             return n.max(1);
         }
-        eprintln!("warning: ignoring unparseable DUT_THREADS=`{raw}`");
+        dut_obs::global().emit_with(|| {
+            dut_obs::Event::new("env_var_ignored")
+                .with("name", "DUT_THREADS")
+                .with("value", raw)
+                .with("reason", "not a positive integer")
+        });
     }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -195,5 +212,24 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn unparseable_dut_threads_falls_back() {
+        // Trial results are thread-count independent, so briefly
+        // setting a garbage value cannot perturb concurrent tests.
+        std::env::set_var("DUT_THREADS", "not-a-number");
+        let n = available_threads();
+        std::env::remove_var("DUT_THREADS");
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn measurements_single_and_multi_thread_agree() {
+        std::env::set_var("DUT_THREADS", "1");
+        let single = run_measurements(48, 9, |seed| (seed % 7) as f64);
+        std::env::remove_var("DUT_THREADS");
+        let multi = run_measurements(48, 9, |seed| (seed % 7) as f64);
+        assert_eq!(single, multi);
     }
 }

@@ -1,0 +1,109 @@
+//! Per-sweep-point calibration cache: memoized Poisson tail thresholds.
+//!
+//! A sweep evaluates thousands of trials at each `(k, q, ε, α)` grid
+//! point, and every biased-node trial used to recompute the *same*
+//! Poisson threshold from scratch — an O(λ) tail summation per run.
+//! The threshold depends only on the collision rate `λ = C(q,2)/n` and
+//! the per-node false-positive budget `α`, both fully determined by the
+//! sweep point, so this module memoizes `(λ, α) → t` in a global map.
+//! Hits and misses are counted in the [`dut_obs`] registry
+//! ([`Counter::CalibrationCacheHits`] / [`Counter::CalibrationCacheMisses`])
+//! and surfaced by `dut report`.
+//!
+//! Keys are the exact IEEE-754 bit patterns of `λ` and `α`: two sweep
+//! points either produce bit-identical parameters (and share an entry)
+//! or they don't (and get their own) — no epsilon-bucketing, so cached
+//! and uncached runs are bit-identical.
+
+use crate::poisson::poisson_threshold_for_tail;
+use dut_obs::metrics::Counter;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+type Key = (u64, u64);
+
+static THRESHOLDS: RwLock<BTreeMap<Key, u64>> = RwLock::new(BTreeMap::new());
+
+/// Memoized [`poisson_threshold_for_tail`]: the smallest `t` with
+/// `Pr[Poisson(λ) ≥ t] ≤ alpha`, computed once per distinct `(λ, alpha)`
+/// pair and served from the cache afterwards.
+///
+/// # Panics
+///
+/// Same conditions as [`poisson_threshold_for_tail`].
+#[must_use]
+pub fn cached_poisson_threshold(lambda: f64, alpha: f64) -> u64 {
+    let key = (lambda.to_bits(), alpha.to_bits());
+    let registry = dut_obs::metrics::global();
+    if let Some(&t) = THRESHOLDS.read().get(&key) {
+        registry.incr(Counter::CalibrationCacheHits);
+        return t;
+    }
+    registry.incr(Counter::CalibrationCacheMisses);
+    let t = poisson_threshold_for_tail(lambda, alpha);
+    THRESHOLDS.write().insert(key, t);
+    t
+}
+
+/// Number of distinct `(λ, α)` entries currently cached.
+#[must_use]
+pub fn cache_len() -> usize {
+    THRESHOLDS.read().len()
+}
+
+/// Empties the cache (tests and long-lived sweep drivers that change
+/// domain between phases).
+pub fn clear_cache() {
+    THRESHOLDS.write().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests elsewhere in this crate hit the same global cache
+    // concurrently; only this module clears it, so serialize the
+    // clearing tests and keep length assertions monotone (concurrent
+    // inserts can only grow the map).
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn cached_matches_direct_and_reuses_entries() {
+        let _guard = LOCK.lock();
+        clear_cache();
+        let params = [(0.5f64, 0.01f64), (3.0, 0.05), (40.0, 1e-4), (0.5, 0.01)];
+        for &(lambda, alpha) in &params {
+            assert_eq!(
+                cached_poisson_threshold(lambda, alpha),
+                poisson_threshold_for_tail(lambda, alpha),
+                "λ={lambda} α={alpha}"
+            );
+        }
+        // The fourth call repeated the first pair: three distinct entries
+        // of ours (plus whatever other tests inserted meanwhile).
+        assert!(cache_len() >= 3);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_move() {
+        let _guard = LOCK.lock();
+        clear_cache();
+        let registry = dut_obs::metrics::global();
+        let misses_before = registry.counter(Counter::CalibrationCacheMisses);
+        let hits_before = registry.counter(Counter::CalibrationCacheHits);
+        let lambda = 17.125f64;
+        let _ = cached_poisson_threshold(lambda, 0.01);
+        let _ = cached_poisson_threshold(lambda, 0.01);
+        assert!(registry.counter(Counter::CalibrationCacheMisses) > misses_before);
+        assert!(registry.counter(Counter::CalibrationCacheHits) > hits_before);
+    }
+
+    #[test]
+    fn distinct_bit_patterns_get_distinct_entries() {
+        let _guard = LOCK.lock();
+        let before = cache_len();
+        let _ = cached_poisson_threshold(913.5, 0.25);
+        let _ = cached_poisson_threshold(913.5 + f64::EPSILON * 1024.0, 0.25);
+        assert!(cache_len() >= before + 2);
+    }
+}

@@ -1,5 +1,7 @@
 use dut_probability::empirical::collision_count_of;
-use dut_probability::{Sampler, UniformSampler};
+use dut_probability::{
+    DenseDistribution, DualSampler, Histogram, SampleBackend, Sampler, UniformSampler,
+};
 use dut_simnet::{DecisionRule, Network, PlayerContext, RunOutcome};
 use rand::Rng;
 
@@ -103,15 +105,47 @@ impl BalancedThresholdTester {
         calibration_trials: usize,
         rng: &mut R,
     ) -> PreparedBalancedTester {
+        self.prepare_with_backend(q, calibration_trials, SampleBackend::PerDraw, rng)
+    }
+
+    /// [`Self::prepare`], with the Monte-Carlo calibration draws
+    /// realized by the chosen [`SampleBackend`]. Both backends produce
+    /// Multinomial(q, uniform)-distributed counts, so the calibrated
+    /// thresholds are drawn from the same law; the histogram path makes
+    /// large-`q` calibration O(n + q) per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration_trials == 0`.
+    pub fn prepare_with_backend<R: Rng + ?Sized>(
+        &self,
+        q: usize,
+        calibration_trials: usize,
+        backend: SampleBackend,
+        rng: &mut R,
+    ) -> PreparedBalancedTester {
         assert!(calibration_trials > 0, "need calibration trials");
         let lambda = (q * q.saturating_sub(1)) as f64 / 2.0 / self.n as f64;
         let node_threshold = lambda * (1.0 + self.epsilon * self.epsilon / 2.0);
-        let uniform = UniformSampler::new(self.n);
         let mut rejects = 0usize;
-        for _ in 0..calibration_trials {
-            let samples = uniform.sample_many(q, rng);
-            if collision_count_of(&samples) as f64 > node_threshold {
-                rejects += 1;
+        match backend {
+            SampleBackend::PerDraw => {
+                let uniform = UniformSampler::new(self.n);
+                for _ in 0..calibration_trials {
+                    let samples = uniform.sample_many(q, rng);
+                    if collision_count_of(&samples) as f64 > node_threshold {
+                        rejects += 1;
+                    }
+                }
+            }
+            SampleBackend::Histogram => {
+                let uniform = DenseDistribution::uniform(self.n).histogram_sampler();
+                for _ in 0..calibration_trials {
+                    let h = uniform.draw(q as u64, rng);
+                    if h.collision_count() as f64 > node_threshold {
+                        rejects += 1;
+                    }
+                }
             }
         }
         let p_uniform = rejects as f64 / calibration_trials as f64;
@@ -162,6 +196,33 @@ impl PreparedBalancedTester {
         };
         Network::new(self.k).run(
             sampler,
+            self.q,
+            &player,
+            &DecisionRule::Threshold {
+                min_rejects: self.referee_min_rejects,
+            },
+            rng,
+        )
+    }
+
+    /// Runs one execution on occupancy histograms with the chosen
+    /// [`SampleBackend`]; the node statistic is the same collision
+    /// count, read off the histogram.
+    pub fn run_counts<R>(
+        &self,
+        sampler: &DualSampler,
+        backend: SampleBackend,
+        rng: &mut R,
+    ) -> RunOutcome
+    where
+        R: Rng + ?Sized,
+    {
+        let threshold = self.node_threshold;
+        let player =
+            move |_ctx: &PlayerContext, h: &Histogram| h.collision_count() as f64 <= threshold;
+        Network::new(self.k).run_counts(
+            sampler,
+            backend,
             self.q,
             &player,
             &DecisionRule::Threshold {

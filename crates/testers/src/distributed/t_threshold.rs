@@ -1,6 +1,7 @@
-use crate::poisson::{poisson_threshold_for_tail, poisson_upper_tail};
+use crate::cache::cached_poisson_threshold;
+use crate::poisson::poisson_upper_tail;
 use dut_probability::empirical::collision_count_of;
-use dut_probability::Sampler;
+use dut_probability::{DualSampler, Histogram, SampleBackend, Sampler};
 use dut_simnet::{DecisionRule, Network, PlayerContext, RunOutcome};
 use rand::Rng;
 
@@ -111,6 +112,10 @@ impl TThresholdTester {
 
     /// The local rejection threshold on the collision count for `q`
     /// samples per node.
+    ///
+    /// Memoized per `(λ, α)` pair ([`crate::cache`]): a sweep point's
+    /// thousands of trials compute the Poisson tail inversion once and
+    /// hit the cache thereafter.
     #[must_use]
     pub fn node_threshold(&self, q: usize) -> u64 {
         let lambda = self.lambda_uniform(q);
@@ -119,7 +124,7 @@ impl TThresholdTester {
             // it never reject (count is always 0).
             return 1;
         }
-        poisson_threshold_for_tail(lambda, self.node_false_positive_budget()).max(1)
+        cached_poisson_threshold(lambda, self.node_false_positive_budget()).max(1)
     }
 
     /// Predicted per-node detection probability under an ε-far input
@@ -143,6 +148,34 @@ impl TThresholdTester {
             move |_ctx: &PlayerContext, samples: &[usize]| collision_count_of(samples) < threshold;
         Network::new(self.k).run(
             sampler,
+            q,
+            &player,
+            &DecisionRule::Threshold {
+                min_rejects: self.rule_threshold,
+            },
+            rng,
+        )
+    }
+
+    /// Runs one execution on occupancy histograms: the node statistic
+    /// (collision count) only depends on counts, so the network can
+    /// realize each node's samples with either engine — in particular
+    /// the O(n + q) histogram fast path.
+    pub fn run_counts<R>(
+        &self,
+        sampler: &DualSampler,
+        backend: SampleBackend,
+        q: usize,
+        rng: &mut R,
+    ) -> RunOutcome
+    where
+        R: Rng + ?Sized,
+    {
+        let threshold = self.node_threshold(q);
+        let player = move |_ctx: &PlayerContext, h: &Histogram| h.collision_count() < threshold;
+        Network::new(self.k).run_counts(
+            sampler,
+            backend,
             q,
             &player,
             &DecisionRule::Threshold {
@@ -206,6 +239,21 @@ impl AndRuleTester {
         R: Rng + ?Sized,
     {
         self.inner.run(sampler, q, rng)
+    }
+
+    /// Runs one execution under the AND rule on occupancy histograms
+    /// with the chosen [`SampleBackend`].
+    pub fn run_counts<R>(
+        &self,
+        sampler: &DualSampler,
+        backend: SampleBackend,
+        q: usize,
+        rng: &mut R,
+    ) -> RunOutcome
+    where
+        R: Rng + ?Sized,
+    {
+        self.inner.run_counts(sampler, backend, q, rng)
     }
 
     /// Local rejection threshold for `q` samples per node.

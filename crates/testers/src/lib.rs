@@ -30,6 +30,8 @@
 //!
 //! * [`calibrate`] — Monte-Carlo quantile calibration of decision
 //!   thresholds under the (known) uniform distribution,
+//! * [`cache`] — memoized Poisson tail thresholds, computed once per
+//!   sweep point instead of once per trial,
 //! * [`poisson`] — Poisson tail bounds used for per-node thresholds,
 //! * [`reduction`] — Goldreich's reduction showing uniformity testing is
 //!   complete for identity testing.
@@ -56,6 +58,7 @@
 // Tests assert exact constructed values and index with small literals.
 #![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
+pub mod cache;
 pub mod calibrate;
 pub mod centralized;
 pub mod distributed;

@@ -91,15 +91,13 @@ pub fn poisson_threshold_for_tail(lambda: f64, alpha: f64) -> u64 {
 }
 
 /// `ln(k!)` by summation for small `k` and Stirling's series for large.
+///
+/// Delegates to [`dut_probability::occupancy::ln_factorial`] — the same
+/// table the binomial sampler uses — so thresholds and the sampling fast
+/// path can never disagree on factorials.
 #[must_use]
 pub fn ln_factorial(k: u64) -> f64 {
-    if k < 128 {
-        (2..=k).map(|i| (i as f64).ln()).sum()
-    } else {
-        let k_f = k as f64;
-        // Stirling with the 1/(12k) correction: accurate to ~1e-8 here.
-        k_f * k_f.ln() - k_f + 0.5 * (2.0 * std::f64::consts::PI * k_f).ln() + 1.0 / (12.0 * k_f)
-    }
+    dut_probability::occupancy::ln_factorial(k)
 }
 
 #[cfg(test)]

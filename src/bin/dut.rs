@@ -13,7 +13,9 @@
 
 use distributed_uniformity::advisor::{recommend, LocalityRequirement};
 use distributed_uniformity::lowerbound::theory;
-use distributed_uniformity::probability::{families, DenseDistribution};
+use distributed_uniformity::probability::{
+    families, DenseDistribution, DualSampler, SampleBackend,
+};
 use distributed_uniformity::{Rule, UniformityTester};
 use rand::SeedableRng;
 // BTreeMap, not HashMap: flag lookups never iterate today, but any
@@ -35,6 +37,7 @@ COMMANDS:
     faults    render error-vs-fault-rate curves and Byzantine tolerance
     report    summarize a JSONL trace (written via DUT_TRACE=<path>)
     lint      run workspace static analysis (determinism / numeric / obs rules)
+    bench     time the per-draw vs histogram sampling backends
 
 COMMON OPTIONS:
     --n <int>         domain size                  [default: 1024]
@@ -49,6 +52,7 @@ test OPTIONS:
                                                    [default: two-level]
     --q <int>         samples per player           [default: predicted]
     --trials <int>    protocol executions          [default: 200]
+    --backend <name>  per-draw | histogram | both  [default: legacy alias path]
 
 advise OPTIONS:
     --locality <name> and | threshold:<T> | any    [default: any]
@@ -68,6 +72,12 @@ report USAGE:
 lint USAGE:
     dut lint [workspace-root]     lint the workspace (default: cwd)
     dut lint --rules              list rule IDs and what they enforce
+
+bench USAGE:
+    dut bench [--smoke] [--out <file>]   time both backends over an
+                                         (n, q) grid and write a perf
+                                         baseline  [default: BENCH_perf.json]
+    dut bench --check <file>             validate a written baseline
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +94,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("lint") {
         return cmd_lint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        return cmd_bench(&args[1..]);
     }
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
@@ -232,6 +245,32 @@ fn cmd_test(options: &BTreeMap<String, String>) -> Result<(), String> {
     println!("configuration: n={n} k={k} eps={eps} rule={rule} q={q} input={input_spec}");
     let prepared = tester.prepare(q, &mut rng);
 
+    if let Some(spec) = options.get("backend") {
+        let backends: Vec<SampleBackend> = match spec.as_str() {
+            "both" => SampleBackend::ALL.to_vec(),
+            s => vec![SampleBackend::parse(s)
+                .ok_or_else(|| format!("unknown backend `{s}` (per-draw | histogram | both)"))?],
+        };
+        let target = input.dual_sampler();
+        let uniform = families::uniform(n).dual_sampler();
+        for backend in backends {
+            let accept = prepared.acceptance_rate_dual(&target, backend, trials, &mut rng);
+            println!(
+                "[{backend}] acceptance on `{input_spec}` over {trials} runs: {:.1}%",
+                100.0 * accept
+            );
+            if input_spec != "uniform" {
+                let completeness =
+                    prepared.acceptance_rate_dual(&uniform, backend, trials, &mut rng);
+                println!(
+                    "[{backend}] acceptance on uniform (completeness):      {:.1}%",
+                    100.0 * completeness
+                );
+            }
+        }
+        return Ok(());
+    }
+
     let target = input.alias_sampler();
     let accept = prepared.acceptance_rate(&target, trials, &mut rng);
     println!(
@@ -324,6 +363,251 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let summary = dut_obs::report::summarize_file(path)?;
     print!("{summary}");
     Ok(())
+}
+
+/// One measured grid point of the backend benchmark.
+struct BenchEntry {
+    n: usize,
+    q: u64,
+    per_draw_ns: f64,
+    histogram_ns: f64,
+}
+
+impl BenchEntry {
+    fn speedup(&self) -> f64 {
+        self.per_draw_ns / self.histogram_ns
+    }
+}
+
+/// The JSON schema tag for the perf baseline; bump on layout changes.
+const BENCH_SCHEMA: &str = "dut-bench-perf/v1";
+
+/// `dut bench` — wall-clock comparison of the two sampling backends.
+///
+/// Times [`SampleBackend::PerDraw`] (inverse-CDF, O(q log n) per draw)
+/// against [`SampleBackend::Histogram`] (stick-breaking, O(n + q)) over
+/// an `(n, q)` grid on the uniform distribution, prints a table, and
+/// writes the machine-readable baseline to `BENCH_perf.json` (or
+/// `--out`). Exits nonzero if the histogram backend is slower at the
+/// largest grid point — the regression gate CI runs via `--smoke`.
+///
+/// [`SampleBackend::PerDraw`]: distributed_uniformity::probability::SampleBackend
+/// [`SampleBackend::Histogram`]: distributed_uniformity::probability::SampleBackend
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_perf.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" | "--check" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("error: {} needs a path", args[i]);
+                    return ExitCode::FAILURE;
+                };
+                if args[i] == "--out" {
+                    out_path = value.clone();
+                } else {
+                    check_path = Some(value.clone());
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown bench option `{other}`");
+                eprintln!("usage: dut bench [--smoke] [--out <file>] | dut bench --check <file>");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if let Some(path) = check_path {
+        return match check_bench_file(&path) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {path}: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    dut_obs::init_from_env();
+    let (ns, qs, budget) = if smoke {
+        (
+            vec![100usize, 1000],
+            vec![1_000u64, 10_000],
+            std::time::Duration::from_millis(40),
+        )
+    } else {
+        (
+            vec![100usize, 1_000, 10_000],
+            vec![1_000u64, 10_000, 100_000],
+            std::time::Duration::from_millis(250),
+        )
+    };
+    let mut entries = Vec::new();
+    println!("backend timing (ns per q-sample histogram draw, uniform input):");
+    println!(
+        "  {:>6} {:>7} {:>14} {:>14} {:>8}",
+        "n", "q", "per-draw", "histogram", "speedup"
+    );
+    for &n in &ns {
+        let dual = families::uniform(n).dual_sampler();
+        for &q in &qs {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(20_190_729 ^ (n as u64) ^ q);
+            let per_draw_ns = time_backend(&dual, SampleBackend::PerDraw, q, budget, &mut rng);
+            let histogram_ns = time_backend(&dual, SampleBackend::Histogram, q, budget, &mut rng);
+            let entry = BenchEntry {
+                n,
+                q,
+                per_draw_ns,
+                histogram_ns,
+            };
+            println!(
+                "  {:>6} {:>7} {:>14.0} {:>14.0} {:>7.2}x",
+                n,
+                q,
+                entry.per_draw_ns,
+                entry.histogram_ns,
+                entry.speedup()
+            );
+            dut_obs::global().emit_with(|| {
+                dut_obs::Event::new("bench_point")
+                    .with("n", n)
+                    .with("q", q)
+                    .with("per_draw_ns", per_draw_ns)
+                    .with("histogram_ns", histogram_ns)
+            });
+            entries.push(entry);
+        }
+    }
+    let json = render_bench_json(&entries, smoke);
+    if let Err(error) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {error}");
+        return ExitCode::FAILURE;
+    }
+    println!("[baseline written to {out_path}]");
+    let recorder = dut_obs::global();
+    recorder.emit_metrics_snapshot();
+    recorder.flush();
+    let largest = entries.last().expect("grid is never empty");
+    if largest.speedup() <= 1.0 {
+        eprintln!(
+            "error: histogram backend slower than per-draw at the largest grid point \
+             (n={}, q={}: {:.0}ns vs {:.0}ns)",
+            largest.n, largest.q, largest.histogram_ns, largest.per_draw_ns
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Mean wall-clock nanoseconds per `draw` of `q` samples, measured over
+/// as many repetitions as fit the time budget (at least 3, after 2
+/// warmup draws).
+fn time_backend(
+    dual: &DualSampler,
+    backend: SampleBackend,
+    q: u64,
+    budget: std::time::Duration,
+    rng: &mut rand::rngs::StdRng,
+) -> f64 {
+    let mut sink = 0u64;
+    for _ in 0..2 {
+        sink = sink.wrapping_add(dual.draw(backend, q, rng).collision_count());
+    }
+    let start = std::time::Instant::now();
+    let mut reps = 0u32;
+    while reps < 3 || (start.elapsed() < budget && reps < 100_000) {
+        sink = sink.wrapping_add(dual.draw(backend, q, rng).collision_count());
+        reps += 1;
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    elapsed.as_secs_f64() * 1e9 / f64::from(reps)
+}
+
+/// Serializes the measured grid as the `dut-bench-perf/v1` document.
+fn render_bench_json(entries: &[BenchEntry], smoke: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"schema\":");
+    dut_obs::json::write_escaped(&mut out, BENCH_SCHEMA);
+    let _ = write!(
+        out,
+        ",\"mode\":\"{}\",\"entries\":[",
+        if smoke { "smoke" } else { "full" }
+    );
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"n\":{},\"q\":{},\"per_draw_ns\":", e.n, e.q);
+        dut_obs::json::write_f64(&mut out, e.per_draw_ns);
+        out.push_str(",\"histogram_ns\":");
+        dut_obs::json::write_f64(&mut out, e.histogram_ns);
+        out.push_str(",\"speedup\":");
+        dut_obs::json::write_f64(&mut out, e.speedup());
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Validates a `dut-bench-perf/v1` file: schema tag, entry fields, and
+/// internal consistency of the recorded speedups.
+fn check_bench_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = dut_obs::json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(dut_obs::json::Json::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{BENCH_SCHEMA}`"));
+    }
+    let Some(dut_obs::json::Json::Arr(entries)) = doc.get("entries") else {
+        return Err("missing `entries` array".into());
+    };
+    if entries.is_empty() {
+        return Err("`entries` is empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let field = |key: &str| -> Result<f64, String> {
+            entry
+                .get(key)
+                .and_then(dut_obs::json::Json::as_f64)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("entry {i}: missing or non-positive `{key}`"))
+        };
+        let per_draw = field("per_draw_ns")?;
+        let histogram = field("histogram_ns")?;
+        let speedup = field("speedup")?;
+        field("n")?;
+        field("q")?;
+        let implied = per_draw / histogram;
+        if (speedup - implied).abs() > 0.01 * implied {
+            return Err(format!(
+                "entry {i}: recorded speedup {speedup:.3} disagrees with \
+                 per_draw_ns/histogram_ns = {implied:.3}"
+            ));
+        }
+    }
+    let last = entries.last().expect("checked non-empty");
+    let last_speedup = last
+        .get("speedup")
+        .and_then(dut_obs::json::Json::as_f64)
+        .expect("validated above");
+    if last_speedup <= 1.0 {
+        return Err(format!(
+            "histogram backend slower at the largest grid point (speedup {last_speedup:.2}x)"
+        ));
+    }
+    Ok(format!(
+        "ok: {} entries, largest-point speedup {last_speedup:.2}x",
+        entries.len()
+    ))
 }
 
 /// `dut faults` — graceful-degradation curves and Byzantine tolerance.

@@ -1,0 +1,148 @@
+//! Statistical equivalence of the two sampling backends.
+//!
+//! The histogram fast path must be *exact*: a histogram drawn by
+//! conditional-binomial stick-breaking follows the same Multinomial(q, p)
+//! law as binning `q` per-draw samples. These tests check that claim
+//! end-to-end through the facade crate — two-sample chi-square on the
+//! occupancy frequencies, per-seed determinism, and agreement of the
+//! protocol-level acceptance rates.
+
+#![allow(clippy::cast_precision_loss)] // counts are far below 2^53
+use distributed_uniformity::probability::{families, DenseDistribution, SampleBackend};
+use distributed_uniformity::{Rule, UniformityTester};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Two-sample chi-square statistic between occupancy count vectors of
+/// equal total: `Σ (a_i - b_i)² / (a_i + b_i)` over occupied cells,
+/// approximately chi-square with (#occupied - 1) degrees of freedom
+/// when both samples come from the same law.
+fn two_sample_chi2(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len());
+    let mut stat = 0.0;
+    let mut occupied = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let total = (x + y) as f64;
+        if total > 0.0 {
+            occupied += 1;
+            let d = x as f64 - y as f64;
+            stat += d * d / total;
+        }
+    }
+    (stat, occupied.saturating_sub(1))
+}
+
+fn accumulated_counts(
+    dist: &DenseDistribution,
+    backend: SampleBackend,
+    q: u64,
+    reps: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let dual = dist.dual_sampler();
+    let mut r = rng(seed);
+    let mut totals = vec![0u64; dist.support_size()];
+    for _ in 0..reps {
+        let h = dual.draw(backend, q, &mut r);
+        for (i, t) in totals.iter_mut().enumerate() {
+            *t += h.count(i);
+        }
+    }
+    totals
+}
+
+#[test]
+fn chi_square_uniform_law() {
+    let n = 256;
+    let dist = families::uniform(n);
+    let a = accumulated_counts(&dist, SampleBackend::PerDraw, 4_096, 50, 101);
+    let b = accumulated_counts(&dist, SampleBackend::Histogram, 4_096, 50, 202);
+    let (stat, df) = two_sample_chi2(&a, &b);
+    // df = 255; mean 255, sd ~ sqrt(2*255) ~ 22.6. 5 sigma above the
+    // mean keeps the false-failure rate negligible while still catching
+    // any systematic bias between the engines.
+    let bound = df as f64 + 5.0 * (2.0 * df as f64).sqrt();
+    assert!(stat < bound, "chi2 {stat} exceeds {bound} (df {df})");
+}
+
+#[test]
+fn chi_square_skewed_law() {
+    // A far-from-uniform target exercises the mirrored (p > 1/2)
+    // stick-breaking branch on the heavy cells.
+    let dist = DenseDistribution::from_weights(vec![64.0, 16.0, 8.0, 4.0, 4.0, 2.0, 1.0, 1.0])
+        .expect("valid weights");
+    let a = accumulated_counts(&dist, SampleBackend::PerDraw, 10_000, 80, 303);
+    let b = accumulated_counts(&dist, SampleBackend::Histogram, 10_000, 80, 404);
+    let (stat, df) = two_sample_chi2(&a, &b);
+    let bound = df as f64 + 5.0 * (2.0 * df as f64).sqrt();
+    assert!(stat < bound, "chi2 {stat} exceeds {bound} (df {df})");
+}
+
+#[test]
+fn chi_square_two_level_far_instance() {
+    let dist = families::two_level(128, 0.5).expect("valid far instance");
+    let a = accumulated_counts(&dist, SampleBackend::PerDraw, 2_048, 60, 505);
+    let b = accumulated_counts(&dist, SampleBackend::Histogram, 2_048, 60, 606);
+    let (stat, df) = two_sample_chi2(&a, &b);
+    let bound = df as f64 + 5.0 * (2.0 * df as f64).sqrt();
+    assert!(stat < bound, "chi2 {stat} exceeds {bound} (df {df})");
+}
+
+#[test]
+fn both_backends_deterministic_per_seed() {
+    let dual = families::uniform(512).dual_sampler();
+    for backend in SampleBackend::ALL {
+        let a = dual.draw(backend, 20_000, &mut rng(7));
+        let b = dual.draw(backend, 20_000, &mut rng(7));
+        assert_eq!(a, b, "{backend} must be a pure function of the seed");
+        let c = dual.draw(backend, 20_000, &mut rng(8));
+        assert_ne!(a, c, "{backend} must actually consume the rng");
+    }
+}
+
+/// Protocol-level equivalence: the prepared tester's acceptance rate is
+/// statistically indistinguishable across backends, on both sides of
+/// the promise.
+#[test]
+fn acceptance_rates_agree_across_backends() {
+    let n = 1 << 10;
+    let uniform = families::uniform(n).dual_sampler();
+    let far = families::two_level(n, 0.5)
+        .expect("far instance")
+        .dual_sampler();
+    let tester = UniformityTester::builder()
+        .domain_size(n)
+        .players(32)
+        .epsilon(0.5)
+        .rule(Rule::Balanced)
+        .build()
+        .expect("valid tester");
+    let mut r = rng(909);
+    let prepared = tester.prepare(tester.predicted_sample_count(), &mut r);
+
+    let trials = 120;
+    for (dual, label) in [(&uniform, "uniform"), (&far, "far")] {
+        let mut rates = Vec::new();
+        for backend in SampleBackend::ALL {
+            rates.push(prepared.acceptance_rate_dual(dual, backend, trials, &mut r));
+        }
+        // Two binomial proportions from `trials` runs each: the sd of the
+        // difference is at most sqrt(2 * 0.25 / trials) ~ 0.065; allow 4x.
+        let spread = (rates[0] - rates[1]).abs();
+        assert!(
+            spread < 0.26,
+            "{label}: backend acceptance rates diverge: {rates:?}"
+        );
+        // Both backends must still land on the correct side of 2/3 / 1/3.
+        for (rate, backend) in rates.iter().zip(SampleBackend::ALL) {
+            if label == "uniform" {
+                assert!(*rate > 2.0 / 3.0, "{backend}: completeness {rate}");
+            } else {
+                assert!(*rate < 1.0 / 3.0, "{backend}: soundness {rate}");
+            }
+        }
+    }
+}
