@@ -52,10 +52,19 @@ pub enum Counter {
     CalibrationCacheHits,
     /// Calibration thresholds computed fresh (cache misses).
     CalibrationCacheMisses,
+    /// Verdict requests answered by `dut serve` (success or error).
+    ServeRequests,
+    /// Serve requests whose prepared tester came from the LRU cache.
+    ServeCacheHits,
+    /// Serve requests that had to prepare (calibrate) a fresh tester.
+    ServeCacheMisses,
+    /// Connections shed with an `overloaded` reply because the accept
+    /// queue was at its bound.
+    ServeShed,
 }
 
 impl Counter {
-    const COUNT: usize = 18;
+    const COUNT: usize = 22;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -77,6 +86,10 @@ impl Counter {
         Counter::HistogramDraws,
         Counter::CalibrationCacheHits,
         Counter::CalibrationCacheMisses,
+        Counter::ServeRequests,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeShed,
     ];
 
     /// The stable name used in trace snapshots.
@@ -101,6 +114,10 @@ impl Counter {
             Counter::HistogramDraws => "histogram_draws",
             Counter::CalibrationCacheHits => "calibration_cache_hits",
             Counter::CalibrationCacheMisses => "calibration_cache_misses",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeShed => "serve_shed",
         }
     }
 }
@@ -115,13 +132,20 @@ pub enum Gauge {
     /// 1 for `SampleBackend::PerDraw`, 2 for `SampleBackend::Histogram`
     /// (0 = no count-based run yet).
     SamplingBackend,
+    /// Connections waiting in the `dut serve` accept queue (sampled at
+    /// each enqueue/dequeue).
+    ServeQueueDepth,
 }
 
 impl Gauge {
-    const COUNT: usize = 2;
+    const COUNT: usize = 3;
 
     /// All gauges, in slot order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::RunnerThreads, Gauge::SamplingBackend];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::RunnerThreads,
+        Gauge::SamplingBackend,
+        Gauge::ServeQueueDepth,
+    ];
 
     /// The stable name used in trace snapshots.
     #[must_use]
@@ -129,6 +153,7 @@ impl Gauge {
         match self {
             Gauge::RunnerThreads => "runner_threads",
             Gauge::SamplingBackend => "sampling_backend",
+            Gauge::ServeQueueDepth => "serve_queue_depth",
         }
     }
 }
@@ -143,16 +168,20 @@ pub enum HistogramId {
     ProbeMicros,
     /// Samples drawn per protocol execution.
     RunSamples,
+    /// Wall-clock microseconds per `dut serve` request (parse through
+    /// reply write).
+    RequestMicros,
 }
 
 impl HistogramId {
-    const COUNT: usize = 3;
+    const COUNT: usize = 4;
 
     /// All histograms, in slot order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
         HistogramId::TrialBatchMicros,
         HistogramId::ProbeMicros,
         HistogramId::RunSamples,
+        HistogramId::RequestMicros,
     ];
 
     /// The stable name used in trace snapshots.
@@ -162,6 +191,7 @@ impl HistogramId {
             HistogramId::TrialBatchMicros => "trial_batch_micros",
             HistogramId::ProbeMicros => "probe_micros",
             HistogramId::RunSamples => "run_samples",
+            HistogramId::RequestMicros => "request_micros",
         }
     }
 }

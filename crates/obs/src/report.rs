@@ -18,6 +18,37 @@ pub struct SpanStats {
     pub total_micros: u64,
 }
 
+/// One `probe` event, tagged with the search it belongs to.
+///
+/// Concurrent searches (e.g. two `dut serve` workers calibrating at
+/// once) interleave their probes in one trace; `search_id` is the
+/// per-process run identity that demultiplexes them. Traces written
+/// before the id existed parse with `search_id == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// The owning search's run id (0 for legacy traces).
+    pub search_id: u64,
+    /// The probed parameter value.
+    pub value: u64,
+    /// Whether the predicate held at this value.
+    pub sufficient: bool,
+    /// Wall time of the probe, microseconds.
+    pub elapsed_micros: u64,
+}
+
+/// One completed `search_done` event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchRecord {
+    /// The search's run id (0 for legacy traces).
+    pub search_id: u64,
+    /// The minimal sufficient value found.
+    pub minimal: u64,
+    /// Predicate evaluations spent.
+    pub evaluations: u64,
+    /// Whether the search saturated at its upper limit.
+    pub saturated: bool,
+}
+
 /// Aggregated view of one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -25,10 +56,10 @@ pub struct Report {
     pub manifest: BTreeMap<String, String>,
     /// Per-span-name wall-time totals.
     pub spans: BTreeMap<String, SpanStats>,
-    /// Search probes seen (`value`, `sufficient`, `elapsed_us`).
-    pub probes: Vec<(u64, bool, u64)>,
-    /// Completed searches: (minimal, evaluations, saturated).
-    pub searches: Vec<(u64, u64, bool)>,
+    /// Search probes seen, tagged by owning search.
+    pub probes: Vec<ProbeRecord>,
+    /// Completed searches, tagged by run id.
+    pub searches: Vec<SearchRecord>,
     /// Final metrics snapshot: counter name → value.
     pub counters: BTreeMap<String, u64>,
     /// Final metrics snapshot: gauge name → value.
@@ -103,16 +134,20 @@ impl Report {
                 stats.total_micros += elapsed;
             }
             "probe" => {
-                let v = value.get("value").and_then(Json::as_u64).unwrap_or(0);
-                let sufficient = matches!(value.get("sufficient"), Some(Json::Bool(true)));
-                let elapsed = value.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
-                self.probes.push((v, sufficient, elapsed));
+                self.probes.push(ProbeRecord {
+                    search_id: value.get("search_id").and_then(Json::as_u64).unwrap_or(0),
+                    value: value.get("value").and_then(Json::as_u64).unwrap_or(0),
+                    sufficient: matches!(value.get("sufficient"), Some(Json::Bool(true))),
+                    elapsed_micros: value.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0),
+                });
             }
             "search_done" => {
-                let minimal = value.get("minimal").and_then(Json::as_u64).unwrap_or(0);
-                let evals = value.get("evaluations").and_then(Json::as_u64).unwrap_or(0);
-                let saturated = matches!(value.get("saturated"), Some(Json::Bool(true)));
-                self.searches.push((minimal, evals, saturated));
+                self.searches.push(SearchRecord {
+                    search_id: value.get("search_id").and_then(Json::as_u64).unwrap_or(0),
+                    minimal: value.get("minimal").and_then(Json::as_u64).unwrap_or(0),
+                    evaluations: value.get("evaluations").and_then(Json::as_u64).unwrap_or(0),
+                    saturated: matches!(value.get("saturated"), Some(Json::Bool(true))),
+                });
             }
             "metrics" => {
                 if let Some(counters) = value.get("counters").and_then(Json::as_obj) {
@@ -160,6 +195,21 @@ impl Report {
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Probes and the completing `search_done` (if any) grouped by run
+    /// id — the demultiplexed view of interleaved concurrent searches.
+    /// Legacy traces collapse onto id 0.
+    #[must_use]
+    pub fn searches_by_id(&self) -> BTreeMap<u64, (Vec<&ProbeRecord>, Option<&SearchRecord>)> {
+        let mut by_id: BTreeMap<u64, (Vec<&ProbeRecord>, Option<&SearchRecord>)> = BTreeMap::new();
+        for probe in &self.probes {
+            by_id.entry(probe.search_id).or_default().0.push(probe);
+        }
+        for search in &self.searches {
+            by_id.entry(search.search_id).or_default().1 = Some(search);
+        }
+        by_id
     }
 
     /// Renders the human-readable summary.
@@ -214,8 +264,8 @@ impl Report {
         if !self.probes.is_empty() || !self.searches.is_empty() {
             let _ = writeln!(out, "\nsearch activity:");
             if !self.probes.is_empty() {
-                let sufficient = self.probes.iter().filter(|p| p.1).count();
-                let probe_time: u64 = self.probes.iter().map(|p| p.2).sum();
+                let sufficient = self.probes.iter().filter(|p| p.sufficient).count();
+                let probe_time: u64 = self.probes.iter().map(|p| p.elapsed_micros).sum();
                 let _ = writeln!(
                     out,
                     "  probes: {} ({} sufficient, {} insufficient), {} probing",
@@ -226,8 +276,8 @@ impl Report {
                 );
             }
             if !self.searches.is_empty() {
-                let evals: u64 = self.searches.iter().map(|s| s.1).sum();
-                let saturated = self.searches.iter().filter(|s| s.2).count();
+                let evals: u64 = self.searches.iter().map(|s| s.evaluations).sum();
+                let saturated = self.searches.iter().filter(|s| s.saturated).count();
                 let _ = writeln!(
                     out,
                     "  searches: {} completed, {} evaluations total{}",
@@ -239,6 +289,23 @@ impl Report {
                         String::new()
                     }
                 );
+            }
+            // Demultiplex by run id when the trace interleaves more
+            // than one search (concurrent `dut serve` calibrations).
+            let by_id = self.searches_by_id();
+            if by_id.len() > 1 || by_id.keys().any(|&id| id != 0) {
+                for (id, (probes, done)) in &by_id {
+                    let line = match done {
+                        Some(d) => format!(
+                            "minimal {}{} in {} evaluations",
+                            d.minimal,
+                            if d.saturated { " (saturated)" } else { "" },
+                            d.evaluations
+                        ),
+                        None => "unfinished".to_owned(),
+                    };
+                    let _ = writeln!(out, "    search #{id}: {} probes, {line}", probes.len());
+                }
             }
         }
 
@@ -328,6 +395,23 @@ impl Report {
                     human_count(cache_misses),
                     100.0 * cache_hits as f64 / (cache_hits + cache_misses) as f64,
                 );
+            }
+            let serve_requests = self.counter("serve_requests");
+            let serve_shed = self.counter("serve_shed");
+            if serve_requests + serve_shed > 0 {
+                let serve_hits = self.counter("serve_cache_hits");
+                let serve_misses = self.counter("serve_cache_misses");
+                let _ = writeln!(
+                    out,
+                    "  serve            {} requests, {} shed, tester cache {} hits / {} misses",
+                    human_count(serve_requests),
+                    human_count(serve_shed),
+                    human_count(serve_hits),
+                    human_count(serve_misses),
+                );
+                if let Some(&depth) = self.gauges.get("serve_queue_depth") {
+                    let _ = writeln!(out, "  serve queue      {depth} waiting at snapshot");
+                }
             }
             if let Some(&threads) = self.gauges.get("runner_threads").filter(|&&t| t > 0) {
                 let _ = writeln!(out, "  runner threads   {threads}");
@@ -516,7 +600,15 @@ mod tests {
         assert_eq!(sweep.count, 2);
         assert_eq!(sweep.total_micros, 8_000);
         assert_eq!(report.probes.len(), 2);
-        assert_eq!(report.searches, vec![(64, 2, false)]);
+        assert_eq!(
+            report.searches,
+            vec![SearchRecord {
+                search_id: 0,
+                minimal: 64,
+                evaluations: 2,
+                saturated: false
+            }]
+        );
         assert_eq!(report.counter("net_runs"), 100);
         assert_eq!(report.counter("samples_drawn"), 6_400);
         assert_eq!(report.gauges.get("runner_threads"), Some(&4));
@@ -556,6 +648,82 @@ mod tests {
         );
         assert!(text.contains("byzantine        2 corrupted bits"), "{text}");
         assert!(text.contains("12 messages lost"), "{text}");
+    }
+
+    #[test]
+    fn demultiplexes_interleaved_searches() {
+        // Two searches interleave their probes; ids pull them apart.
+        let lines = [
+            Event::new("probe")
+                .with("search_id", 1u64)
+                .with("value", 8u64)
+                .with("sufficient", false)
+                .with("elapsed_us", 10u64)
+                .to_json_line(),
+            Event::new("probe")
+                .with("search_id", 2u64)
+                .with("value", 4u64)
+                .with("sufficient", true)
+                .with("elapsed_us", 12u64)
+                .to_json_line(),
+            Event::new("probe")
+                .with("search_id", 1u64)
+                .with("value", 16u64)
+                .with("sufficient", true)
+                .with("elapsed_us", 11u64)
+                .to_json_line(),
+            Event::new("search_done")
+                .with("search_id", 2u64)
+                .with("minimal", 4u64)
+                .with("evaluations", 1u64)
+                .with("saturated", false)
+                .to_json_line(),
+            Event::new("search_done")
+                .with("search_id", 1u64)
+                .with("minimal", 16u64)
+                .with("evaluations", 2u64)
+                .with("saturated", false)
+                .to_json_line(),
+        ];
+        let report = Report::from_jsonl(&lines.join("\n")).unwrap();
+        let by_id = report.searches_by_id();
+        assert_eq!(by_id.len(), 2);
+        let (probes1, done1) = &by_id[&1];
+        assert_eq!(probes1.len(), 2);
+        assert_eq!(probes1[0].value, 8);
+        assert_eq!(probes1[1].value, 16);
+        assert_eq!(done1.unwrap().minimal, 16);
+        let (probes2, done2) = &by_id[&2];
+        assert_eq!(probes2.len(), 1);
+        assert_eq!(done2.unwrap().evaluations, 1);
+        let text = report.render();
+        assert!(text.contains("search #1: 2 probes, minimal 16"), "{text}");
+        assert!(text.contains("search #2: 1 probes, minimal 4"), "{text}");
+    }
+
+    #[test]
+    fn render_surfaces_serve_counters() {
+        let registry = crate::metrics::Registry::new();
+        registry.add(crate::metrics::Counter::ServeRequests, 1_000);
+        registry.add(crate::metrics::Counter::ServeCacheHits, 990);
+        registry.add(crate::metrics::Counter::ServeCacheMisses, 10);
+        registry.add(crate::metrics::Counter::ServeShed, 7);
+        registry.set_gauge(crate::metrics::Gauge::ServeQueueDepth, 3);
+        registry.observe(crate::metrics::HistogramId::RequestMicros, 150);
+        let trace = snapshot_event(&registry.snapshot()).to_json_line();
+        let report = Report::from_jsonl(&trace).unwrap();
+        let text = report.render();
+        assert!(
+            text.contains(
+                "serve            1000 requests, 7 shed, tester cache 990 hits / 10 misses"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve queue      3 waiting at snapshot"),
+            "{text}"
+        );
+        assert!(text.contains("request_micros"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Bounded single-flight LRU of prepared testers.
+//!
+//! Preparing a tester is the expensive part of a request (the
+//! balanced rule runs an 800-trial Monte-Carlo calibration), so the
+//! server keeps prepared testers resident, keyed by
+//! [`CacheKey`](crate::engine::CacheKey). Two properties matter under
+//! concurrency:
+//!
+//! * **Single flight.** When N workers race on the same absent key,
+//!   exactly one builds; the rest block on the entry's `OnceLock`
+//!   and reuse the result. The map lock is *not* held during the
+//!   build, so a slow calibration never stalls requests for other
+//!   keys — the same check-then-act discipline as
+//!   `dut_testers::cache::cached_poisson_threshold`, but with the
+//!   computation moved outside the critical section.
+//! * **Exact accounting.** Every lookup is classified hit or miss at
+//!   the moment the map is consulted under the lock, so
+//!   `hits + misses == calls` under any interleaving. A lookup that
+//!   finds an entry still being built counts as a hit (the work is
+//!   shared, not repeated).
+//!
+//! Eviction is least-recently-used by a monotonic touch tick. Evicted
+//! entries stay alive for whoever still holds their `Arc`; builds
+//! whose slot was evicted mid-flight simply complete unobserved.
+
+use crate::engine::{CacheKey, PreparedEntry};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// The build outcome stored per entry. Errors are cached too: they
+/// are deterministic functions of the key, and re-validating a bad
+/// configuration on every request would let a hostile client bypass
+/// the cache entirely.
+type BuildResult = Result<Arc<PreparedEntry>, String>;
+
+#[derive(Debug, Default)]
+struct EntryCell {
+    once: OnceLock<BuildResult>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    cell: Arc<EntryCell>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: BTreeMap<CacheKey, Slot>,
+    tick: u64,
+}
+
+/// A bounded single-flight LRU keyed by tester configuration.
+#[derive(Debug)]
+pub struct TesterCache {
+    cap: usize,
+    state: Mutex<CacheState>,
+}
+
+impl TesterCache {
+    /// A cache holding at most `cap` entries (clamped to at least 1).
+    #[must_use]
+    pub fn new(cap: usize) -> TesterCache {
+        TesterCache {
+            cap: cap.max(1),
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Entries currently resident (including in-flight builds).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves `key`, building via `build` on a miss. Returns the
+    /// build result and whether this call was a hit. The build runs
+    /// without the map lock held; concurrent callers for the same key
+    /// block on the entry cell instead of re-building.
+    pub fn get_or_build<F>(&self, key: &CacheKey, build: F) -> (BuildResult, bool)
+    where
+        F: FnOnce(&CacheKey) -> BuildResult,
+    {
+        let (cell, hit) = {
+            let mut state = self.state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(slot) = state.map.get_mut(key) {
+                slot.last_used = tick;
+                (Arc::clone(&slot.cell), true)
+            } else {
+                if state.map.len() >= self.cap {
+                    // Evict the least-recently-touched key.
+                    let coldest = state
+                        .map
+                        .iter()
+                        .min_by_key(|(_, slot)| slot.last_used)
+                        .map(|(k, _)| *k);
+                    if let Some(coldest) = coldest {
+                        state.map.remove(&coldest);
+                    }
+                }
+                let cell = Arc::new(EntryCell::default());
+                state.map.insert(
+                    *key,
+                    Slot {
+                        cell: Arc::clone(&cell),
+                        last_used: tick,
+                    },
+                );
+                (cell, false)
+            }
+        };
+        let result = cell.once.get_or_init(|| build(key)).clone();
+        (result, hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::build_entry;
+    use crate::protocol::{Family, Request};
+    use dut_core::Rule;
+
+    fn key(n: usize, q: usize) -> CacheKey {
+        CacheKey::of(&Request {
+            n,
+            k: 4,
+            q,
+            eps: 0.5,
+            rule: Rule::Balanced,
+            family: Family::Uniform,
+            seed: 0,
+            trials: 1,
+        })
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = TesterCache::new(4);
+        let (first, hit1) = cache.get_or_build(&key(64, 4), build_entry);
+        let (second, hit2) = cache.get_or_build(&key(64, 4), build_entry);
+        assert!(first.is_ok() && second.is_ok());
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn herd_on_one_key_builds_once() {
+        let cache = TesterCache::new(4);
+        let builds = std::sync::atomic::AtomicUsize::new(0);
+        let threads = 8;
+        let mut outcomes = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let (result, hit) = cache.get_or_build(&key(64, 8), |k| {
+                            builds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            build_entry(k)
+                        });
+                        (result.is_ok(), hit)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outcomes.push(handle.join().expect("no panic"));
+            }
+        });
+        assert_eq!(builds.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert!(outcomes.iter().all(|&(ok, _)| ok));
+        let misses = outcomes.iter().filter(|&&(_, hit)| !hit).count();
+        assert_eq!(misses, 1, "hits + misses == calls: {outcomes:?}");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = TesterCache::new(2);
+        let a = key(64, 1);
+        let b = key(64, 2);
+        let c = key(64, 3);
+        let _ = cache.get_or_build(&a, build_entry);
+        let _ = cache.get_or_build(&b, build_entry);
+        // Touch `a` so `b` is coldest, then insert `c`.
+        let (_, hit_a) = cache.get_or_build(&a, build_entry);
+        assert!(hit_a);
+        let _ = cache.get_or_build(&c, build_entry);
+        assert_eq!(cache.len(), 2);
+        let (_, hit_b) = cache.get_or_build(&b, build_entry);
+        assert!(!hit_b, "b was evicted");
+        let (_, hit_c) = cache.get_or_build(&c, build_entry);
+        // `b`'s reinsertion evicted someone; `a` was colder than `c`.
+        assert!(hit_c, "c stayed resident");
+    }
+
+    #[test]
+    fn errors_are_cached() {
+        let cache = TesterCache::new(2);
+        let bad = key(0, 1); // n = 0 fails the builder
+        let (first, hit1) = cache.get_or_build(&bad, build_entry);
+        let (second, hit2) = cache.get_or_build(&bad, build_entry);
+        assert!(first.is_err() && second.is_err());
+        assert!(!hit1);
+        assert!(hit2, "the cached error serves the second call");
+    }
+
+    #[test]
+    fn cap_is_clamped() {
+        let cache = TesterCache::new(0);
+        let (built, _) = cache.get_or_build(&key(64, 5), build_entry);
+        assert!(built.is_ok());
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Request evaluation: cache resolution, trial runs, reply assembly.
+//!
+//! The engine is deliberately separable from the TCP server — the
+//! load generator instantiates a second engine locally and requires
+//! its replies to match the served ones bit-for-bit, which is the
+//! strongest cheap check that caching never changes answers.
+//!
+//! # Determinism contract
+//!
+//! Preparing a tester consumes randomness (the balanced rule
+//! calibrates its referee threshold by Monte Carlo). If that
+//! randomness came from the request's `seed`, the first request to
+//! touch a configuration would imprint its seed on every later cache
+//! hit and verdicts would depend on arrival order. Instead the
+//! calibration RNG is seeded from the *cache key* ([`CacheKey::
+//! calibration_seed`]), making the prepared tester a pure function of
+//! the configuration. Trial randomness then comes from
+//! `derive_seed(request.seed, trial_index)` exactly as the offline
+//! runner derives it.
+
+use crate::cache::TesterCache;
+use crate::protocol::{Family, Reply, Request};
+use dut_core::{PreparedUniformityTester, Rule, UniformityTester};
+use dut_obs::metrics::{Counter, HistogramId};
+use dut_probability::{DualSampler, SampleBackend};
+use dut_simnet::Verdict;
+use dut_stats::seed::derive_seed2;
+use dut_stats::{seed::derive_seed, SuccessEstimate};
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The z-score of the Wilson interval in replies (95% two-sided).
+pub const WILSON_Z: f64 = 1.96;
+
+/// Identity of a prepared tester: every field that influences
+/// preparation or sampling. Epsilon enters by IEEE-754 bit pattern —
+/// two requests either share a tester exactly or not at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Domain size.
+    pub n: usize,
+    /// Player count.
+    pub k: usize,
+    /// Samples per player.
+    pub q: usize,
+    /// `ε` bit pattern.
+    pub eps_bits: u64,
+    /// Rule discriminant (0=and, 1=threshold, 2=balanced, 3=centralized).
+    pub rule_tag: u8,
+    /// Threshold `T` for the threshold rule, 0 otherwise.
+    pub rule_t: usize,
+    /// Input family.
+    pub family: Family,
+}
+
+impl CacheKey {
+    /// The key for a request.
+    #[must_use]
+    pub fn of(req: &Request) -> CacheKey {
+        let (rule_tag, rule_t) = match req.rule {
+            Rule::And => (0, 0),
+            Rule::TThreshold { t } => (1, t),
+            Rule::Balanced => (2, 0),
+            Rule::Centralized => (3, 0),
+        };
+        CacheKey {
+            n: req.n,
+            k: req.k,
+            q: req.q,
+            eps_bits: req.eps.to_bits(),
+            rule_tag,
+            rule_t,
+            family: req.family,
+        }
+    }
+
+    /// The rule this key encodes.
+    #[must_use]
+    pub fn rule(&self) -> Rule {
+        match self.rule_tag {
+            0 => Rule::And,
+            1 => Rule::TThreshold { t: self.rule_t },
+            2 => Rule::Balanced,
+            _ => Rule::Centralized,
+        }
+    }
+
+    /// Seed for the preparation/calibration RNG: a pure function of
+    /// the key, so every build of this configuration — cached, fresh,
+    /// offline — prepares the bit-identical tester.
+    #[must_use]
+    pub fn calibration_seed(&self) -> u64 {
+        // Domain-separation constant: ASCII "dutserve" truncated.
+        let mut s = derive_seed2(0x6475_7473_6572_7665, self.n as u64, self.k as u64);
+        s = derive_seed2(s, self.q as u64, self.eps_bits);
+        derive_seed2(
+            s,
+            u64::from(self.rule_tag) << 32 | self.rule_t as u64,
+            self.family as u64,
+        )
+    }
+}
+
+/// A tester prepared for one [`CacheKey`], plus its input sampler.
+#[derive(Debug)]
+pub struct PreparedEntry {
+    /// The calibrated tester.
+    pub prepared: PreparedUniformityTester,
+    /// Dual sampler for the key's input family.
+    pub sampler: DualSampler,
+}
+
+/// Builds the entry for a key from scratch (the cache-miss path and
+/// the offline reference path both land here).
+///
+/// # Errors
+///
+/// Returns the family or tester-builder validation message.
+pub fn build_entry(key: &CacheKey) -> Result<Arc<PreparedEntry>, String> {
+    let eps = f64::from_bits(key.eps_bits);
+    // Builder first: it validates n, k, ε before the family
+    // constructors (which assert rather than return errors) run.
+    let tester = UniformityTester::builder()
+        .domain_size(key.n)
+        .players(key.k)
+        .epsilon(eps)
+        .rule(key.rule())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let distribution = key.family.build(key.n, eps)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(key.calibration_seed());
+    let prepared = tester.prepare(key.q, &mut rng);
+    Ok(Arc::new(PreparedEntry {
+        prepared,
+        sampler: distribution.dual_sampler(),
+    }))
+}
+
+/// Runs the request's trials against a prepared entry. Trial `i` uses
+/// `derive_seed(req.seed, i)`; the reply verdict is trial 0's.
+fn run_trials(entry: &PreparedEntry, req: &Request) -> (Verdict, SuccessEstimate) {
+    let mut accepts = 0u64;
+    let mut first = Verdict::Reject;
+    for i in 0..req.trials {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(req.seed, i));
+        let verdict = entry
+            .prepared
+            .run_dual(&entry.sampler, SampleBackend::Histogram, &mut rng);
+        if i == 0 {
+            first = verdict;
+        }
+        if verdict.is_accept() {
+            accepts += 1;
+        }
+    }
+    (first, SuccessEstimate::new(accepts, req.trials))
+}
+
+fn assemble(
+    verdict: Verdict,
+    estimate: &SuccessEstimate,
+    cache_hit: bool,
+    start: Instant,
+) -> Reply {
+    Reply {
+        verdict,
+        p_hat: estimate.point(),
+        wilson_lo: estimate.wilson_lower(WILSON_Z),
+        wilson_hi: estimate.wilson_upper(WILSON_Z),
+        cache_hit,
+        micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+    }
+}
+
+/// The reference path: evaluate a request with no cache at all.
+/// Identical verdict law to [`Engine::handle`] by construction; the
+/// stress tests and `dut loadgen --smoke` compare served replies
+/// against this. (`micros` and `cache_hit` will naturally differ —
+/// agreement is on `verdict`, `p_hat`, and the Wilson bounds.)
+///
+/// # Errors
+///
+/// Same conditions as [`build_entry`].
+pub fn offline_reply(req: &Request) -> Result<Reply, String> {
+    let start = Instant::now();
+    let entry = build_entry(&CacheKey::of(req))?;
+    let (verdict, estimate) = run_trials(&entry, req);
+    Ok(assemble(verdict, &estimate, false, start))
+}
+
+/// A request evaluator with a bounded LRU of prepared testers.
+#[derive(Debug)]
+pub struct Engine {
+    cache: TesterCache,
+}
+
+impl Engine {
+    /// Creates an engine whose cache holds at most `cache_cap`
+    /// prepared testers (clamped to at least 1).
+    #[must_use]
+    pub fn new(cache_cap: usize) -> Engine {
+        Engine {
+            cache: TesterCache::new(cache_cap),
+        }
+    }
+
+    /// Number of prepared testers currently resident.
+    #[must_use]
+    pub fn cached_testers(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Evaluates one request: resolve the tester (cache or build),
+    /// run the trials on the histogram fast path, assemble the reply.
+    /// Every call increments `serve_requests` and exactly one of
+    /// `serve_cache_hits` / `serve_cache_misses`, and records the
+    /// service time in the `request_micros` histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for unsatisfiable
+    /// configurations (sent back to the client as `{"error":...}`).
+    pub fn handle(&self, req: &Request) -> Result<Reply, String> {
+        let start = Instant::now();
+        let key = CacheKey::of(req);
+        let registry = dut_obs::metrics::global();
+        registry.incr(Counter::ServeRequests);
+        let (entry, cache_hit) = self.cache.get_or_build(&key, build_entry);
+        registry.incr(if cache_hit {
+            Counter::ServeCacheHits
+        } else {
+            Counter::ServeCacheMisses
+        });
+        let entry = entry?;
+        let (verdict, estimate) = run_trials(&entry, req);
+        let reply = assemble(verdict, &estimate, cache_hit, start);
+        registry.observe(HistogramId::RequestMicros, reply.micros);
+        dut_obs::global().emit_verbose_with(|| {
+            dut_obs::Event::new("serve_request")
+                .with("n", req.n)
+                .with("k", req.k)
+                .with("q", req.q)
+                .with("rule", crate::protocol::rule_wire_name(req.rule))
+                .with("samples", req.family.name())
+                .with("seed", req.seed)
+                .with("trials", req.trials)
+                .with("verdict", verdict.to_string())
+                .with("cache", if cache_hit { "hit" } else { "miss" })
+                .with("micros", reply.micros)
+        });
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Family;
+
+    fn request(seed: u64) -> Request {
+        Request {
+            n: 128,
+            k: 8,
+            q: 10,
+            eps: 0.5,
+            rule: Rule::Balanced,
+            family: Family::Uniform,
+            seed,
+            trials: 4,
+        }
+    }
+
+    #[test]
+    fn served_replies_match_offline_bit_for_bit() {
+        let engine = Engine::new(4);
+        for seed in [1u64, 2, 3] {
+            let req = request(seed);
+            let served = engine.handle(&req).unwrap();
+            let offline = offline_reply(&req).unwrap();
+            assert_eq!(served.verdict, offline.verdict, "seed {seed}");
+            assert_eq!(served.p_hat.to_bits(), offline.p_hat.to_bits());
+            assert_eq!(served.wilson_lo.to_bits(), offline.wilson_lo.to_bits());
+            assert_eq!(served.wilson_hi.to_bits(), offline.wilson_hi.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_hit_reported_on_second_request() {
+        let engine = Engine::new(4);
+        let first = engine.handle(&request(9)).unwrap();
+        let second = engine.handle(&request(10)).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(engine.cached_testers(), 1);
+    }
+
+    #[test]
+    fn hit_order_does_not_change_verdicts() {
+        // Same configuration through two engines with opposite arrival
+        // orders: verdicts must agree because calibration randomness
+        // is key-derived, not request-derived.
+        let a = Engine::new(4);
+        let b = Engine::new(4);
+        let r1 = request(100);
+        let r2 = request(200);
+        let a1 = a.handle(&r1).unwrap();
+        let a2 = a.handle(&r2).unwrap();
+        let b2 = b.handle(&r2).unwrap();
+        let b1 = b.handle(&r1).unwrap();
+        assert_eq!(a1.verdict, b1.verdict);
+        assert_eq!(a2.verdict, b2.verdict);
+        assert_eq!(a1.p_hat.to_bits(), b1.p_hat.to_bits());
+        assert_eq!(a2.p_hat.to_bits(), b2.p_hat.to_bits());
+    }
+
+    #[test]
+    fn far_inputs_reject_and_uniform_accepts() {
+        let engine = Engine::new(4);
+        let mut accept = request(7);
+        accept.trials = 20;
+        accept.q = 120;
+        let mut reject = accept;
+        reject.family = Family::TwoLevel;
+        let ok = engine.handle(&accept).unwrap();
+        let far = engine.handle(&reject).unwrap();
+        assert!(ok.p_hat > 2.0 / 3.0, "uniform p_hat {}", ok.p_hat);
+        assert!(far.p_hat < 1.0 / 3.0, "two-level p_hat {}", far.p_hat);
+        assert!(ok.wilson_lo <= ok.p_hat && ok.p_hat <= ok.wilson_hi);
+    }
+
+    #[test]
+    fn invalid_configuration_is_an_error() {
+        let engine = Engine::new(4);
+        let mut req = request(1);
+        req.n = 0;
+        assert!(engine.handle(&req).is_err());
+    }
+
+    #[test]
+    fn calibration_seed_is_key_pure() {
+        let key = CacheKey::of(&request(1));
+        let same = CacheKey::of(&request(999));
+        assert_eq!(key, same, "seed must not enter the key");
+        assert_eq!(key.calibration_seed(), same.calibration_seed());
+        let mut other = request(1);
+        other.q = 11;
+        assert_ne!(
+            key.calibration_seed(),
+            CacheKey::of(&other).calibration_seed()
+        );
+    }
+
+    #[test]
+    fn cache_key_round_trips_rules() {
+        for rule in [
+            Rule::And,
+            Rule::TThreshold { t: 3 },
+            Rule::Balanced,
+            Rule::Centralized,
+        ] {
+            let mut req = request(1);
+            req.rule = rule;
+            req.k = 8;
+            assert_eq!(CacheKey::of(&req).rule(), rule);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `dut serve` — a long-lived concurrent uniformity-testing service.
+//!
+//! Everything the workspace builds elsewhere runs one experiment and
+//! exits; this crate keeps the calibrated testers resident. A
+//! multi-threaded TCP server accepts newline-delimited JSON requests
+//! (`{"n":..,"k":..,"q":..,"eps":..,"rule":..,"seed":..}`), resolves
+//! each against a bounded LRU of prepared testers (the balanced rule's
+//! Monte-Carlo calibration and the Poisson-threshold memo in
+//! `dut_testers::cache` are both amortized across requests), runs the
+//! verdict on the histogram fast path, and replies with the verdict,
+//! the acceptance estimate with its Wilson interval, whether the
+//! tester was cached, and the service time.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** A served verdict must be bit-identical to the
+//!    offline run of the same `(n, k, q, ε, rule, input, seed)`.
+//!    Calibration randomness is therefore derived from the cache key —
+//!    never from the request seed or a global RNG — so a cache hit, a
+//!    cache miss, and a fresh offline evaluation all prepare the
+//!    identical tester. [`engine::offline_reply`] is that reference
+//!    path; the stress tests and `dut loadgen --smoke` hold the server
+//!    to it.
+//! 2. **Bounded overload.** The accept queue is bounded; beyond the
+//!    bound the server sheds load with an explicit `overloaded` reply
+//!    instead of queueing without limit or silently dropping
+//!    connections.
+//! 3. **Observability.** Requests, cache hits/misses, shed
+//!    connections, queue depth, and per-request service time all land
+//!    in the [`dut_obs`] registry and are surfaced by `dut report`.
+//!
+//! The crate is std-only on the network path: `std::net` sockets and
+//! `std::thread` workers, no async runtime.
+
+pub mod cache;
+pub mod engine;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use engine::Engine;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{Command, Reply, Request};
+pub use server::{ServeConfig, ServerHandle};

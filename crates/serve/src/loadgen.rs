@@ -1,0 +1,375 @@
+//! Open-loop load generation against a running server.
+//!
+//! Senders pace requests on a fixed global schedule (request `i` is
+//! due at `start + i/rps`), spread round-robin over a small pool of
+//! persistent connections. Pacing from the schedule rather than from
+//! reply arrival keeps the generator open-loop: a slow server falls
+//! behind the schedule and the achieved-throughput number says so,
+//! instead of the generator politely slowing down and hiding the
+//! problem (coordinated omission).
+//!
+//! With `verify_offline` set, every reply is also checked for
+//! bit-identity against a local [`Engine`](crate::engine::Engine)
+//! evaluating the same request — the service's determinism contract,
+//! enforced from the outside.
+
+use crate::engine::Engine;
+use crate::protocol::{self, Family, ReplyLine, Request};
+use dut_core::Rule;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7979`.
+    pub addr: String,
+    /// Target request rate (requests per second, across all
+    /// connections).
+    pub rps: u64,
+    /// How long to generate load.
+    pub duration: Duration,
+    /// Persistent connections (= sender threads).
+    pub connections: usize,
+    /// Check every reply against a local engine for bit-identity.
+    pub verify_offline: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7979".to_owned(),
+            rps: 500,
+            duration: Duration::from_secs(2),
+            connections: 4,
+            verify_offline: false,
+        }
+    }
+}
+
+/// What a load-generation run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests written to the sockets.
+    pub sent: u64,
+    /// Well-formed test replies received.
+    pub replies: u64,
+    /// `overloaded` replies received.
+    pub shed: u64,
+    /// Error replies, malformed replies, and transport failures.
+    pub errors: u64,
+    /// Replies disagreeing with the local engine (0 unless
+    /// `verify_offline`).
+    pub mismatches: u64,
+    /// Wall-clock time from first send to last reply.
+    pub elapsed: Duration,
+    /// Replies per second actually achieved.
+    pub achieved_rps: f64,
+    /// Median reply latency in microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile reply latency in microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile reply latency in microseconds.
+    pub p99_micros: u64,
+}
+
+/// The request mix: four distinct configurations (distinct cache
+/// keys, covering every rule) cycled per request index, with the
+/// seed varying so trial randomness differs request to request.
+/// Small domains keep a single request far below a millisecond, so
+/// throughput measures the service, not the math.
+#[must_use]
+pub fn catalog() -> Vec<Request> {
+    vec![
+        Request {
+            n: 64,
+            k: 8,
+            q: 8,
+            eps: 0.5,
+            rule: Rule::Balanced,
+            family: Family::Uniform,
+            seed: 0,
+            trials: 1,
+        },
+        Request {
+            n: 128,
+            k: 8,
+            q: 10,
+            eps: 0.5,
+            rule: Rule::TThreshold { t: 2 },
+            family: Family::TwoLevel,
+            seed: 0,
+            trials: 1,
+        },
+        Request {
+            n: 64,
+            k: 4,
+            q: 6,
+            eps: 0.9,
+            rule: Rule::And,
+            family: Family::Alternating,
+            seed: 0,
+            trials: 1,
+        },
+        Request {
+            n: 256,
+            k: 1,
+            q: 32,
+            eps: 0.5,
+            rule: Rule::Centralized,
+            family: Family::Zipf,
+            seed: 0,
+            trials: 1,
+        },
+    ]
+}
+
+/// The request for global index `i`: catalog entry `i % len`, seed
+/// drawn from a small rotating pool so the server sees repeated
+/// (configuration, seed) pairs — which is what makes offline
+/// verification cheap (the verifier memoizes per distinct request).
+#[must_use]
+pub fn request_for_index(i: u64, catalog: &[Request]) -> Request {
+    let mut req = catalog[usize::try_from(i % catalog.len() as u64).unwrap_or(0)];
+    req.seed = 1000 + (i % 64);
+    req
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    replies: u64,
+    shed: u64,
+    errors: u64,
+    mismatches: u64,
+    latencies: Vec<u64>,
+}
+
+/// Runs the generator and aggregates the report.
+///
+/// # Errors
+///
+/// Returns an error if no connection could be established; transport
+/// errors after that are counted, not fatal.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let connections = config.connections.max(1);
+    let rps = config.rps.max(1);
+    let catalog = catalog();
+    // Fail fast if the server is not there at all.
+    let probe = TcpStream::connect(&config.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+    drop(probe);
+    let verifier = config
+        .verify_offline
+        .then(|| Engine::new(catalog.len() * 2));
+    let verifier = verifier.as_ref();
+    let total = Mutex::new(Tally::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for lane in 0..connections {
+            let catalog = &catalog;
+            let total = &total;
+            let config = &config;
+            scope.spawn(move || {
+                let tally = sender_loop(
+                    config,
+                    catalog,
+                    verifier,
+                    lane as u64,
+                    connections as u64,
+                    rps,
+                    start,
+                );
+                let mut total = total.lock();
+                total.sent += tally.sent;
+                total.replies += tally.replies;
+                total.shed += tally.shed;
+                total.errors += tally.errors;
+                total.mismatches += tally.mismatches;
+                total.latencies.extend(tally.latencies);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let mut total = total.into_inner();
+    total.latencies.sort_unstable();
+    let percentile = |p: u64| -> u64 {
+        if total.latencies.is_empty() {
+            return 0;
+        }
+        let rank = (total.latencies.len() - 1) * usize::try_from(p).unwrap_or(0) / 100;
+        total.latencies[rank]
+    };
+    Ok(LoadgenReport {
+        sent: total.sent,
+        replies: total.replies,
+        shed: total.shed,
+        errors: total.errors,
+        mismatches: total.mismatches,
+        elapsed,
+        achieved_rps: if elapsed.as_secs_f64() > 0.0 {
+            total.replies as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_micros: percentile(50),
+        p95_micros: percentile(95),
+        p99_micros: percentile(99),
+    })
+}
+
+/// One sender: owns one persistent connection and the request indices
+/// `lane, lane + connections, lane + 2·connections, …`, each due at
+/// `start + index/rps`.
+fn sender_loop(
+    config: &LoadgenConfig,
+    catalog: &[Request],
+    verifier: Option<&Engine>,
+    lane: u64,
+    lanes: u64,
+    rps: u64,
+    start: Instant,
+) -> Tally {
+    let mut tally = Tally::default();
+    let Ok(stream) = TcpStream::connect(&config.addr) else {
+        tally.errors += 1;
+        return tally;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut index = lane;
+    let mut line = String::new();
+    loop {
+        let due = start + Duration::from_nanos(index.saturating_mul(1_000_000_000) / rps);
+        let now = Instant::now();
+        if now.duration_since(start) >= config.duration {
+            break;
+        }
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let request = request_for_index(index, catalog);
+        let sent_at = Instant::now();
+        if writeln!(writer, "{}", protocol::render_request(&request)).is_err() {
+            tally.errors += 1;
+            break;
+        }
+        tally.sent += 1;
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                tally.errors += 1;
+                break;
+            }
+            Ok(_) => {
+                let micros = u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                record_reply(&mut tally, line.trim(), &request, verifier, micros);
+            }
+        }
+        index += lanes;
+    }
+    tally
+}
+
+fn record_reply(
+    tally: &mut Tally,
+    line: &str,
+    request: &Request,
+    verifier: Option<&Engine>,
+    micros: u64,
+) {
+    match ReplyLine::parse(line) {
+        Ok(ReplyLine::Reply(reply)) => {
+            tally.replies += 1;
+            tally.latencies.push(micros);
+            if let Some(engine) = verifier {
+                match engine.handle(request) {
+                    Ok(expected)
+                        if expected.verdict == reply.verdict
+                            && expected.p_hat.to_bits() == reply.p_hat.to_bits()
+                            && expected.wilson_lo.to_bits() == reply.wilson_lo.to_bits()
+                            && expected.wilson_hi.to_bits() == reply.wilson_hi.to_bits() => {}
+                    _ => tally.mismatches += 1,
+                }
+            }
+        }
+        Ok(ReplyLine::Overloaded) => tally.shed += 1,
+        Ok(ReplyLine::Error(_) | ReplyLine::ShutdownAck) | Err(_) => tally.errors += 1,
+    }
+}
+
+/// Connects, sends `{"cmd":"shutdown"}`, and waits for the ack.
+///
+/// # Errors
+///
+/// Returns an error if the server cannot be reached or never acks.
+pub fn send_shutdown(addr: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    writeln!(writer, "{{\"cmd\":\"shutdown\"}}").map_err(|e| format!("cannot send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("no shutdown ack: {e}"))?;
+    match ReplyLine::parse(line.trim())? {
+        ReplyLine::ShutdownAck => Ok(()),
+        other => Err(format!("unexpected shutdown reply: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_distinct_cache_keys() {
+        use crate::engine::CacheKey;
+        let catalog = catalog();
+        let keys: std::collections::BTreeSet<_> = catalog.iter().map(CacheKey::of).collect();
+        assert_eq!(keys.len(), catalog.len());
+    }
+
+    #[test]
+    fn index_mapping_cycles_and_reseeds() {
+        let catalog = catalog();
+        let a = request_for_index(0, &catalog);
+        let b = request_for_index(4, &catalog);
+        // Same configuration, different seed.
+        assert_eq!(
+            crate::engine::CacheKey::of(&a),
+            crate::engine::CacheKey::of(&b)
+        );
+        assert_ne!(a.seed, b.seed);
+        let c = request_for_index(1, &catalog);
+        assert_ne!(
+            crate::engine::CacheKey::of(&a),
+            crate::engine::CacheKey::of(&c)
+        );
+    }
+
+    #[test]
+    fn unreachable_server_is_an_error() {
+        let config = LoadgenConfig {
+            // Port 1 on loopback: refused immediately, no server.
+            addr: "127.0.0.1:1".to_owned(),
+            duration: Duration::from_millis(10),
+            ..LoadgenConfig::default()
+        };
+        assert!(run(&config).is_err());
+        assert!(send_shutdown(&config.addr).is_err());
+    }
+}

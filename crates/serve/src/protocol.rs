@@ -1,0 +1,469 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests name a complete test configuration:
+//!
+//! ```json
+//! {"n":1024,"k":16,"q":40,"eps":0.5,"rule":"balanced","seed":7,
+//!  "samples":"two-level","trials":20}
+//! ```
+//!
+//! `samples` (the input family) defaults to `"uniform"` and `trials`
+//! to 1. A `{"cmd":"shutdown"}` line asks the server to drain and
+//! exit. Replies are single lines too:
+//!
+//! ```json
+//! {"verdict":"accept","p_hat":0.95,"wilson_lo":0.76,"wilson_hi":0.99,
+//!  "cache":"hit","micros":412}
+//! ```
+//!
+//! Errors come back as `{"error":"..."}`; a shed connection receives
+//! `{"error":"overloaded","shed":true}` before the socket closes.
+//!
+//! Numbers cross the wire through Rust's shortest-round-trip `f64`
+//! formatting, so a reply parsed back yields bit-identical floats —
+//! the loadgen's offline-agreement check depends on this.
+
+use dut_core::Rule;
+use dut_obs::json::{self, Json};
+use dut_probability::{families, DenseDistribution};
+use dut_simnet::Verdict;
+use std::fmt;
+
+/// Most trials a single request may ask for; keeps one malformed
+/// request from pinning a worker for minutes.
+pub const MAX_TRIALS: u64 = 100_000;
+
+/// The input families a request can name. A closed enum (rather than
+/// an arbitrary distribution) keeps cache keys small and totally
+/// ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    /// The uniform distribution on `[n]`.
+    Uniform,
+    /// `families::two_level` at the request's `ε`.
+    TwoLevel,
+    /// `families::alternating` at the request's `ε`.
+    Alternating,
+    /// `families::zipf` with exponent 1.
+    Zipf,
+}
+
+impl Family {
+    /// All families, for iteration in tests and docs.
+    pub const ALL: [Family; 4] = [
+        Family::Uniform,
+        Family::TwoLevel,
+        Family::Alternating,
+        Family::Zipf,
+    ];
+
+    /// Parses the wire name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Family> {
+        match name {
+            "uniform" => Some(Family::Uniform),
+            "two-level" => Some(Family::TwoLevel),
+            "alternating" => Some(Family::Alternating),
+            "zipf" => Some(Family::Zipf),
+            _ => None,
+        }
+    }
+
+    /// The wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Uniform => "uniform",
+            Family::TwoLevel => "two-level",
+            Family::Alternating => "alternating",
+            Family::Zipf => "zipf",
+        }
+    }
+
+    /// Builds the named distribution for a domain of size `n` at
+    /// proximity `eps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the family constructor's validation error (e.g. a
+    /// domain too small for the requested `ε`).
+    pub fn build(self, n: usize, eps: f64) -> Result<DenseDistribution, String> {
+        match self {
+            Family::Uniform => Ok(families::uniform(n)),
+            Family::TwoLevel => families::two_level(n, eps).map_err(|e| e.to_string()),
+            Family::Alternating => families::alternating(n, eps).map_err(|e| e.to_string()),
+            Family::Zipf => families::zipf(n, 1.0).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A validated test request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Domain size `n`.
+    pub n: usize,
+    /// Number of players `k`.
+    pub k: usize,
+    /// Samples per player `q`.
+    pub q: usize,
+    /// Proximity parameter `ε ∈ (0, 1]`.
+    pub eps: f64,
+    /// Decision rule.
+    pub rule: Rule,
+    /// Input family to sample from.
+    pub family: Family,
+    /// Master seed; trial `i` runs on `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Number of protocol executions (default 1).
+    pub trials: u64,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a test and reply with the verdict.
+    Run(Request),
+    /// Drain in-flight work and stop the server.
+    Shutdown,
+}
+
+fn field_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    let raw = doc
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))?;
+    usize::try_from(raw).map_err(|_| format!("`{key}` out of range"))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed or missing field;
+/// the server sends it back verbatim as `{"error":...}`.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let doc = json::parse(line)?;
+    if let Some(cmd) = doc.get("cmd").and_then(Json::as_str) {
+        return match cmd {
+            "shutdown" => Ok(Command::Shutdown),
+            other => Err(format!("unknown cmd `{other}`")),
+        };
+    }
+    let n = field_usize(&doc, "n")?;
+    let k = field_usize(&doc, "k")?;
+    let q = field_usize(&doc, "q")?;
+    let eps = doc
+        .get("eps")
+        .and_then(Json::as_f64)
+        .ok_or("`eps` must be a number")?;
+    if !(eps > 0.0 && eps <= 1.0) {
+        return Err(format!("`eps` must be in (0, 1], got {eps}"));
+    }
+    if q == 0 {
+        return Err("`q` must be at least 1".into());
+    }
+    let seed = doc.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    let trials = doc.get("trials").and_then(Json::as_u64).unwrap_or(1);
+    if trials == 0 || trials > MAX_TRIALS {
+        return Err(format!("`trials` must be in 1..={MAX_TRIALS}"));
+    }
+    let rule_spec = doc.get("rule").and_then(Json::as_str).unwrap_or("balanced");
+    let rule = parse_rule(rule_spec, k)?;
+    let family_spec = doc
+        .get("samples")
+        .and_then(Json::as_str)
+        .unwrap_or("uniform");
+    let family = Family::parse(family_spec).ok_or_else(|| {
+        format!("unknown samples family `{family_spec}` (uniform | two-level | alternating | zipf)")
+    })?;
+    Ok(Command::Run(Request {
+        n,
+        k,
+        q,
+        eps,
+        rule,
+        family,
+        seed,
+        trials,
+    }))
+}
+
+/// Parses a rule spec: `and | threshold:<T> | balanced | centralized`.
+///
+/// # Errors
+///
+/// Returns a message for unknown names or a threshold outside `1..=k`.
+pub fn parse_rule(spec: &str, k: usize) -> Result<Rule, String> {
+    match spec {
+        "and" => Ok(Rule::And),
+        "balanced" => Ok(Rule::Balanced),
+        "centralized" => Ok(Rule::Centralized),
+        other => {
+            if let Some(t) = other.strip_prefix("threshold:") {
+                let t: usize = t
+                    .parse()
+                    .map_err(|_| format!("threshold rule needs an integer, got `{t}`"))?;
+                if t == 0 || t > k {
+                    return Err(format!("threshold {t} outside 1..={k}"));
+                }
+                Ok(Rule::TThreshold { t })
+            } else {
+                Err(format!(
+                    "unknown rule `{other}` (and | threshold:<T> | balanced | centralized)"
+                ))
+            }
+        }
+    }
+}
+
+/// Renders a request as its wire line (no trailing newline). Used by
+/// the load generator and tests; the server only parses.
+#[must_use]
+pub fn render_request(req: &Request) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"n\":{},\"k\":{},\"q\":{},\"eps\":",
+        req.n, req.k, req.q
+    );
+    json::write_f64(&mut out, req.eps);
+    out.push_str(",\"rule\":");
+    json::write_escaped(&mut out, &rule_wire_name(req.rule));
+    out.push_str(",\"samples\":");
+    json::write_escaped(&mut out, req.family.name());
+    let _ = write!(out, ",\"seed\":{},\"trials\":{}", req.seed, req.trials);
+    out.push('}');
+    out
+}
+
+/// The wire spelling of a rule (`Display` for `TThreshold` prints
+/// `threshold(T)`, the wire wants `threshold:T`).
+#[must_use]
+pub fn rule_wire_name(rule: Rule) -> String {
+    match rule {
+        Rule::TThreshold { t } => format!("threshold:{t}"),
+        other => other.to_string(),
+    }
+}
+
+/// A successful test reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reply {
+    /// Verdict of trial 0 (the canonical single-run answer).
+    pub verdict: Verdict,
+    /// Fraction of trials that accepted.
+    pub p_hat: f64,
+    /// Wilson lower bound on the acceptance probability (z = 1.96).
+    pub wilson_lo: f64,
+    /// Wilson upper bound on the acceptance probability (z = 1.96).
+    pub wilson_hi: f64,
+    /// Whether a cached prepared tester served this request.
+    pub cache_hit: bool,
+    /// Service time in microseconds (cache resolution + trials).
+    pub micros: u64,
+}
+
+impl Reply {
+    /// Renders the reply as its wire line (no trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"verdict\":");
+        json::write_escaped(&mut out, &self.verdict.to_string());
+        out.push_str(",\"p_hat\":");
+        json::write_f64(&mut out, self.p_hat);
+        out.push_str(",\"wilson_lo\":");
+        json::write_f64(&mut out, self.wilson_lo);
+        out.push_str(",\"wilson_hi\":");
+        json::write_f64(&mut out, self.wilson_hi);
+        let _ = write!(
+            out,
+            ",\"cache\":\"{}\",\"micros\":{}",
+            if self.cache_hit { "hit" } else { "miss" },
+            self.micros
+        );
+        out.push('}');
+        out
+    }
+}
+
+/// Any line a client can receive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyLine {
+    /// A completed test.
+    Reply(Reply),
+    /// The server shed this connection at the accept queue.
+    Overloaded,
+    /// The request was rejected with a message.
+    Error(String),
+    /// Acknowledgement of a shutdown command.
+    ShutdownAck,
+}
+
+impl ReplyLine {
+    /// Parses one reply line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the line is not one of the reply shapes.
+    pub fn parse(line: &str) -> Result<ReplyLine, String> {
+        let doc = json::parse(line)?;
+        if let Some(message) = doc.get("error").and_then(Json::as_str) {
+            if doc.get("shed") == Some(&Json::Bool(true)) {
+                return Ok(ReplyLine::Overloaded);
+            }
+            return Ok(ReplyLine::Error(message.to_owned()));
+        }
+        if doc.get("ok").and_then(Json::as_str) == Some("shutdown") {
+            return Ok(ReplyLine::ShutdownAck);
+        }
+        let verdict = match doc.get("verdict").and_then(Json::as_str) {
+            Some("accept") => Verdict::Accept,
+            Some("reject") => Verdict::Reject,
+            other => return Err(format!("bad verdict field: {other:?}")),
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
+        Ok(ReplyLine::Reply(Reply {
+            verdict,
+            p_hat: num("p_hat")?,
+            wilson_lo: num("wilson_lo")?,
+            wilson_hi: num("wilson_hi")?,
+            cache_hit: doc.get("cache").and_then(Json::as_str) == Some("hit"),
+            micros: doc.get("micros").and_then(Json::as_u64).unwrap_or(0),
+        }))
+    }
+}
+
+/// The line sent to a shed connection.
+#[must_use]
+pub fn render_overloaded() -> String {
+    "{\"error\":\"overloaded\",\"shed\":true}".to_owned()
+}
+
+/// The line sent for a malformed or invalid request.
+#[must_use]
+pub fn render_error(message: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    json::write_escaped(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// The acknowledgement for a shutdown command.
+#[must_use]
+pub fn render_shutdown_ack() -> String {
+    "{\"ok\":\"shutdown\"}".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            n: 256,
+            k: 8,
+            q: 12,
+            eps: 0.5,
+            rule: Rule::TThreshold { t: 2 },
+            family: Family::TwoLevel,
+            seed: 42,
+            trials: 5,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        let line = render_request(&req);
+        assert_eq!(parse_command(&line), Ok(Command::Run(req)));
+    }
+
+    #[test]
+    fn reply_round_trips_bit_identically() {
+        let reply = Reply {
+            verdict: Verdict::Accept,
+            p_hat: 2.0 / 3.0,
+            wilson_lo: 0.123_456_789_012_345_6,
+            wilson_hi: 0.999_999_999_999_999_9,
+            cache_hit: true,
+            micros: 777,
+        };
+        let parsed = ReplyLine::parse(&reply.render()).unwrap();
+        let ReplyLine::Reply(back) = parsed else {
+            panic!("not a reply: {parsed:?}");
+        };
+        // Bit-exact floats across the wire: shortest round-trip repr.
+        assert_eq!(back.p_hat.to_bits(), reply.p_hat.to_bits());
+        assert_eq!(back.wilson_lo.to_bits(), reply.wilson_lo.to_bits());
+        assert_eq!(back.wilson_hi.to_bits(), reply.wilson_hi.to_bits());
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn shutdown_and_service_lines_parse() {
+        assert_eq!(
+            parse_command("{\"cmd\":\"shutdown\"}"),
+            Ok(Command::Shutdown)
+        );
+        assert_eq!(
+            ReplyLine::parse(&render_overloaded()),
+            Ok(ReplyLine::Overloaded)
+        );
+        assert_eq!(
+            ReplyLine::parse(&render_error("nope")),
+            Ok(ReplyLine::Error("nope".into()))
+        );
+        assert_eq!(
+            ReplyLine::parse(&render_shutdown_ack()),
+            Ok(ReplyLine::ShutdownAck)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(parse_command("{\"n\":64}").is_err());
+        assert!(parse_command("not json").is_err());
+        let bad_eps = "{\"n\":64,\"k\":4,\"q\":8,\"eps\":1.5,\"seed\":1}";
+        assert!(parse_command(bad_eps).unwrap_err().contains("eps"));
+        let bad_rule = "{\"n\":64,\"k\":4,\"q\":8,\"eps\":0.5,\"rule\":\"vote\"}";
+        assert!(parse_command(bad_rule).unwrap_err().contains("rule"));
+        let bad_thresh = "{\"n\":64,\"k\":4,\"q\":8,\"eps\":0.5,\"rule\":\"threshold:9\"}";
+        assert!(parse_command(bad_thresh).unwrap_err().contains("threshold"));
+        let zero_trials = "{\"n\":64,\"k\":4,\"q\":8,\"eps\":0.5,\"trials\":0}";
+        assert!(parse_command(zero_trials).is_err());
+        assert!(parse_command("{\"cmd\":\"restart\"}").is_err());
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let cmd = parse_command("{\"n\":64,\"k\":4,\"q\":8,\"eps\":0.5}").unwrap();
+        let Command::Run(req) = cmd else {
+            panic!("not a run");
+        };
+        assert_eq!(req.family, Family::Uniform);
+        assert_eq!(req.trials, 1);
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.rule, Rule::Balanced);
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+            assert!(family.build(64, 0.5).is_ok(), "{family}");
+        }
+        assert_eq!(Family::parse("hard"), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! The multi-threaded TCP front end.
+//!
+//! One accept thread feeds a bounded queue of connections; a fixed
+//! pool of workers drains it, serving newline-delimited requests per
+//! connection until EOF. The queue bound is the overload contract:
+//! a connection that arrives while the queue is full is shed with an
+//! explicit `{"error":"overloaded","shed":true}` line rather than
+//! queued without limit (unbounded queues hide overload until memory
+//! or latency collapses) or silently reset.
+//!
+//! Shutdown is cooperative. A `{"cmd":"shutdown"}` request flips a
+//! flag; the accept thread stops accepting, workers drain the queued
+//! connections and finish every complete request line already
+//! received, and [`ServerHandle::join`] returns once all threads
+//! exit. Workers notice the flag within one read-timeout tick
+//! (`POLL_INTERVAL`), so join latency is bounded.
+
+use crate::engine::Engine;
+use crate::protocol::{self, Command};
+use dut_obs::metrics::{Counter, Gauge};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Read/accept poll granularity; bounds shutdown-notice latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Prepared testers kept resident.
+    pub cache_cap: usize,
+    /// Connections waiting for a worker before the server sheds.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            cache_cap: 32,
+            queue_cap: 64,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_cap: usize,
+}
+
+impl Shared {
+    /// Locks the connection queue, recovering from poisoning (a
+    /// panicking worker must not wedge the whole server).
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle detaches the threads; call
+/// [`ServerHandle::join`] (usually after a client sent `shutdown`, or
+/// after [`ServerHandle::request_shutdown`]) for a clean exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves `:0` to the real port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates shutdown from the host process (equivalent to a
+    /// client's `{"cmd":"shutdown"}`).
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has been initiated.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// Waits for the accept thread and every worker to exit. Returns
+    /// only after a shutdown was requested (by a client or by
+    /// [`Self::request_shutdown`]) and all in-flight work drained.
+    pub fn join(self) {
+        for thread in self.threads {
+            // A worker that panicked already served its panic to the
+            // connection's demise; the server still drains the rest.
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds the listener and starts the accept thread and worker pool.
+///
+/// # Errors
+///
+/// Returns the bind/configuration error message.
+pub fn start(config: &ServeConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let shared = Arc::new(Shared {
+        engine: Engine::new(config.cache_cap),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        queue_cap: config.queue_cap.max(1),
+    });
+    let workers = config.workers.max(1);
+    let mut threads = Vec::with_capacity(workers + 1);
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+    }
+    dut_obs::global().emit_with(|| {
+        dut_obs::Event::new("serve_started")
+            .with("addr", addr.to_string())
+            .with("workers", workers)
+            .with("queue_cap", config.queue_cap.max(1))
+    });
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets inherit nonblocking on some
+                // platforms; workers want blocking reads + timeouts.
+                let _ = stream.set_nonblocking(false);
+                enqueue_or_shed(shared, stream);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Listener drops here: further connects are refused, which is the
+    // observable "server is gone" signal clients get after drain.
+    shared.available.notify_all();
+}
+
+fn enqueue_or_shed(shared: &Shared, mut stream: TcpStream) {
+    let registry = dut_obs::metrics::global();
+    let mut queue = shared.lock_queue();
+    if queue.len() >= shared.queue_cap {
+        drop(queue);
+        // Shed: explicit reply, then close. The write is best effort
+        // — a client that already gave up is not our problem — but
+        // the counter always moves.
+        registry.incr(Counter::ServeShed);
+        let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+        let _ = writeln!(stream, "{}", protocol::render_overloaded());
+    } else {
+        queue.push_back(stream);
+        let depth = queue.len();
+        drop(queue);
+        registry.set_gauge(Gauge::ServeQueueDepth, depth as u64);
+        shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    dut_obs::metrics::global()
+                        .set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
+                    break Some(stream);
+                }
+                if shared.is_shutting_down() {
+                    break None;
+                }
+                let (guard, _timed_out) = shared
+                    .available
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => serve_connection(shared, stream),
+            None => break,
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, or drained shutdown.
+/// Every complete request line gets exactly one reply line; a partial
+/// line at shutdown or disconnect is dropped (never half-answered).
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // One-line replies must leave immediately: without nodelay the
+    // reply sits in Nagle's buffer waiting on the client's delayed
+    // ACK, turning every request into a ~40ms round trip.
+    let _ = stream.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(got) => {
+                pending.extend_from_slice(&chunk[..got]);
+                while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=newline).collect();
+                    let text = String::from_utf8_lossy(&line);
+                    let text = text.trim();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    let (reply, stop) = answer_line(shared, text);
+                    if writeln!(stream, "{reply}").is_err() {
+                        return;
+                    }
+                    if stop {
+                        let _ = stream.flush();
+                        return;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick between requests; at shutdown every
+                // complete line was already answered, so drain done.
+                if shared.is_shutting_down() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Evaluates one request line; returns the reply and whether this
+/// connection should close (shutdown acknowledgement).
+fn answer_line(shared: &Shared, line: &str) -> (String, bool) {
+    match protocol::parse_command(line) {
+        Ok(Command::Run(request)) => match shared.engine.handle(&request) {
+            Ok(reply) => (reply.render(), false),
+            Err(message) => (protocol::render_error(&message), false),
+        },
+        Ok(Command::Shutdown) => {
+            shared.begin_shutdown();
+            (protocol::render_shutdown_ack(), true)
+        }
+        Err(message) => (protocol::render_error(&message), false),
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end stress tests for the service: concurrency, exact
+//! reply accounting, offline bit-identity, load-shedding, and
+//! graceful shutdown — all against a real server on a loopback
+//! socket.
+
+use dut_core::Rule;
+use dut_serve::engine;
+use dut_serve::protocol::{render_request, Family, ReplyLine, Request};
+use dut_serve::server::{self, ServeConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_server(workers: usize, queue_cap: usize) -> server::ServerHandle {
+    server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        cache_cap: 16,
+        queue_cap,
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+fn request(catalog_slot: u64, seed: u64) -> Request {
+    let mut req = match catalog_slot % 3 {
+        0 => Request {
+            n: 64,
+            k: 8,
+            q: 8,
+            eps: 0.5,
+            rule: Rule::Balanced,
+            family: Family::Uniform,
+            seed: 0,
+            trials: 2,
+        },
+        1 => Request {
+            n: 128,
+            k: 8,
+            q: 10,
+            eps: 0.5,
+            rule: Rule::TThreshold { t: 2 },
+            family: Family::TwoLevel,
+            seed: 0,
+            trials: 2,
+        },
+        _ => Request {
+            n: 256,
+            k: 1,
+            q: 24,
+            eps: 0.5,
+            rule: Rule::Centralized,
+            family: Family::Zipf,
+            seed: 0,
+            trials: 2,
+        },
+    };
+    req.seed = seed;
+    req
+}
+
+fn send_shutdown(addr: &std::net::SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    writeln!(stream, "{{\"cmd\":\"shutdown\"}}").expect("send shutdown");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("shutdown ack");
+    assert_eq!(
+        ReplyLine::parse(line.trim()).expect("parseable ack"),
+        ReplyLine::ShutdownAck
+    );
+}
+
+/// M concurrent clients, R requests each over persistent
+/// connections: every request gets exactly one reply, and every
+/// reply is bit-identical to the offline reference evaluation of the
+/// same request.
+#[test]
+fn concurrent_clients_get_exact_offline_identical_replies() {
+    let clients = 8u64;
+    let per_client = 24u64;
+    let handle = start_server(4, 64);
+    let addr = handle.local_addr();
+    let mut joins = Vec::new();
+    for client in 0..clients {
+        joins.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("timeout");
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut replies = Vec::new();
+            for i in 0..per_client {
+                let req = request(client + i, 7000 + client * 1000 + i);
+                writeln!(writer, "{}", render_request(&req)).expect("send");
+                let mut line = String::new();
+                let got = reader.read_line(&mut line).expect("reply arrives");
+                assert!(got > 0, "server closed early on client {client}");
+                replies.push((req, line.trim().to_owned()));
+            }
+            // Half-close the write side: the server sees EOF, closes
+            // the connection, and the reader must observe a clean EOF
+            // with no stray bytes (exactly one reply per request).
+            writer
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut rest = String::new();
+            let trailing = reader.read_to_string(&mut rest).expect("clean EOF");
+            assert_eq!(trailing, 0, "stray bytes after replies: {rest:?}");
+            replies
+        }));
+    }
+    let mut total = 0u64;
+    for join in joins {
+        for (req, line) in join.join().expect("client thread") {
+            total += 1;
+            let ReplyLine::Reply(reply) = ReplyLine::parse(&line).expect("reply parses") else {
+                panic!("non-reply line: {line}");
+            };
+            let offline = engine::offline_reply(&req).expect("offline reference");
+            assert_eq!(reply.verdict, offline.verdict, "request {req:?}");
+            assert_eq!(reply.p_hat.to_bits(), offline.p_hat.to_bits());
+            assert_eq!(reply.wilson_lo.to_bits(), offline.wilson_lo.to_bits());
+            assert_eq!(reply.wilson_hi.to_bits(), offline.wilson_hi.to_bits());
+        }
+    }
+    assert_eq!(total, clients * per_client, "one reply per request");
+    send_shutdown(&addr);
+    handle.join();
+}
+
+/// Below the queue bound nothing is shed; beyond it, excess
+/// connections get the explicit `overloaded` reply while already
+/// accepted work still completes.
+#[test]
+fn sheds_only_above_the_queue_bound() {
+    // One worker, queue of two: the worker is pinned by a held-open
+    // connection, two more connections sit queued, and every further
+    // connection must be shed.
+    let handle = start_server(1, 2);
+    let addr = handle.local_addr();
+
+    let mut busy = TcpStream::connect(addr).expect("busy connect");
+    busy.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let busy_req = request(0, 42);
+    writeln!(busy, "{}", render_request(&busy_req)).expect("busy send");
+    let mut busy_reader = BufReader::new(busy.try_clone().expect("clone"));
+    let mut line = String::new();
+    busy_reader.read_line(&mut line).expect("busy reply");
+    assert!(
+        matches!(ReplyLine::parse(line.trim()), Ok(ReplyLine::Reply(_))),
+        "busy connection is served: {line}"
+    );
+    // The worker now idles inside this connection; it stays occupied
+    // until we close. Fill the queue, then overflow it.
+    let parked: Vec<TcpStream> = (0..2)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("park {i}: {e}"));
+            // Give the accept loop time to enqueue before the next.
+            std::thread::sleep(Duration::from_millis(50));
+            stream
+        })
+        .collect();
+
+    let mut shed = 0;
+    for i in 0..4 {
+        let stream = TcpStream::connect(addr).unwrap_or_else(|e| panic!("overflow {i}: {e}"));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        std::thread::sleep(Duration::from_millis(50));
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => match ReplyLine::parse(line.trim()) {
+                Ok(ReplyLine::Overloaded) => shed += 1,
+                other => panic!("expected overloaded, got {other:?}"),
+            },
+            // A race where the connection closed without the shed
+            // line still counts as not-served; but the server always
+            // writes before closing, so require the line.
+            other => panic!("no shed reply: {other:?}"),
+        }
+    }
+    assert_eq!(shed, 4, "every connection beyond the bound is shed");
+
+    // The pinned connection still works end to end afterwards.
+    writeln!(busy, "{}", render_request(&busy_req)).expect("busy send again");
+    let mut line = String::new();
+    busy_reader.read_line(&mut line).expect("busy second reply");
+    assert!(matches!(
+        ReplyLine::parse(line.trim()),
+        Ok(ReplyLine::Reply(_))
+    ));
+
+    drop(busy);
+    drop(busy_reader);
+    drop(parked);
+    send_shutdown(&addr);
+    handle.join();
+}
+
+/// Graceful shutdown: the ack arrives, `join` returns, queued work
+/// drained, and the port stops accepting.
+#[test]
+fn shutdown_drains_and_releases_the_port() {
+    let handle = start_server(2, 8);
+    let addr = handle.local_addr();
+
+    // A connection with one request in flight at shutdown time.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let req = request(1, 99);
+    writeln!(writer, "{}", render_request(&req)).expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    assert!(matches!(
+        ReplyLine::parse(line.trim()),
+        Ok(ReplyLine::Reply(_))
+    ));
+
+    send_shutdown(&addr);
+    assert!(handle.is_shutting_down());
+    handle.join();
+
+    // After join the listener is gone; a fresh connect must fail
+    // outright or be closed without ever answering a request.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            late.set_read_timeout(Some(Duration::from_secs(2)))
+                .expect("timeout");
+            let _ = writeln!(late, "{}", render_request(&req));
+            let mut reader = BufReader::new(late);
+            let mut line = String::new();
+            let got = reader.read_line(&mut line).unwrap_or(0);
+            assert_eq!(got, 0, "a drained server must not answer: {line}");
+        }
+    }
+}
+
+/// The tester cache under a worker-pool-shaped herd: every lookup is
+/// classified, exactly one build per distinct key, hits + misses ==
+/// calls.
+#[test]
+fn cache_accounting_is_exact_under_threads() {
+    let engine = dut_serve::Engine::new(8);
+    let threads = 8u64;
+    let calls_per_thread = 12u64;
+    let outcomes = parking_lot::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = &engine;
+            let outcomes = &outcomes;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for i in 0..calls_per_thread {
+                    // Two distinct keys shared by all threads.
+                    let req = request((t + i) % 2, 300 + i);
+                    let reply = engine.handle(&req).expect("handled");
+                    local.push(reply.cache_hit);
+                }
+                outcomes.lock().extend(local);
+            });
+        }
+    });
+    let outcomes = outcomes.into_inner();
+    assert_eq!(outcomes.len() as u64, threads * calls_per_thread);
+    let misses = outcomes.iter().filter(|&&hit| !hit).count();
+    // Exactly one miss per distinct key — single flight — and every
+    // other call a hit: hits + misses == calls by construction of
+    // the two counts, misses == distinct keys by single-flight.
+    assert_eq!(misses, 2, "one build per distinct key");
+    assert_eq!(engine.cached_testers(), 2);
+}

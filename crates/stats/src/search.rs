@@ -15,6 +15,17 @@ pub struct SearchResult {
     pub evaluations: usize,
     /// Whether the search hit `max` without finding a sufficient value.
     pub saturated: bool,
+    /// The process-unique run id carried by this search's `probe` and
+    /// `search_done` trace events.
+    pub search_id: u64,
+}
+
+/// Allocates a process-unique search run id. Concurrent searches (as a
+/// `dut serve` worker pool runs) interleave their `probe` events in one
+/// trace; the id is what lets `dut report` demultiplex them.
+fn next_search_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Finds the minimal `v ∈ [min, max]` with `sufficient(v) == true`,
@@ -33,6 +44,7 @@ where
 {
     assert!(min >= 1, "search domain starts at 1");
     assert!(min <= max, "empty search domain");
+    let search_id = next_search_id();
     let mut evaluations = 0;
     let mut eval = |v: usize, evaluations: &mut usize| {
         *evaluations += 1;
@@ -44,6 +56,7 @@ where
         registry.observe(dut_obs::metrics::HistogramId::ProbeMicros, elapsed_us);
         dut_obs::global().emit_with(|| {
             dut_obs::Event::new("probe")
+                .with("search_id", search_id)
                 .with("value", v)
                 .with("sufficient", ok)
                 .with("elapsed_us", elapsed_us)
@@ -53,6 +66,7 @@ where
     let finish = |result: SearchResult| {
         dut_obs::global().emit_with(|| {
             dut_obs::Event::new("search_done")
+                .with("search_id", result.search_id)
                 .with("minimal", result.minimal)
                 .with("evaluations", result.evaluations)
                 .with("saturated", result.saturated)
@@ -73,6 +87,7 @@ where
                 minimal: max,
                 evaluations,
                 saturated: true,
+                search_id,
             });
         }
         lo = hi;
@@ -83,6 +98,7 @@ where
             minimal: min,
             evaluations,
             saturated: false,
+            search_id,
         });
     }
 
@@ -100,6 +116,7 @@ where
         minimal: hi,
         evaluations,
         saturated: false,
+        search_id,
     })
 }
 
@@ -147,6 +164,14 @@ mod tests {
         let r = minimal_sufficient(7, 7, |v| v >= 7);
         assert_eq!(r.minimal, 7);
         assert!(!r.saturated);
+    }
+
+    #[test]
+    fn searches_get_distinct_run_ids() {
+        let a = minimal_sufficient(1, 16, |v| v >= 3);
+        let b = minimal_sufficient(1, 16, |v| v >= 3);
+        assert_ne!(a.search_id, b.search_id);
+        assert!(a.search_id >= 1 && b.search_id >= 1);
     }
 
     #[test]

@@ -28,21 +28,47 @@ static THRESHOLDS: RwLock<BTreeMap<Key, u64>> = RwLock::new(BTreeMap::new());
 /// `Pr[Poisson(λ) ≥ t] ≤ alpha`, computed once per distinct `(λ, alpha)`
 /// pair and served from the cache afterwards.
 ///
+/// Concurrency: a miss re-checks under the write lock before
+/// computing, so when N threads race on the same fresh key exactly one
+/// performs the O(λ) tail inversion (the other N−1 block briefly and
+/// then read its entry). The hit/miss counters reflect that — every
+/// call increments exactly one of them, so
+/// `hits + misses == total calls` holds under any interleaving.
+///
 /// # Panics
 ///
 /// Same conditions as [`poisson_threshold_for_tail`].
 #[must_use]
 pub fn cached_poisson_threshold(lambda: f64, alpha: f64) -> u64 {
+    let (t, _) = cached_poisson_threshold_traced(lambda, alpha);
+    t
+}
+
+/// [`cached_poisson_threshold`] plus whether the call was a cache hit —
+/// the observable form the concurrency regression tests assert on.
+#[must_use]
+pub fn cached_poisson_threshold_traced(lambda: f64, alpha: f64) -> (u64, bool) {
     let key = (lambda.to_bits(), alpha.to_bits());
     let registry = dut_obs::metrics::global();
     if let Some(&t) = THRESHOLDS.read().get(&key) {
         registry.incr(Counter::CalibrationCacheHits);
-        return t;
+        return (t, true);
+    }
+    // Check-then-act closed: take the write lock, and only the caller
+    // that still finds the key absent computes. Holding the lock across
+    // the tail summation is deliberate — it is what serializes the
+    // herd; every subsequent caller pays a lock wait instead of a
+    // redundant O(λ) recomputation.
+    let mut map = THRESHOLDS.write();
+    if let Some(&t) = map.get(&key) {
+        // Lost the race to another miss that computed first.
+        registry.incr(Counter::CalibrationCacheHits);
+        return (t, true);
     }
     registry.incr(Counter::CalibrationCacheMisses);
     let t = poisson_threshold_for_tail(lambda, alpha);
-    THRESHOLDS.write().insert(key, t);
-    t
+    map.insert(key, t);
+    (t, false)
 }
 
 /// Number of distinct `(λ, α)` entries currently cached.
@@ -96,6 +122,45 @@ mod tests {
         let _ = cached_poisson_threshold(lambda, 0.01);
         assert!(registry.counter(Counter::CalibrationCacheMisses) > misses_before);
         assert!(registry.counter(Counter::CalibrationCacheHits) > hits_before);
+    }
+
+    #[test]
+    fn thundering_herd_computes_once() {
+        // N threads race on the same fresh key: exactly one may miss
+        // (compute), the rest must report hits. Uses a key no other
+        // test touches so concurrent test modules cannot interfere,
+        // and the traced return value instead of the global counters
+        // (which other tests also bump). Holding LOCK keeps the
+        // clearing tests from emptying the map mid-race.
+        let _guard = LOCK.lock();
+        let lambda = 123.456_789_f64;
+        let alpha = 0.012_345_f64;
+        let threads = 8;
+        let mut flags = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let (t, hit) = cached_poisson_threshold_traced(lambda, alpha);
+                        (t, hit)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                flags.push(handle.join().expect("no panic"));
+            }
+        });
+        let expected = poisson_threshold_for_tail(lambda, alpha);
+        for &(t, _) in &flags {
+            assert_eq!(t, expected, "every caller sees the same threshold");
+        }
+        let misses = flags.iter().filter(|&&(_, hit)| !hit).count();
+        assert_eq!(misses, 1, "exactly one thread computes: {flags:?}");
+        assert_eq!(
+            flags.len() - misses,
+            threads - 1,
+            "hits + misses == calls: {flags:?}"
+        );
     }
 
     #[test]

@@ -38,6 +38,8 @@ COMMANDS:
     report    summarize a JSONL trace (written via DUT_TRACE=<path>)
     lint      run workspace static analysis (determinism / numeric / obs rules)
     bench     time the per-draw vs histogram sampling backends
+    serve     run the long-lived uniformity-testing TCP service
+    loadgen   drive a running service at a fixed request rate
 
 COMMON OPTIONS:
     --n <int>         domain size                  [default: 1024]
@@ -78,6 +80,21 @@ bench USAGE:
                                          (n, q) grid and write a perf
                                          baseline  [default: BENCH_perf.json]
     dut bench --check <file>             validate a written baseline
+
+serve USAGE:
+    dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>]
+              [--queue-cap <N>]
+        serve newline-delimited JSON requests until a client sends
+        {\"cmd\":\"shutdown\"}  [defaults: 127.0.0.1:7979, 4 workers,
+        32 cached testers, 64 queued connections]
+
+loadgen USAGE:
+    dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>]
+                [--conns <N>] [--smoke] [--shutdown]
+        open-loop load at --rps for --duration, then print achieved
+        throughput and p50/p95/p99 latency; --smoke runs the CI
+        gate (>=1000 req/s, zero shed, offline-identical verdicts)
+        and --shutdown stops the server afterwards
 ";
 
 fn main() -> ExitCode {
@@ -97,6 +114,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench") {
         return cmd_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return cmd_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        return cmd_loadgen(&args[1..]);
     }
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
@@ -354,6 +377,218 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     };
     recorder.flush();
     code
+}
+
+/// `dut serve` — run the concurrent uniformity-testing service until
+/// a client sends `{"cmd":"shutdown"}`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = dut_serve::ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |key: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{key} needs a value"))
+        };
+        let parsed =
+            match args[i].as_str() {
+                "--addr" => need_value("--addr").map(|v| config.addr = v),
+                "--workers" => {
+                    parse_count(&need_value("--workers"), "--workers").map(|v| config.workers = v)
+                }
+                "--cache-cap" => parse_count(&need_value("--cache-cap"), "--cache-cap")
+                    .map(|v| config.cache_cap = v),
+                "--queue-cap" => parse_count(&need_value("--queue-cap"), "--queue-cap")
+                    .map(|v| config.queue_cap = v),
+                other => Err(format!("unknown serve option `{other}`")),
+            };
+        if let Err(message) = parsed {
+            eprintln!("error: {message}");
+            eprintln!("usage: dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>] [--queue-cap <N>]");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    dut_obs::init_from_env();
+    let handle = match dut_serve::server::start(&config) {
+        Ok(handle) => handle,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dut serve listening on {} ({} workers, cache {} testers, queue {} connections)",
+        handle.local_addr(),
+        config.workers.max(1),
+        config.cache_cap.max(1),
+        config.queue_cap.max(1)
+    );
+    println!("send {{\"cmd\":\"shutdown\"}} to stop");
+    handle.join();
+    println!("dut serve: drained and stopped");
+    let recorder = dut_obs::global();
+    recorder.emit_metrics_snapshot();
+    recorder.flush();
+    ExitCode::SUCCESS
+}
+
+/// `dut loadgen` — open-loop load against a running `dut serve`.
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut config = dut_serve::LoadgenConfig::default();
+    let mut smoke = false;
+    let mut shutdown_after = false;
+    let mut duration_secs = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |key: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{key} needs a value"))
+        };
+        let parsed = match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+                continue;
+            }
+            "--shutdown" => {
+                shutdown_after = true;
+                i += 1;
+                continue;
+            }
+            "--addr" => need_value("--addr").map(|v| config.addr = v),
+            "--rps" => need_value("--rps").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--rps needs an integer, got `{v}`"))
+                    .map(|v| config.rps = v.max(1))
+            }),
+            "--duration" => need_value("--duration").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--duration needs seconds, got `{v}`"))
+                    .map(|v| duration_secs = v.clamp(0.1, 600.0))
+            }),
+            "--conns" => {
+                parse_count(&need_value("--conns"), "--conns").map(|v| config.connections = v)
+            }
+            other => Err(format!("unknown loadgen option `{other}`")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>] \
+                 [--conns <N>] [--smoke] [--shutdown]"
+            );
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    if smoke {
+        config.rps = 2000;
+        duration_secs = 2.0;
+        config.connections = 4;
+        config.verify_offline = true;
+    }
+    config.duration = std::time::Duration::from_secs_f64(duration_secs);
+    dut_obs::init_from_env();
+    let result = dut_serve::loadgen::run(&config);
+    let code = match result {
+        Ok(report) => {
+            println!(
+                "loadgen: {} sent, {} replies, {} shed, {} errors in {:.2}s ({:.0} req/s)",
+                report.sent,
+                report.replies,
+                report.shed,
+                report.errors,
+                report.elapsed.as_secs_f64(),
+                report.achieved_rps
+            );
+            println!(
+                "latency: p50 {}us  p95 {}us  p99 {}us",
+                report.p50_micros, report.p95_micros, report.p99_micros
+            );
+            if config.verify_offline {
+                println!(
+                    "offline agreement: {} of {} replies bit-identical",
+                    report.replies - report.mismatches,
+                    report.replies
+                );
+            }
+            if smoke {
+                smoke_verdict(&report)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    };
+    if shutdown_after {
+        match dut_serve::loadgen::send_shutdown(&config.addr) {
+            Ok(()) => println!("server at {} acknowledged shutdown", config.addr),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let recorder = dut_obs::global();
+    recorder.emit_metrics_snapshot();
+    recorder.flush();
+    code
+}
+
+/// The `--smoke` gate: sustained throughput with zero sheds, zero
+/// errors, zero offline disagreements, and a sane tail.
+fn smoke_verdict(report: &dut_serve::LoadgenReport) -> ExitCode {
+    let mut failures = Vec::new();
+    if report.achieved_rps < 1000.0 {
+        failures.push(format!(
+            "achieved {:.0} req/s, smoke floor is 1000",
+            report.achieved_rps
+        ));
+    }
+    if report.shed > 0 {
+        failures.push(format!(
+            "{} connections shed below the queue bound",
+            report.shed
+        ));
+    }
+    if report.errors > 0 {
+        failures.push(format!("{} transport/protocol errors", report.errors));
+    }
+    if report.mismatches > 0 {
+        failures.push(format!(
+            "{} replies disagreed with the offline engine",
+            report.mismatches
+        ));
+    }
+    if report.p99_micros > 250_000 {
+        failures.push(format!(
+            "p99 latency {}us exceeds the 250ms smoke bound",
+            report.p99_micros
+        ));
+    }
+    if failures.is_empty() {
+        println!("smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("smoke FAIL: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses a positive integer option value (clamped to at least 1).
+fn parse_count(value: &Result<String, String>, key: &str) -> Result<usize, String> {
+    let value = value.as_ref().map_err(Clone::clone)?;
+    value
+        .parse::<usize>()
+        .map(|v| v.max(1))
+        .map_err(|_| format!("{key} needs a positive integer, got `{value}`"))
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
