@@ -105,6 +105,40 @@ pub fn write_f64(out: &mut String, x: f64) {
     }
 }
 
+/// Appends the canonical serialization of a parsed value to `out`
+/// (object keys in `BTreeMap` order, shortest-round-trip numbers).
+/// `parse(write(x)) == x` for every finite-numbered value.
+pub fn write(out: &mut String, node: &Json) {
+    match node {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(x) => write_f64(out, *x),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (key, value)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write(out, value);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses one JSON document from `input`.
 ///
 /// # Errors
@@ -348,5 +382,18 @@ mod tests {
     fn unicode_passthrough() {
         let v = parse("\"héllo ☃\"").unwrap();
         assert_eq!(v.as_str(), Some("héllo ☃"));
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let source = r#"{"a":[1,2.5,null,true],"b":{"nested":"va\"lue"},"c":-3}"#;
+        let doc = parse(source).unwrap();
+        let mut out = String::new();
+        write(&mut out, &doc);
+        assert_eq!(parse(&out).unwrap(), doc);
+        // Canonical form is stable under re-serialization.
+        let mut again = String::new();
+        write(&mut again, &parse(&out).unwrap());
+        assert_eq!(out, again);
     }
 }

@@ -28,17 +28,23 @@
 // Tests assert exact constructed values and index with small literals.
 #![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod sink;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
+pub use flight::FlightRecorder;
 pub use recorder::{global, init_from_env, snapshot_event, Recorder, Span};
 pub use report::Report;
 pub use sink::{JsonlSink, MemorySink, Sink};
+pub use slo::{SloConfig, SloStatus};
 pub use trace::{Event, Value};
+pub use window::SnapshotRing;
 
 /// Opens a span on the global recorder; the returned guard emits a
 /// `"span"` event (with `elapsed_us`) when dropped.

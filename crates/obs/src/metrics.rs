@@ -171,10 +171,19 @@ pub enum HistogramId {
     /// Wall-clock microseconds per `dut serve` request (parse through
     /// reply write).
     RequestMicros,
+    /// Microseconds a connection waited in the `dut serve` accept
+    /// queue before a worker picked it up (the queue phase).
+    QueueWaitMicros,
+    /// Microseconds spent preparing (calibrating) a tester on a
+    /// `dut serve` cache miss (the calibrate phase).
+    CalibrateMicros,
+    /// Microseconds spent running a served request's trials against a
+    /// resolved tester (the compute phase).
+    ComputeMicros,
 }
 
 impl HistogramId {
-    const COUNT: usize = 4;
+    const COUNT: usize = 7;
 
     /// All histograms, in slot order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
@@ -182,6 +191,9 @@ impl HistogramId {
         HistogramId::ProbeMicros,
         HistogramId::RunSamples,
         HistogramId::RequestMicros,
+        HistogramId::QueueWaitMicros,
+        HistogramId::CalibrateMicros,
+        HistogramId::ComputeMicros,
     ];
 
     /// The stable name used in trace snapshots.
@@ -192,6 +204,9 @@ impl HistogramId {
             HistogramId::ProbeMicros => "probe_micros",
             HistogramId::RunSamples => "run_samples",
             HistogramId::RequestMicros => "request_micros",
+            HistogramId::QueueWaitMicros => "queue_wait_micros",
+            HistogramId::CalibrateMicros => "calibrate_micros",
+            HistogramId::ComputeMicros => "compute_micros",
         }
     }
 }
@@ -215,6 +230,75 @@ pub fn bucket_low(index: usize) -> u64 {
     }
 }
 
+/// The largest value landing in bucket `index` (inclusive). Bucket 0
+/// holds only the value 0, so its high edge equals its low edge.
+#[must_use]
+pub fn bucket_high(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// An interpolated quantile over `(bucket_low, count)` pairs from a
+/// log-bucketed histogram (the shape [`Histogram::nonzero_buckets`]
+/// and [`HistogramSnapshot::buckets`] produce).
+///
+/// The rank `ceil(p · count)` (clamped to `1..=count`) selects a
+/// bucket; the estimate interpolates linearly across that bucket's
+/// `[low, high]` span by the rank's position inside the bucket, so the
+/// result is monotone in `p` and always bracketed by the bucket
+/// bounds. When every observation landed in one bucket, `sum / count`
+/// is the better estimator (exact whenever all observations share one
+/// value), clamped to the bucket's bounds.
+///
+/// Returns 0.0 on an empty histogram.
+#[must_use]
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], count: u64, sum: u64, p: f64) -> f64 {
+    if count == 0 || buckets.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss,
+        clippy::cast_possible_truncation
+    )]
+    let target = ((count as f64 * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64).min(count);
+    if let [(low, n)] = buckets {
+        if *n > 0 {
+            // Single-bucket data: the mean is inside the bucket by
+            // construction and exact when all observations are equal.
+            #[allow(clippy::cast_precision_loss)]
+            let mean = sum as f64 / *n as f64;
+            let index = bucket_index(*low);
+            #[allow(clippy::cast_precision_loss)]
+            return mean.clamp(*low as f64, bucket_high(index) as f64);
+        }
+    }
+    let mut seen = 0u64;
+    for &(low, n) in buckets {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= target {
+            let index = bucket_index(low);
+            let (lo, hi) = (low, bucket_high(index));
+            // Position of the target rank inside this bucket, mapped
+            // to the bucket midpoints (rank r of n sits at fraction
+            // (r - 1/2) / n), so the estimate never touches the next
+            // bucket's low edge and stays monotone across buckets.
+            #[allow(clippy::cast_precision_loss)]
+            let frac = ((target - seen) as f64 - 0.5) / n as f64;
+            #[allow(clippy::cast_precision_loss)]
+            return lo as f64 + frac * (hi - lo) as f64;
+        }
+        seen += n;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    buckets.last().map_or(0.0, |&(low, _)| low as f64)
+}
+
 /// A log-bucketed histogram with atomic buckets.
 #[derive(Debug)]
 pub struct Histogram {
@@ -223,8 +307,16 @@ pub struct Histogram {
     sum: AtomicU64,
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Histogram {
-    const fn new() -> Self {
+    /// An empty histogram (all buckets zero).
+    #[must_use]
+    pub const fn new() -> Self {
         // `AtomicU64` is not Copy; build the array with a const block.
         Self {
             buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
@@ -250,6 +342,13 @@ impl Histogram {
     #[must_use]
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// An interpolated quantile of the recorded observations; see
+    /// [`quantile_from_buckets`] for the estimator.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        quantile_from_buckets(&self.nonzero_buckets(), self.count(), self.sum(), p)
     }
 
     /// Non-empty buckets as `(bucket_low, count)` pairs.
@@ -371,6 +470,37 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// An interpolated quantile of the captured observations; see
+    /// [`quantile_from_buckets`] for the estimator.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, self.count, self.sum, p)
+    }
+
+    /// The observations this snapshot has beyond `earlier` (bucket-wise
+    /// saturating subtraction). With `earlier` a prefix of the same
+    /// metric's history, the delta is exactly the observations recorded
+    /// between the two snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let base: std::collections::BTreeMap<u64, u64> = earlier.buckets.iter().copied().collect();
+        HistogramSnapshot {
+            name: self.name,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .filter_map(|&(low, n)| {
+                    let left = n.saturating_sub(base.get(&low).copied().unwrap_or(0));
+                    (left > 0).then_some((low, left))
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Plain-data view of the whole registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
@@ -380,6 +510,79 @@ pub struct Snapshot {
     pub gauges: Vec<(&'static str, u64)>,
     /// Histogram summaries.
     pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// An all-zero snapshot with every well-known metric name present
+    /// (the identity element of [`Snapshot::delta`]).
+    #[must_use]
+    pub fn zero() -> Snapshot {
+        Registry::new().snapshot()
+    }
+
+    /// A named counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        let name = counter.name();
+        self.counters
+            .iter()
+            .find_map(|&(n, v)| (n == name).then_some(v))
+            .unwrap_or(0)
+    }
+
+    /// A named gauge's value (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        let name = gauge.name();
+        self.gauges
+            .iter()
+            .find_map(|&(n, v)| (n == name).then_some(v))
+            .unwrap_or(0)
+    }
+
+    /// A named histogram's summary, if present.
+    #[must_use]
+    pub fn histogram(&self, histogram: HistogramId) -> Option<&HistogramSnapshot> {
+        let name = histogram.name();
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// What this snapshot accumulated beyond `earlier`: counters and
+    /// histograms subtract (saturating, element-wise), gauges keep this
+    /// snapshot's (latest) value — a gauge is a level, not a flow.
+    ///
+    /// With `earlier` captured before `self` on the same registry, the
+    /// delta is exactly the activity between the two captures; this is
+    /// what the windowed-metrics ring serves.
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let base_counter = |name: &str| -> u64 {
+            earlier
+                .counters
+                .iter()
+                .find_map(|&(n, v)| (n == name).then_some(v))
+                .unwrap_or(0)
+        };
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|&(name, v)| (name, v.saturating_sub(base_counter(name))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| {
+                    earlier
+                        .histograms
+                        .iter()
+                        .find(|e| e.name == h.name)
+                        .map_or_else(|| h.clone(), |e| h.delta(e))
+                })
+                .collect(),
+        }
+    }
 }
 
 static GLOBAL: Registry = Registry::new();
@@ -450,6 +653,83 @@ mod tests {
         assert_eq!(r.counter(Counter::TrialsRun), 80_000);
         assert_eq!(r.histogram(HistogramId::RunSamples).count(), 80_000);
         assert_eq!(r.histogram(HistogramId::RunSamples).sum(), 400_000);
+    }
+
+    #[test]
+    fn bucket_high_meets_next_low() {
+        assert_eq!(bucket_high(0), 0);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_high(i) + 1, bucket_low(i + 1), "bucket {i}");
+            assert_eq!(bucket_index(bucket_high(i)), i, "bucket {i}");
+        }
+        assert_eq!(bucket_high(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_constant_data() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(37);
+        }
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert!((h.quantile(p) - 37.0).abs() < 1e-9, "p={p}");
+        }
+        let zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert!(zeros.quantile(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bracketed() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 20, 100, 1000, 5000] {
+            h.record(v);
+        }
+        let mut last = f64::MIN;
+        for i in 0..=20 {
+            let p = f64::from(i) / 20.0;
+            let q = h.quantile(p);
+            assert!(q >= last, "quantile not monotone at p={p}: {q} < {last}");
+            assert!((0.0..=8192.0).contains(&q), "out of range at p={p}: {q}");
+            last = q;
+        }
+        // The 4th of 8 sorted values is 10, inside the [8,15] bucket.
+        let p50 = h.quantile(0.5);
+        assert!((8.0..=15.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).abs() < 1e-9);
+        assert!(quantile_from_buckets(&[], 0, 0, 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let r = Registry::new();
+        r.add(Counter::ServeRequests, 5);
+        r.observe(HistogramId::RequestMicros, 10);
+        r.set_gauge(Gauge::ServeQueueDepth, 2);
+        let earlier = r.snapshot();
+        r.add(Counter::ServeRequests, 7);
+        r.observe(HistogramId::RequestMicros, 10);
+        r.observe(HistogramId::RequestMicros, 500);
+        r.set_gauge(Gauge::ServeQueueDepth, 9);
+        let delta = r.snapshot().delta(&earlier);
+        assert_eq!(delta.counter(Counter::ServeRequests), 7);
+        // Gauges are levels: the delta keeps the latest value.
+        assert_eq!(delta.gauge(Gauge::ServeQueueDepth), 9);
+        let hist = delta.histogram(HistogramId::RequestMicros).unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 510);
+        assert_eq!(hist.buckets, vec![(8, 1), (256, 1)]);
+        // Delta against itself is empty.
+        let snap = r.snapshot();
+        let none = snap.delta(&snap);
+        assert_eq!(none.counter(Counter::ServeRequests), 0);
+        assert_eq!(none.histogram(HistogramId::RequestMicros).unwrap().count, 0);
     }
 
     #[test]

@@ -226,6 +226,26 @@ pub fn snapshot_event(snapshot: &metrics::Snapshot) -> Event {
         .with("histograms", Value::Raw(histograms))
 }
 
+/// Builds the one-time `clock_anchor` event binding this process's
+/// `Instant`-relative trace timestamps to the wall clock.
+///
+/// Recorder timestamps are microseconds since the recorder's own
+/// creation, which makes traces from different processes (server and
+/// loadgen, say) mutually unalignable. The anchor carries the wall
+/// clock (`unix_micros`) observed at a known trace time (`ts_us`,
+/// stamped at emit), so `dut report` can shift every trace onto the
+/// shared wall-clock axis: `wall = ts_us + (unix_micros − anchor.ts_us)`.
+#[must_use]
+pub fn clock_anchor_event() -> Event {
+    // dut-lint: allow(nondet-rng): the anchor's entire purpose is to record the wall clock — it binds deterministic trace time to real time for cross-process alignment and feeds no experiment logic
+    let unix_micros = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    Event::new("clock_anchor")
+        .with("unix_micros", unix_micros)
+        .with("pid", u64::from(std::process::id()))
+}
+
 static GLOBAL: OnceLock<Recorder> = OnceLock::new();
 static ENV_INIT: OnceLock<Option<String>> = OnceLock::new();
 
@@ -253,6 +273,9 @@ pub fn init_from_env() -> Option<String> {
                     ) {
                         recorder.set_verbose(true);
                     }
+                    // One-time wall-clock anchor so multi-process
+                    // traces can be aligned by `dut report`.
+                    recorder.emit(clock_anchor_event());
                     Some(path)
                 }
                 Err(error) => {
@@ -348,6 +371,18 @@ mod tests {
             hist.get("count").and_then(crate::json::Json::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn clock_anchor_carries_wall_clock() {
+        let event = clock_anchor_event();
+        assert_eq!(event.name, "clock_anchor");
+        let Some(Value::U64(unix)) = event.field("unix_micros") else {
+            panic!("missing unix_micros");
+        };
+        // Sanity: after 2020-01-01 in microseconds.
+        assert!(*unix > 1_577_836_800_000_000, "unix_micros {unix}");
+        assert!(event.field("pid").is_some());
     }
 
     #[test]

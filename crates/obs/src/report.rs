@@ -49,6 +49,32 @@ pub struct SearchRecord {
     pub saturated: bool,
 }
 
+/// The one-time wall-clock anchor of a trace, if present: the wall
+/// clock observed at a known trace-relative timestamp. See
+/// [`crate::recorder::clock_anchor_event`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClockAnchor {
+    /// Wall clock at the anchor, microseconds since the Unix epoch.
+    pub unix_micros: u64,
+    /// Trace-relative timestamp of the anchor event.
+    pub ts_micros: u64,
+    /// Emitting process id (0 for legacy traces).
+    pub pid: u64,
+}
+
+impl ClockAnchor {
+    /// Converts a trace-relative timestamp to wall-clock microseconds.
+    #[must_use]
+    pub fn wall_micros(&self, ts_micros: u64) -> u64 {
+        // The anchor is emitted at sink install, so in-trace
+        // timestamps virtually always follow it; saturate rather than
+        // wrap for the pathological pre-anchor event.
+        self.unix_micros
+            .saturating_add(ts_micros)
+            .saturating_sub(self.ts_micros)
+    }
+}
+
 /// Aggregated view of one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -70,6 +96,8 @@ pub struct Report {
     pub net_runs: u64,
     /// Trial batches seen.
     pub trial_batches: u64,
+    /// Wall-clock anchor, when the trace carries one.
+    pub anchor: Option<ClockAnchor>,
     /// Largest event timestamp, microseconds.
     pub last_ts_micros: u64,
     /// Total events parsed.
@@ -185,6 +213,13 @@ impl Report {
                         .collect();
                 }
             }
+            "clock_anchor" => {
+                self.anchor = Some(ClockAnchor {
+                    unix_micros: value.get("unix_micros").and_then(Json::as_u64).unwrap_or(0),
+                    ts_micros: value.get("ts_us").and_then(Json::as_u64).unwrap_or(0),
+                    pid: value.get("pid").and_then(Json::as_u64).unwrap_or(0),
+                });
+            }
             "net_run" => self.net_runs += 1,
             "trial_batch" => self.trial_batches += 1,
             _ => {}
@@ -234,6 +269,15 @@ impl Report {
             },
             human_micros(self.last_ts_micros)
         );
+        if let Some(anchor) = &self.anchor {
+            let _ = writeln!(
+                out,
+                "clock anchor: pid {} at unix {} µs (trace t={})",
+                anchor.pid,
+                anchor.unix_micros,
+                human_micros(anchor.ts_micros)
+            );
+        }
 
         if !self.spans.is_empty() {
             let mut spans: Vec<(&String, &SpanStats)> = self.spans.iter().collect();
@@ -544,6 +588,105 @@ pub fn summarize_file(path: &str) -> Result<String, String> {
     Ok(report.render())
 }
 
+/// Reads several trace files (e.g. a server's and a loadgen's) and
+/// renders them on one wall-clock axis using each trace's
+/// `clock_anchor`, followed by each individual summary.
+///
+/// Recorder timestamps are relative to each process's own start, so
+/// raw `ts_us` values from different traces are incomparable; the
+/// anchors translate them onto shared wall-clock time. Traces without
+/// an anchor are listed but marked unaligned.
+///
+/// # Errors
+///
+/// Returns an error when any file is unreadable or empty of events.
+pub fn summarize_aligned(paths: &[&str]) -> Result<String, String> {
+    let mut reports = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+        reports.push((*path, Report::from_jsonl(&text)?));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== dut aligned trace report ({} traces) ==",
+        paths.len()
+    );
+    // Earliest aligned wall-clock instant across traces becomes t0.
+    let t0 = reports
+        .iter()
+        .filter_map(|(_, r)| r.anchor.map(|a| a.wall_micros(0)))
+        .min();
+    let _ = writeln!(
+        out,
+        "\n  {:<28} {:>8} {:>6} {:>14} {:>14}",
+        "trace", "events", "pid", "start (t0+)", "end (t0+)"
+    );
+    for (path, report) in &reports {
+        match (report.anchor, t0) {
+            (Some(anchor), Some(t0)) => {
+                let start = anchor.wall_micros(0).saturating_sub(t0);
+                let end = anchor.wall_micros(report.last_ts_micros).saturating_sub(t0);
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>8} {:>6} {:>14} {:>14}",
+                    short_name(path),
+                    report.events,
+                    anchor.pid,
+                    human_micros(start),
+                    human_micros(end),
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>8} {:>6} {:>14} {:>14}",
+                    short_name(path),
+                    report.events,
+                    "-",
+                    "(no anchor)",
+                    "unaligned",
+                );
+            }
+        }
+    }
+    let aligned: Vec<&Report> = reports
+        .iter()
+        .filter(|(_, r)| r.anchor.is_some())
+        .map(|(_, r)| r)
+        .collect();
+    if let (Some(t0), false) = (t0, aligned.is_empty()) {
+        let span = aligned
+            .iter()
+            .filter_map(|r| r.anchor.map(|a| a.wall_micros(r.last_ts_micros)))
+            .max()
+            .unwrap_or(t0)
+            .saturating_sub(t0);
+        let _ = writeln!(
+            out,
+            "\n  aligned span: {} across {} anchored trace(s)",
+            human_micros(span),
+            aligned.len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "\n  no clock anchors found; traces cannot share a time axis"
+        );
+    }
+    for (path, report) in &reports {
+        let _ = writeln!(out, "\n--- {path} ---");
+        out.push_str(&report.render());
+    }
+    Ok(out)
+}
+
+/// The file-name tail of a path, for compact table rows.
+fn short_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +881,85 @@ mod tests {
     fn empty_trace_is_an_error() {
         assert!(Report::from_jsonl("").is_err());
         assert!(Report::from_jsonl("garbage\n").is_err());
+    }
+
+    #[test]
+    fn clock_anchor_aligns_timestamps() {
+        let anchor_line = Event {
+            ts_micros: 500,
+            ..Event::new("clock_anchor")
+        }
+        .with("unix_micros", 1_000_000_000u64)
+        .with("pid", 42u64)
+        .to_json_line();
+        let span_line = Event {
+            ts_micros: 1_500,
+            ..Event::new("span")
+        }
+        .with("name", "x")
+        .with("elapsed_us", 10u64)
+        .to_json_line();
+        let report = Report::from_jsonl(&format!("{anchor_line}\n{span_line}")).unwrap();
+        let anchor = report.anchor.unwrap();
+        assert_eq!(anchor.pid, 42);
+        // Trace t=1500 is 1000 µs after the anchor at t=500.
+        assert_eq!(anchor.wall_micros(1_500), 1_000_001_000);
+        assert!(report.render().contains("clock anchor: pid 42"));
+    }
+
+    #[test]
+    fn aligned_summary_places_traces_on_one_axis() {
+        let dir = std::env::temp_dir().join("dut_obs_align_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, unix: u64, pid: u64| {
+            let anchor = Event::new("clock_anchor")
+                .with("unix_micros", unix)
+                .with("pid", pid)
+                .to_json_line();
+            let span = Event {
+                ts_micros: 2_000,
+                ..Event::new("span")
+            }
+            .with("name", "w")
+            .with("elapsed_us", 5u64)
+            .to_json_line();
+            let path = dir.join(name);
+            std::fs::write(&path, format!("{anchor}\n{span}\n")).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        // The loadgen starts 1 s after the server.
+        let server = mk("server.jsonl", 5_000_000, 1);
+        let loadgen = mk("loadgen.jsonl", 6_000_000, 2);
+        let text = summarize_aligned(&[server.as_str(), loadgen.as_str()]).unwrap();
+        assert!(text.contains("2 traces"), "{text}");
+        assert!(text.contains("server.jsonl"), "{text}");
+        // Server anchors t0; loadgen starts 1 s later and its last
+        // event (trace t=2 ms) lands at t0 + 1.002 s.
+        assert!(text.contains("aligned span: 1.00 s"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aligned_summary_tolerates_missing_anchor() {
+        let dir = std::env::temp_dir().join("dut_obs_align_noanchor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.jsonl");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n",
+                Event::new("span")
+                    .with("name", "w")
+                    .with("elapsed_us", 5u64)
+                    .to_json_line()
+            ),
+        )
+        .unwrap();
+        let path = path.to_string_lossy().into_owned();
+        let text = summarize_aligned(&[path.as_str()]).unwrap();
+        assert!(text.contains("no anchor"), "{text}");
+        assert!(text.contains("cannot share a time axis"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

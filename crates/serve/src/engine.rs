@@ -27,6 +27,7 @@ use dut_simnet::Verdict;
 use dut_stats::seed::derive_seed2;
 use dut_stats::{seed::derive_seed, SuccessEstimate};
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -162,6 +163,7 @@ fn assemble(
     estimate: &SuccessEstimate,
     cache_hit: bool,
     start: Instant,
+    rid: u64,
 ) -> Reply {
     Reply {
         verdict,
@@ -170,6 +172,7 @@ fn assemble(
         wilson_hi: estimate.wilson_upper(WILSON_Z),
         cache_hit,
         micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        rid,
     }
 }
 
@@ -186,22 +189,41 @@ pub fn offline_reply(req: &Request) -> Result<Reply, String> {
     let start = Instant::now();
     let entry = build_entry(&CacheKey::of(req))?;
     let (verdict, estimate) = run_trials(&entry, req);
-    Ok(assemble(verdict, &estimate, false, start))
+    Ok(assemble(verdict, &estimate, false, start, 0))
 }
+
+/// Default trace sampling rate: one request in this many emits a
+/// `serve_trace` event at normal (non-verbose) level, so a sink sees
+/// a steady per-request sample under heavy traffic without recording
+/// every request.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
 
 /// A request evaluator with a bounded LRU of prepared testers.
 #[derive(Debug)]
 pub struct Engine {
     cache: TesterCache,
+    trace_sample: u64,
+    next_rid: AtomicU64,
 }
 
 impl Engine {
     /// Creates an engine whose cache holds at most `cache_cap`
-    /// prepared testers (clamped to at least 1).
+    /// prepared testers (clamped to at least 1), tracing one request
+    /// in [`DEFAULT_TRACE_SAMPLE`].
     #[must_use]
     pub fn new(cache_cap: usize) -> Engine {
+        Engine::with_trace_sample(cache_cap, DEFAULT_TRACE_SAMPLE)
+    }
+
+    /// Like [`Engine::new`] with an explicit sampling rate: one
+    /// request in `trace_sample` emits a `serve_trace` event
+    /// (0 disables sampled traces entirely).
+    #[must_use]
+    pub fn with_trace_sample(cache_cap: usize, trace_sample: u64) -> Engine {
         Engine {
             cache: TesterCache::new(cache_cap),
+            trace_sample,
+            next_rid: AtomicU64::new(0),
         }
     }
 
@@ -211,33 +233,80 @@ impl Engine {
         self.cache.len()
     }
 
-    /// Evaluates one request: resolve the tester (cache or build),
-    /// run the trials on the histogram fast path, assemble the reply.
-    /// Every call increments `serve_requests` and exactly one of
-    /// `serve_cache_hits` / `serve_cache_misses`, and records the
-    /// service time in the `request_micros` histogram.
+    /// Evaluates one request; see [`Engine::handle_queued`] (this is
+    /// the zero-queue-wait form used by tests and the offline
+    /// verifier).
     ///
     /// # Errors
     ///
     /// Returns the validation message for unsatisfiable
     /// configurations (sent back to the client as `{"error":...}`).
     pub fn handle(&self, req: &Request) -> Result<Reply, String> {
+        self.handle_queued(req, 0)
+    }
+
+    /// Evaluates one request: resolve the tester (cache or build),
+    /// run the trials on the histogram fast path, assemble the reply.
+    /// Every call increments `serve_requests` and exactly one of
+    /// `serve_cache_hits` / `serve_cache_misses`, records the service
+    /// time in `request_micros` and the per-phase times in
+    /// `calibrate_micros` (miss builds only) and `compute_micros`,
+    /// assigns the reply a process-unique `rid`, and ticks the
+    /// windowed-metrics ring. `queue_wait_micros` is how long the
+    /// connection waited for a worker (already recorded in the
+    /// `queue_wait_micros` histogram by the server; threaded through
+    /// here so sampled traces show the full queue → calibrate →
+    /// compute breakdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for unsatisfiable
+    /// configurations (sent back to the client as `{"error":...}`).
+    pub fn handle_queued(&self, req: &Request, queue_wait_micros: u64) -> Result<Reply, String> {
         let start = Instant::now();
         let key = CacheKey::of(req);
         let registry = dut_obs::metrics::global();
+        let rid = self.next_rid.fetch_add(1, Ordering::Relaxed) + 1;
         registry.incr(Counter::ServeRequests);
-        let (entry, cache_hit) = self.cache.get_or_build(&key, build_entry);
+        let mut calibrate_micros = 0u64;
+        let (entry, cache_hit) = self.cache.get_or_build(&key, |k| {
+            let build_start = Instant::now();
+            let built = build_entry(k);
+            calibrate_micros = u64::try_from(build_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            registry.observe(HistogramId::CalibrateMicros, calibrate_micros);
+            built
+        });
         registry.incr(if cache_hit {
             Counter::ServeCacheHits
         } else {
             Counter::ServeCacheMisses
         });
         let entry = entry?;
+        let compute_start = Instant::now();
         let (verdict, estimate) = run_trials(&entry, req);
-        let reply = assemble(verdict, &estimate, cache_hit, start);
+        let compute_micros = u64::try_from(compute_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        registry.observe(HistogramId::ComputeMicros, compute_micros);
+        let reply = assemble(verdict, &estimate, cache_hit, start, rid);
         registry.observe(HistogramId::RequestMicros, reply.micros);
+        // Tick the windowed-metrics ring; at most one snapshot per
+        // epoch actually captures, so this is a relaxed load + compare
+        // on the hot path.
+        dut_obs::window::global().maybe_capture(registry, dut_obs::global().now_micros());
+        if self.trace_sample > 0 && rid.is_multiple_of(self.trace_sample) {
+            dut_obs::global().emit_with(|| {
+                dut_obs::Event::new("serve_trace")
+                    .with("rid", rid)
+                    .with("queue_us", queue_wait_micros)
+                    .with("calibrate_us", calibrate_micros)
+                    .with("compute_us", compute_micros)
+                    .with("total_us", reply.micros)
+                    .with("cache", if cache_hit { "hit" } else { "miss" })
+                    .with("verdict", verdict.to_string())
+            });
+        }
         dut_obs::global().emit_verbose_with(|| {
             dut_obs::Event::new("serve_request")
+                .with("rid", rid)
                 .with("n", req.n)
                 .with("k", req.k)
                 .with("q", req.q)
@@ -283,6 +352,34 @@ mod tests {
             assert_eq!(served.wilson_lo.to_bits(), offline.wilson_lo.to_bits());
             assert_eq!(served.wilson_hi.to_bits(), offline.wilson_hi.to_bits());
         }
+    }
+
+    #[test]
+    fn rids_are_unique_and_increasing() {
+        let engine = Engine::new(4);
+        let a = engine.handle(&request(1)).unwrap();
+        let b = engine.handle(&request(2)).unwrap();
+        assert!(a.rid > 0, "served replies carry a nonzero rid");
+        assert_eq!(b.rid, a.rid + 1);
+        assert_eq!(offline_reply(&request(1)).unwrap().rid, 0);
+    }
+
+    #[test]
+    fn phase_histograms_move_on_handle() {
+        let registry = dut_obs::metrics::global();
+        let calibrate_before = registry.histogram(HistogramId::CalibrateMicros).count();
+        let compute_before = registry.histogram(HistogramId::ComputeMicros).count();
+        let engine = Engine::new(4);
+        let mut req = request(77);
+        req.n = 96; // distinct config → guaranteed cache miss
+        engine.handle(&req).unwrap();
+        engine.handle(&req).unwrap();
+        // The registry is process-global and other tests run in
+        // parallel, so assert growth, not exact counts: one miss →
+        // at least one calibrate observation, two handles → at least
+        // two computes.
+        assert!(registry.histogram(HistogramId::CalibrateMicros).count() > calibrate_before);
+        assert!(registry.histogram(HistogramId::ComputeMicros).count() >= compute_before + 2);
     }
 
     #[test]

@@ -37,8 +37,11 @@ pub mod engine;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod stats;
+pub mod top;
 
 pub use engine::Engine;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{Command, Reply, Request};
 pub use server::{ServeConfig, ServerHandle};
+pub use stats::Stats;

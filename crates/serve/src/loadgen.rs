@@ -15,11 +15,18 @@
 
 use crate::engine::Engine;
 use crate::protocol::{self, Family, ReplyLine, Request};
+use crate::stats::Stats;
 use dut_core::Rule;
+use dut_obs::json::{self, Json};
 use parking_lot::Mutex;
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Schema tag stamped into (and required from) every bench artifact.
+pub const BENCH_SCHEMA: &str = "dut-bench-serve/v1";
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -308,6 +315,211 @@ fn record_reply(
     }
 }
 
+/// Connects, sends one `{"cmd":"stats"}`, and parses the reply.
+///
+/// # Errors
+///
+/// Returns an error if the server cannot be reached or the reply is
+/// not a stats line.
+pub fn fetch_stats(addr: &str) -> Result<Stats, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    writeln!(writer, "{{\"cmd\":\"stats\"}}").map_err(|e| format!("cannot send stats: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let got = reader
+        .read_line(&mut line)
+        .map_err(|e| format!("no stats reply: {e}"))?;
+    if got == 0 {
+        return Err("server closed before replying to stats".to_owned());
+    }
+    Stats::parse(line.trim())
+}
+
+/// Server-side accounting cross-checked against the client's tally.
+#[derive(Debug, Clone)]
+pub struct StatsCheck {
+    /// Stats snapshot taken before the first request was sent.
+    pub pre: Stats,
+    /// Stats snapshot taken after the last reply was read.
+    pub post: Stats,
+    /// Successful mid-load stats polls (the server answered admin
+    /// commands while under load).
+    pub mid_polls: u64,
+    /// Human-readable inconsistencies; empty means the check passed.
+    pub failures: Vec<String>,
+}
+
+impl StatsCheck {
+    /// Whether every consistency assertion held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a pre/post stats delta against the client-side report.
+/// The deltas make the check robust to whatever traffic the server
+/// saw before this run — but they assume *this* loadgen was the only
+/// source of `run` traffic in between.
+#[must_use]
+pub fn check_consistency(pre: &Stats, post: &Stats, report: &LoadgenReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let served = post.requests.saturating_sub(pre.requests);
+    if served != report.replies {
+        failures.push(format!(
+            "server answered {served} requests but loadgen saw {} replies",
+            report.replies
+        ));
+    }
+    let hits = post.cache_hits.saturating_sub(pre.cache_hits);
+    let misses = post.cache_misses.saturating_sub(pre.cache_misses);
+    if hits + misses != served {
+        failures.push(format!(
+            "cache lookups ({hits} hits + {misses} misses) != {served} requests served"
+        ));
+    }
+    if post.shed.saturating_sub(pre.shed) < report.shed {
+        failures.push(format!(
+            "server counted {} sheds but loadgen received {} overloaded replies",
+            post.shed.saturating_sub(pre.shed),
+            report.shed
+        ));
+    }
+    if !(post.p50_micros <= post.p95_micros && post.p95_micros <= post.p99_micros) {
+        failures.push(format!(
+            "windowed quantiles out of order: p50 {} p95 {} p99 {}",
+            post.p50_micros, post.p95_micros, post.p99_micros
+        ));
+    }
+    if served > 0 && post.p99_micros <= 0.0 {
+        failures.push("requests were served but windowed p99 is zero".to_owned());
+    }
+    failures
+}
+
+/// Runs the generator with the stats cross-check wrapped around it:
+/// snapshot before, poll `{"cmd":"stats"}` from a side thread during
+/// the run (proving the admin plane answers under load), snapshot
+/// after, and compare the server's accounting to the client's.
+///
+/// # Errors
+///
+/// Returns an error when the server is unreachable or a stats
+/// snapshot fails; accounting *inconsistencies* are reported in the
+/// returned [`StatsCheck`], not as errors.
+pub fn run_checked(config: &LoadgenConfig) -> Result<(LoadgenReport, StatsCheck), String> {
+    let pre = fetch_stats(&config.addr)?;
+    let stop = AtomicBool::new(false);
+    let mid_polls = AtomicU64::new(0);
+    let report = std::thread::scope(|scope| {
+        let poller = scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                if fetch_stats(&config.addr).is_ok() {
+                    mid_polls.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        let report = run(config);
+        stop.store(true, Ordering::Relaxed);
+        let _ = poller.join();
+        report
+    })?;
+    let post = fetch_stats(&config.addr)?;
+    let failures = check_consistency(&pre, &post, &report);
+    Ok((
+        report,
+        StatsCheck {
+            pre,
+            post,
+            mid_polls: mid_polls.load(Ordering::Relaxed),
+            failures,
+        },
+    ))
+}
+
+/// Renders a bench artifact: the client-side report plus, when given,
+/// the server's post-run stats line under `"server"`.
+#[must_use]
+pub fn bench_json(report: &LoadgenReport, stats: Option<&Stats>) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{BENCH_SCHEMA}\",\"sent\":{},\"replies\":{},\"shed\":{},\"errors\":{},\"mismatches\":{}",
+        report.sent, report.replies, report.shed, report.errors, report.mismatches
+    );
+    let _ = write!(
+        out,
+        ",\"elapsed_us\":{}",
+        u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX)
+    );
+    out.push_str(",\"achieved_rps\":");
+    json::write_f64(&mut out, report.achieved_rps);
+    let _ = write!(
+        out,
+        ",\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}",
+        report.p50_micros, report.p95_micros, report.p99_micros
+    );
+    if let Some(stats) = stats {
+        let _ = write!(out, ",\"server\":{}", stats.render());
+    }
+    out.push('}');
+    out
+}
+
+/// Validates a bench artifact against the `dut-bench-serve/v1`
+/// schema: the tag, every required field with the right type, and the
+/// internal invariants (replies ≤ sent, ordered quantiles).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_bench_json(text: &str) -> Result<(), String> {
+    let doc = json::parse(text.trim()).map_err(|e| format!("not JSON: {e}"))?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == BENCH_SCHEMA => {}
+        Some(Json::Str(s)) => return Err(format!("schema is `{s}`, expected `{BENCH_SCHEMA}`")),
+        _ => return Err("missing `schema` tag".to_owned()),
+    }
+    let need_u64 = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer `{key}`"))
+    };
+    let sent = need_u64("sent")?;
+    let replies = need_u64("replies")?;
+    need_u64("shed")?;
+    need_u64("errors")?;
+    need_u64("mismatches")?;
+    need_u64("elapsed_us")?;
+    let p50 = need_u64("p50_us")?;
+    let p95 = need_u64("p95_us")?;
+    let p99 = need_u64("p99_us")?;
+    if doc.get("achieved_rps").and_then(Json::as_f64).is_none() {
+        return Err("missing or non-numeric `achieved_rps`".to_owned());
+    }
+    if replies > sent {
+        return Err(format!("{replies} replies exceed {sent} sends"));
+    }
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "quantiles out of order: p50 {p50} p95 {p95} p99 {p99}"
+        ));
+    }
+    if let Some(server) = doc.get("server") {
+        // The embedded server stats must themselves parse.
+        let mut line = String::new();
+        json::write(&mut line, server);
+        Stats::parse(&line).map_err(|e| format!("embedded `server` stats invalid: {e}"))?;
+    }
+    Ok(())
+}
+
 /// Connects, sends `{"cmd":"shutdown"}`, and waits for the ack.
 ///
 /// # Errors
@@ -371,5 +583,99 @@ mod tests {
         };
         assert!(run(&config).is_err());
         assert!(send_shutdown(&config.addr).is_err());
+        assert!(fetch_stats(&config.addr).is_err());
+        assert!(run_checked(&config).is_err());
+    }
+
+    fn report() -> LoadgenReport {
+        LoadgenReport {
+            sent: 100,
+            replies: 90,
+            shed: 10,
+            errors: 0,
+            mismatches: 0,
+            elapsed: Duration::from_secs(2),
+            achieved_rps: 45.0,
+            p50_micros: 100,
+            p95_micros: 300,
+            p99_micros: 900,
+        }
+    }
+
+    #[test]
+    fn bench_json_passes_its_own_validator() {
+        let line = bench_json(&report(), None);
+        check_bench_json(&line).unwrap();
+        // With embedded server stats too.
+        let line = bench_json(&report(), Some(&Stats::default()));
+        check_bench_json(&line).unwrap();
+    }
+
+    #[test]
+    fn bench_validator_rejects_bad_artifacts() {
+        assert!(check_bench_json("not json").is_err());
+        assert!(check_bench_json("{\"schema\":\"dut-bench-serve/v0\"}").is_err());
+        let missing = "{\"schema\":\"dut-bench-serve/v1\",\"sent\":5}";
+        assert!(check_bench_json(missing).unwrap_err().contains("replies"));
+        let inverted = bench_json(
+            &LoadgenReport {
+                p50_micros: 900,
+                p99_micros: 100,
+                ..report()
+            },
+            None,
+        );
+        assert!(check_bench_json(&inverted).unwrap_err().contains("order"));
+        let overcounted = bench_json(
+            &LoadgenReport {
+                replies: 200,
+                ..report()
+            },
+            None,
+        );
+        assert!(check_bench_json(&overcounted)
+            .unwrap_err()
+            .contains("exceed"));
+    }
+
+    #[test]
+    fn consistency_check_compares_deltas() {
+        let pre = Stats {
+            requests: 10,
+            cache_hits: 6,
+            cache_misses: 4,
+            ..Stats::default()
+        };
+        let post = Stats {
+            requests: 100,
+            cache_hits: 80,
+            cache_misses: 20,
+            shed: 10,
+            p50_micros: 50.0,
+            p95_micros: 80.0,
+            p99_micros: 95.0,
+            ..Stats::default()
+        };
+        let report = LoadgenReport {
+            replies: 90,
+            shed: 10,
+            ..report()
+        };
+        assert!(check_consistency(&pre, &post, &report).is_empty());
+        // A lost reply shows up as a request-count mismatch.
+        let short = LoadgenReport {
+            replies: 89,
+            ..report
+        };
+        let failures = check_consistency(&pre, &post, &short);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("89"));
+        // Broken cache accounting is its own failure.
+        let bad_cache = Stats {
+            cache_hits: 70,
+            ..post.clone()
+        };
+        let failures = check_consistency(&pre, &bad_cache, &report);
+        assert!(failures.iter().any(|f| f.contains("cache lookups")));
     }
 }

@@ -8,12 +8,14 @@
 //! ```
 //!
 //! `samples` (the input family) defaults to `"uniform"` and `trials`
-//! to 1. A `{"cmd":"shutdown"}` line asks the server to drain and
-//! exit. Replies are single lines too:
+//! to 1. Admin commands share the line format: `{"cmd":"shutdown"}`
+//! drains and stops the server, `{"cmd":"stats"}` returns cumulative
+//! and windowed metrics with SLO status, `{"cmd":"flight"}` dumps the
+//! flight recorder's recent events. Replies are single lines too:
 //!
 //! ```json
 //! {"verdict":"accept","p_hat":0.95,"wilson_lo":0.76,"wilson_hi":0.99,
-//!  "cache":"hit","micros":412}
+//!  "cache":"hit","micros":412,"rid":1042}
 //! ```
 //!
 //! Errors come back as `{"error":"..."}`; a shed connection receives
@@ -131,6 +133,10 @@ pub enum Command {
     Run(Request),
     /// Drain in-flight work and stop the server.
     Shutdown,
+    /// Reply with cumulative + windowed metrics and SLO status.
+    Stats,
+    /// Reply with the flight recorder's retained events.
+    Flight,
 }
 
 fn field_usize(doc: &Json, key: &str) -> Result<usize, String> {
@@ -152,7 +158,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     if let Some(cmd) = doc.get("cmd").and_then(Json::as_str) {
         return match cmd {
             "shutdown" => Ok(Command::Shutdown),
-            other => Err(format!("unknown cmd `{other}`")),
+            "stats" => Ok(Command::Stats),
+            "flight" => Ok(Command::Flight),
+            other => Err(format!("unknown cmd `{other}` (shutdown | stats | flight)")),
         };
     }
     let n = field_usize(&doc, "n")?;
@@ -268,6 +276,10 @@ pub struct Reply {
     pub cache_hit: bool,
     /// Service time in microseconds (cache resolution + trials).
     pub micros: u64,
+    /// Server-assigned request id, unique per process lifetime; the
+    /// correlation handle between a reply and its trace events
+    /// (0 for offline/legacy replies, which have no server).
+    pub rid: u64,
 }
 
 impl Reply {
@@ -285,9 +297,10 @@ impl Reply {
         json::write_f64(&mut out, self.wilson_hi);
         let _ = write!(
             out,
-            ",\"cache\":\"{}\",\"micros\":{}",
+            ",\"cache\":\"{}\",\"micros\":{},\"rid\":{}",
             if self.cache_hit { "hit" } else { "miss" },
-            self.micros
+            self.micros,
+            self.rid
         );
         out.push('}');
         out
@@ -341,6 +354,7 @@ impl ReplyLine {
             wilson_hi: num("wilson_hi")?,
             cache_hit: doc.get("cache").and_then(Json::as_str) == Some("hit"),
             micros: doc.get("micros").and_then(Json::as_u64).unwrap_or(0),
+            rid: doc.get("rid").and_then(Json::as_u64).unwrap_or(0),
         }))
     }
 }
@@ -399,6 +413,7 @@ mod tests {
             wilson_hi: 0.999_999_999_999_999_9,
             cache_hit: true,
             micros: 777,
+            rid: 31,
         };
         let parsed = ReplyLine::parse(&reply.render()).unwrap();
         let ReplyLine::Reply(back) = parsed else {
@@ -417,6 +432,8 @@ mod tests {
             parse_command("{\"cmd\":\"shutdown\"}"),
             Ok(Command::Shutdown)
         );
+        assert_eq!(parse_command("{\"cmd\":\"stats\"}"), Ok(Command::Stats));
+        assert_eq!(parse_command("{\"cmd\":\"flight\"}"), Ok(Command::Flight));
         assert_eq!(
             ReplyLine::parse(&render_overloaded()),
             Ok(ReplyLine::Overloaded)

@@ -17,17 +17,24 @@
 
 use crate::engine::Engine;
 use crate::protocol::{self, Command};
-use dut_obs::metrics::{Counter, Gauge};
+use crate::stats;
+use dut_obs::metrics::{Counter, Gauge, HistogramId};
+use dut_obs::slo::SloConfig;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Read/accept poll granularity; bounds shutdown-notice latency.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Consecutive sheds that count as a burst and trigger an automatic
+/// flight-recorder dump (once per burst; the streak resets when a
+/// connection is accepted again).
+pub const SHED_BURST_THRESHOLD: u64 = 8;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +47,11 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Connections waiting for a worker before the server sheds.
     pub queue_cap: usize,
+    /// One request in this many emits a sampled `serve_trace` event
+    /// (0 disables sampling).
+    pub trace_sample: u64,
+    /// Service-level objectives evaluated by `{"cmd":"stats"}`.
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -49,22 +61,35 @@ impl Default for ServeConfig {
             workers: 4,
             cache_cap: 32,
             queue_cap: 64,
+            trace_sample: crate::engine::DEFAULT_TRACE_SAMPLE,
+            slo: SloConfig::default(),
         }
     }
 }
 
+/// A queued connection: the socket plus when it entered the queue,
+/// so the dequeuing worker can charge the wait to the queue phase.
+struct QueuedConn {
+    stream: TcpStream,
+    enqueued_at: Instant,
+}
+
 struct Shared {
     engine: Engine,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConn>>,
     available: Condvar,
     shutdown: AtomicBool,
     queue_cap: usize,
+    slo: SloConfig,
+    /// Consecutive sheds since the last successful enqueue; crossing
+    /// [`SHED_BURST_THRESHOLD`] dumps the flight recorder once.
+    shed_streak: AtomicU64,
 }
 
 impl Shared {
     /// Locks the connection queue, recovering from poisoning (a
     /// panicking worker must not wedge the whole server).
-    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<QueuedConn>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -132,12 +157,21 @@ pub fn start(config: &ServeConfig) -> Result<ServerHandle, String> {
     let addr = listener
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    // The flight recorder is a process-wide sink: install it once no
+    // matter how many servers this process starts (tests start many).
+    static FLIGHT_INSTALL: Once = Once::new();
+    FLIGHT_INSTALL.call_once(|| {
+        dut_obs::global()
+            .install_sink(Arc::clone(dut_obs::flight::global()) as Arc<dyn dut_obs::Sink>);
+    });
     let shared = Arc::new(Shared {
-        engine: Engine::new(config.cache_cap),
+        engine: Engine::with_trace_sample(config.cache_cap, config.trace_sample),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         queue_cap: config.queue_cap.max(1),
+        slo: config.slo,
+        shed_streak: AtomicU64::new(0),
     });
     let workers = config.workers.max(1);
     let mut threads = Vec::with_capacity(workers + 1);
@@ -194,31 +228,46 @@ fn enqueue_or_shed(shared: &Shared, mut stream: TcpStream) {
     let registry = dut_obs::metrics::global();
     let mut queue = shared.lock_queue();
     if queue.len() >= shared.queue_cap {
+        // The gauge is authoritative on every path; a full queue is
+        // still a queue-depth observation. Written under the lock so
+        // concurrent enqueues/dequeues cannot interleave a stale
+        // value over a fresh one.
+        registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
         drop(queue);
         // Shed: explicit reply, then close. The write is best effort
         // — a client that already gave up is not our problem — but
         // the counter always moves.
         registry.incr(Counter::ServeShed);
+        let streak = shared.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak == SHED_BURST_THRESHOLD {
+            // A burst is in progress: capture what led up to it. The
+            // dump travels as a trace event, so file sinks record the
+            // incident context; the ring itself skips it.
+            dut_obs::global().emit_with(|| dut_obs::flight::global().dump_event("shed_burst"));
+        }
         let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
         let _ = writeln!(stream, "{}", protocol::render_overloaded());
     } else {
-        queue.push_back(stream);
-        let depth = queue.len();
+        shared.shed_streak.store(0, Ordering::Relaxed);
+        queue.push_back(QueuedConn {
+            stream,
+            enqueued_at: Instant::now(),
+        });
+        registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
         drop(queue);
-        registry.set_gauge(Gauge::ServeQueueDepth, depth as u64);
         shared.available.notify_one();
     }
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
+        let conn = {
             let mut queue = shared.lock_queue();
             loop {
-                if let Some(stream) = queue.pop_front() {
+                if let Some(conn) = queue.pop_front() {
                     dut_obs::metrics::global()
                         .set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
-                    break Some(stream);
+                    break Some(conn);
                 }
                 if shared.is_shutting_down() {
                     break None;
@@ -230,8 +279,13 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        match stream {
-            Some(stream) => serve_connection(shared, stream),
+        match conn {
+            Some(conn) => {
+                let waited =
+                    u64::try_from(conn.enqueued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                dut_obs::metrics::global().observe(HistogramId::QueueWaitMicros, waited);
+                serve_connection(shared, conn.stream, waited);
+            }
             None => break,
         }
     }
@@ -240,13 +294,18 @@ fn worker_loop(shared: &Shared) {
 /// Serves one connection until EOF, error, or drained shutdown.
 /// Every complete request line gets exactly one reply line; a partial
 /// line at shutdown or disconnect is dropped (never half-answered).
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+///
+/// `queue_wait_micros` is how long the connection sat in the accept
+/// queue; it is charged to the *first* request only (later requests on
+/// the same connection never waited in that queue).
+fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait_micros: u64) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     // One-line replies must leave immediately: without nodelay the
     // reply sits in Nagle's buffer waiting on the client's delayed
     // ACK, turning every request into a ~40ms round trip.
     let _ = stream.set_nodelay(true);
+    let mut queue_wait = queue_wait_micros;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -261,7 +320,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                     if text.is_empty() {
                         continue;
                     }
-                    let (reply, stop) = answer_line(shared, text);
+                    let (reply, stop) = answer_line(shared, text, queue_wait);
+                    queue_wait = 0;
                     if writeln!(stream, "{reply}").is_err() {
                         return;
                     }
@@ -291,16 +351,23 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Evaluates one request line; returns the reply and whether this
 /// connection should close (shutdown acknowledgement).
-fn answer_line(shared: &Shared, line: &str) -> (String, bool) {
+fn answer_line(shared: &Shared, line: &str, queue_wait_micros: u64) -> (String, bool) {
     match protocol::parse_command(line) {
-        Ok(Command::Run(request)) => match shared.engine.handle(&request) {
-            Ok(reply) => (reply.render(), false),
-            Err(message) => (protocol::render_error(&message), false),
-        },
+        Ok(Command::Run(request)) => {
+            match shared.engine.handle_queued(&request, queue_wait_micros) {
+                Ok(reply) => (reply.render(), false),
+                Err(message) => (protocol::render_error(&message), false),
+            }
+        }
         Ok(Command::Shutdown) => {
             shared.begin_shutdown();
             (protocol::render_shutdown_ack(), true)
         }
+        Ok(Command::Stats) => {
+            let cached = u64::try_from(shared.engine.cached_testers()).unwrap_or(u64::MAX);
+            (stats::gather(cached, &shared.slo).render(), false)
+        }
+        Ok(Command::Flight) => (stats::render_flight(dut_obs::flight::global()), false),
         Err(message) => (protocol::render_error(&message), false),
     }
 }

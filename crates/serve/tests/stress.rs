@@ -17,6 +17,7 @@ fn start_server(workers: usize, queue_cap: usize) -> server::ServerHandle {
         workers,
         cache_cap: 16,
         queue_cap,
+        ..ServeConfig::default()
     })
     .expect("server starts on an ephemeral port")
 }

@@ -1,0 +1,221 @@
+//! End-to-end telemetry tests: the stats and flight admin commands
+//! against a live server, queue-depth gauge hygiene, the shed-burst
+//! flight dump, and the `dut top` dashboard loop.
+//!
+//! The metrics registry and flight recorder are process-global, so
+//! every test that generates `run` traffic (or compares counter
+//! deltas) serializes on [`TRAFFIC`]; pure protocol tests and the
+//! renderer tests stay parallel.
+
+use dut_core::Rule;
+use dut_serve::protocol::{render_request, Family, ReplyLine, Request};
+use dut_serve::server::{self, ServeConfig, SHED_BURST_THRESHOLD};
+use dut_serve::stats::Stats;
+use dut_serve::{loadgen, top};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes tests whose counter-delta assertions would see each
+/// other's traffic through the process-global registry.
+static TRAFFIC: Mutex<()> = Mutex::new(());
+
+fn start_server(workers: usize, queue_cap: usize) -> server::ServerHandle {
+    server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        cache_cap: 16,
+        queue_cap,
+        ..ServeConfig::default()
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+fn request() -> Request {
+    Request {
+        n: 64,
+        k: 8,
+        q: 8,
+        eps: 0.5,
+        rule: Rule::Balanced,
+        family: Family::Uniform,
+        seed: 7,
+        trials: 1,
+    }
+}
+
+fn connect(addr: &std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send_line(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    reply.trim().to_owned()
+}
+
+#[test]
+fn stats_accounting_is_exact_and_queue_drains() {
+    let _traffic = TRAFFIC
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let handle = start_server(2, 64);
+    let addr = handle.local_addr();
+    let pre = loadgen::fetch_stats(&addr.to_string()).expect("pre stats");
+    let total = 25u64;
+    {
+        let (mut stream, mut reader) = connect(&addr);
+        for _ in 0..total {
+            let reply = send_line(&mut stream, &mut reader, &render_request(&request()));
+            assert!(
+                matches!(ReplyLine::parse(&reply), Ok(ReplyLine::Reply(_))),
+                "unexpected reply: {reply}"
+            );
+        }
+    }
+    let post = loadgen::fetch_stats(&addr.to_string()).expect("post stats");
+    // Server-side accounting matches the client exactly: every request
+    // answered, every one a cache lookup, nothing left in the queue.
+    assert_eq!(post.requests - pre.requests, total);
+    assert_eq!(
+        (post.cache_hits + post.cache_misses) - (pre.cache_hits + pre.cache_misses),
+        total
+    );
+    assert_eq!(
+        post.queue_depth, 0,
+        "queue depth must return to 0 after drain"
+    );
+    assert!(post.uptime_micros >= pre.uptime_micros);
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn run_checked_passes_against_a_live_server() {
+    let _traffic = TRAFFIC
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let handle = start_server(2, 64);
+    let config = loadgen::LoadgenConfig {
+        addr: handle.local_addr().to_string(),
+        rps: 400,
+        duration: Duration::from_millis(400),
+        connections: 2,
+        verify_offline: false,
+    };
+    let (report, check) = loadgen::run_checked(&config).expect("run_checked");
+    assert!(report.replies > 0);
+    assert_eq!(report.errors, 0);
+    assert!(
+        check.passed(),
+        "stats cross-check failed: {:?}",
+        check.failures
+    );
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn flight_command_dumps_the_ring() {
+    let handle = start_server(1, 8);
+    let (mut stream, mut reader) = connect(&handle.local_addr());
+    let reply = send_line(&mut stream, &mut reader, "{\"cmd\":\"flight\"}");
+    let doc = dut_obs::json::parse(&reply).expect("flight reply is JSON");
+    let retained = doc
+        .get("retained")
+        .and_then(dut_obs::json::Json::as_u64)
+        .expect("retained count");
+    let events = match doc.get("flight") {
+        Some(dut_obs::json::Json::Arr(items)) => items.len() as u64,
+        other => panic!("flight is not an array: {other:?}"),
+    };
+    assert_eq!(retained, events);
+    // The server's own serve_started event is in the ring, so a live
+    // server never dumps empty.
+    assert!(retained >= 1);
+    drop(stream);
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn shed_burst_triggers_a_flight_dump() {
+    let _traffic = TRAFFIC
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let sink = std::sync::Arc::new(dut_obs::MemorySink::new());
+    dut_obs::global().install_sink(sink.clone());
+    let handle = start_server(1, 1);
+    let addr = handle.local_addr();
+    // Pin the only worker on a connection mid-request...
+    let (mut busy, mut busy_reader) = connect(&addr);
+    let reply = send_line(&mut busy, &mut busy_reader, &render_request(&request()));
+    assert!(matches!(ReplyLine::parse(&reply), Ok(ReplyLine::Reply(_))));
+    // ...fill the queue bound with a second idle connection...
+    let (_queued, _queued_reader) = connect(&addr);
+    // ...then every further connection is shed; enough consecutive
+    // sheds cross the burst threshold and dump the flight recorder.
+    for _ in 0..(SHED_BURST_THRESHOLD + 2) {
+        let (mut victim, mut victim_reader) = connect(&addr);
+        writeln!(victim, "x").ok();
+        let mut line = String::new();
+        victim_reader.read_line(&mut line).expect("shed reply");
+        assert!(
+            matches!(ReplyLine::parse(line.trim()), Ok(ReplyLine::Overloaded)),
+            "expected overloaded, got: {line}"
+        );
+    }
+    let dumps: Vec<_> = sink
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "flight_dump")
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one dump per burst");
+    drop(busy);
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn top_renders_frames_from_a_live_server() {
+    let handle = start_server(2, 16);
+    let config = top::TopConfig {
+        addr: handle.local_addr().to_string(),
+        interval: Duration::from_millis(10),
+        frames: Some(2),
+        clear: true,
+    };
+    let mut out: Vec<u8> = Vec::new();
+    top::run(&config, &mut out).expect("top runs");
+    let text = String::from_utf8(out).expect("utf8 frames");
+    assert_eq!(text.matches("dut top \u{2014}").count(), 2);
+    // The second frame repaints in place.
+    assert!(text.contains("\x1b[2J\x1b[H"));
+    assert!(text.contains("req/s"));
+    assert!(text.contains("SLO"));
+    handle.request_shutdown();
+    handle.join();
+}
+
+#[test]
+fn stats_and_run_interleave_on_one_connection() {
+    let handle = start_server(1, 8);
+    let (mut stream, mut reader) = connect(&handle.local_addr());
+    let first = send_line(&mut stream, &mut reader, "{\"cmd\":\"stats\"}");
+    let stats = Stats::parse(&first).expect("first stats parses");
+    let reply = send_line(&mut stream, &mut reader, &render_request(&request()));
+    assert!(matches!(ReplyLine::parse(&reply), Ok(ReplyLine::Reply(_))));
+    let second = send_line(&mut stream, &mut reader, "{\"cmd\":\"stats\"}");
+    let later = Stats::parse(&second).expect("second stats parses");
+    assert!(later.requests > stats.requests.saturating_sub(1));
+    drop(stream);
+    handle.request_shutdown();
+    handle.join();
+}

@@ -40,6 +40,7 @@ COMMANDS:
     bench     time the per-draw vs histogram sampling backends
     serve     run the long-lived uniformity-testing TCP service
     loadgen   drive a running service at a fixed request rate
+    top       live dashboard over a running service's stats
 
 COMMON OPTIONS:
     --n <int>         domain size                  [default: 1024]
@@ -69,7 +70,9 @@ faults OPTIONS:
     --trials <int>    runs per sweep point         [default: 60]
 
 report USAGE:
-    dut report <trace.jsonl>
+    dut report <trace.jsonl> [<trace.jsonl>...]
+        one trace: per-event summary; several traces: their clock
+        anchors place all events on one shared wall-clock axis
 
 lint USAGE:
     dut lint [workspace-root]     lint the workspace (default: cwd)
@@ -83,18 +86,32 @@ bench USAGE:
 
 serve USAGE:
     dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>]
-              [--queue-cap <N>]
+              [--queue-cap <N>] [--trace-sample <N>]
         serve newline-delimited JSON requests until a client sends
-        {\"cmd\":\"shutdown\"}  [defaults: 127.0.0.1:7979, 4 workers,
-        32 cached testers, 64 queued connections]
+        {\"cmd\":\"shutdown\"}; also answers {\"cmd\":\"stats\"} (windowed
+        metrics + SLO) and {\"cmd\":\"flight\"} (flight-recorder dump)
+        [defaults: 127.0.0.1:7979, 4 workers, 32 cached testers,
+        64 queued connections, 1-in-64 trace sampling]
 
 loadgen USAGE:
     dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>]
-                [--conns <N>] [--smoke] [--shutdown]
+                [--conns <N>] [--smoke] [--stats-check]
+                [--bench-out <file>] [--check <file>]
+                [--shutdown] [--shutdown-only]
         open-loop load at --rps for --duration, then print achieved
         throughput and p50/p95/p99 latency; --smoke runs the CI
-        gate (>=1000 req/s, zero shed, offline-identical verdicts)
-        and --shutdown stops the server afterwards
+        gate (>=1000 req/s, zero shed, offline-identical verdicts);
+        --stats-check cross-checks the server's {\"cmd\":\"stats\"}
+        accounting against the client tally (polling mid-load);
+        --bench-out writes a dut-bench-serve/v1 artifact and --check
+        validates one without generating load; --shutdown stops the
+        server afterwards, --shutdown-only does nothing else
+
+top USAGE:
+    dut top [--addr <host:port>] [--interval <secs>] [--once]
+        poll {\"cmd\":\"stats\"} and render a live dashboard (traffic,
+        cache, latency phases, SLO burn); --once prints one frame
+        and exits  [defaults: 127.0.0.1:7979, 1s interval]
 ";
 
 fn main() -> ExitCode {
@@ -120,6 +137,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         return cmd_loadgen(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return cmd_top(&args[1..]);
     }
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
@@ -400,11 +420,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     .map(|v| config.cache_cap = v),
                 "--queue-cap" => parse_count(&need_value("--queue-cap"), "--queue-cap")
                     .map(|v| config.queue_cap = v),
+                "--trace-sample" => need_value("--trace-sample").and_then(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--trace-sample needs an integer, got `{v}`"))
+                        .map(|v| config.trace_sample = v)
+                }),
                 other => Err(format!("unknown serve option `{other}`")),
             };
         if let Err(message) = parsed {
             eprintln!("error: {message}");
-            eprintln!("usage: dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>] [--queue-cap <N>]");
+            eprintln!("usage: dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>] [--queue-cap <N>] [--trace-sample <N>]");
             return ExitCode::FAILURE;
         }
         i += 2;
@@ -438,6 +463,10 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
     let mut config = dut_serve::LoadgenConfig::default();
     let mut smoke = false;
     let mut shutdown_after = false;
+    let mut shutdown_only = false;
+    let mut stats_check = false;
+    let mut bench_out: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut duration_secs = 2.0f64;
     let mut i = 0;
     while i < args.len() {
@@ -457,6 +486,18 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 i += 1;
                 continue;
             }
+            "--shutdown-only" => {
+                shutdown_only = true;
+                i += 1;
+                continue;
+            }
+            "--stats-check" => {
+                stats_check = true;
+                i += 1;
+                continue;
+            }
+            "--bench-out" => need_value("--bench-out").map(|v| bench_out = Some(v)),
+            "--check" => need_value("--check").map(|v| check_path = Some(v)),
             "--addr" => need_value("--addr").map(|v| config.addr = v),
             "--rps" => need_value("--rps").and_then(|v| {
                 v.parse::<u64>()
@@ -477,11 +518,46 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>] \
-                 [--conns <N>] [--smoke] [--shutdown]"
+                 [--conns <N>] [--smoke] [--stats-check] [--bench-out <file>] [--check <file>] \
+                 [--shutdown] [--shutdown-only]"
             );
             return ExitCode::FAILURE;
         }
         i += 2;
+    }
+    // `--check` validates an existing artifact; no load is generated.
+    if let Some(path) = check_path {
+        return match std::fs::read_to_string(&path) {
+            Ok(text) => match dut_serve::loadgen::check_bench_json(&text) {
+                Ok(()) => {
+                    println!(
+                        "{path}: valid {} artifact",
+                        dut_serve::loadgen::BENCH_SCHEMA
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(message) => {
+                    eprintln!("{path}: {message}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if shutdown_only {
+        return match dut_serve::loadgen::send_shutdown(&config.addr) {
+            Ok(()) => {
+                println!("server at {} acknowledged shutdown", config.addr);
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if smoke {
         config.rps = 2000;
@@ -491,9 +567,13 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
     }
     config.duration = std::time::Duration::from_secs_f64(duration_secs);
     dut_obs::init_from_env();
-    let result = dut_serve::loadgen::run(&config);
+    let result = if stats_check {
+        dut_serve::loadgen::run_checked(&config).map(|(report, check)| (report, Some(check)))
+    } else {
+        dut_serve::loadgen::run(&config).map(|report| (report, None))
+    };
     let code = match result {
-        Ok(report) => {
+        Ok((report, check)) => {
             println!(
                 "loadgen: {} sent, {} replies, {} shed, {} errors in {:.2}s ({:.0} req/s)",
                 report.sent,
@@ -514,11 +594,38 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                     report.replies
                 );
             }
-            if smoke {
+            let mut code = if smoke {
                 smoke_verdict(&report)
             } else {
                 ExitCode::SUCCESS
+            };
+            let server_stats = check.as_ref().map(|c| c.post.clone());
+            if let Some(check) = check {
+                println!(
+                    "stats-check: {} mid-load polls answered; server delta {} requests",
+                    check.mid_polls,
+                    check.post.requests.saturating_sub(check.pre.requests)
+                );
+                if check.passed() {
+                    println!("stats-check: PASS");
+                } else {
+                    for failure in &check.failures {
+                        eprintln!("stats-check FAIL: {failure}");
+                    }
+                    code = ExitCode::FAILURE;
+                }
             }
+            if let Some(path) = bench_out {
+                let line = dut_serve::loadgen::bench_json(&report, server_stats.as_ref());
+                match std::fs::write(&path, format!("{line}\n")) {
+                    Ok(()) => println!("bench artifact written to {path}"),
+                    Err(e) => {
+                        eprintln!("error: cannot write {path}: {e}");
+                        code = ExitCode::FAILURE;
+                    }
+                }
+            }
+            code
         }
         Err(message) => {
             eprintln!("error: {message}");
@@ -592,12 +699,69 @@ fn parse_count(value: &Result<String, String>, key: &str) -> Result<usize, Strin
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let [path] = args else {
-        return Err("usage: dut report <trace.jsonl>".into());
+    match args {
+        [] => Err("usage: dut report <trace.jsonl> [<trace.jsonl>...]".into()),
+        [path] => {
+            let summary = dut_obs::report::summarize_file(path)?;
+            print!("{summary}");
+            Ok(())
+        }
+        paths => {
+            // Several traces: use their clock anchors to place every
+            // process on one shared wall-clock axis.
+            let paths: Vec<&str> = paths.iter().map(String::as_str).collect();
+            let summary = dut_obs::report::summarize_aligned(&paths)?;
+            print!("{summary}");
+            Ok(())
+        }
+    }
+}
+
+/// `dut top` — live dashboard polling a running server's stats.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut config = dut_serve::top::TopConfig {
+        addr: "127.0.0.1:7979".to_owned(),
+        ..dut_serve::top::TopConfig::default()
     };
-    let summary = dut_obs::report::summarize_file(path)?;
-    print!("{summary}");
-    Ok(())
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |key: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{key} needs a value"))
+        };
+        let parsed = match args[i].as_str() {
+            "--once" => {
+                config.frames = Some(1);
+                config.clear = false;
+                i += 1;
+                continue;
+            }
+            "--addr" => need_value("--addr").map(|v| config.addr = v),
+            "--interval" => need_value("--interval").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--interval needs seconds, got `{v}`"))
+                    .map(|v| {
+                        config.interval = std::time::Duration::from_secs_f64(v.clamp(0.1, 60.0));
+                    })
+            }),
+            other => Err(format!("unknown top option `{other}`")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("error: {message}");
+            eprintln!("usage: dut top [--addr <host:port>] [--interval <secs>] [--once]");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    let mut stdout = std::io::stdout();
+    match dut_serve::top::run(&config, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// One measured grid point of the backend benchmark.
