@@ -1,0 +1,697 @@
+//! The concurrency rule pack: lock-order, guarded-by,
+//! check-then-act, and atomic-rmw.
+//!
+//! All four rules are phrased over the lock-region walk in
+//! [`crate::locks`]. Three are purely per-file; **lock-order** is
+//! workspace-level: every file contributes acquired-while-held edges,
+//! [`lock_order_findings`] aggregates them into one graph and reports
+//! cycles. Locks are identified by *name* (the receiver identifier),
+//! so two distinct locks that share a field name across crates are
+//! conservatively merged — acceptable for a lexer-grade checker whose
+//! job is to flag suspicious shapes for a human.
+
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::locks::{walk_fn, LiveGuard, LockEdge};
+use crate::source::{FileKind, GuardedBy, SourceFile};
+use crate::tree::{functions, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names that mutate their receiver or an argument; a
+/// statement containing one of these with the annotated symbol as the
+/// receiver or inside the argument list counts as a **write** for the
+/// guarded-by rule.
+const MUTATORS: &[&str] = &[
+    "set_gauge",
+    "store",
+    "swap",
+    "insert",
+    "remove",
+    "push",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop_back",
+    "clear",
+    "truncate",
+    "extend",
+    "append",
+    "replace",
+    "take",
+    "set",
+    "put",
+    "get_mut",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "incr",
+];
+
+/// Compound and plain assignment operators (excluding comparisons).
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// Presence tests whose result gates a later mutation
+/// (check-then-act rule).
+const CHECKS: &[&str] = &["contains_key", "contains", "get", "is_some", "is_none"];
+
+/// Mutations that act on the checked state (check-then-act rule).
+const CTA_MUTATIONS: &[&str] = &["insert", "remove", "set", "put", "push", "push_back"];
+
+/// A guarded-by annotation together with the file that declares it.
+#[derive(Debug)]
+pub(crate) struct Annotated {
+    pub path: String,
+    pub ann: GuardedBy,
+}
+
+/// A lock-order edge together with the file it was observed in.
+#[derive(Debug)]
+pub(crate) struct WorkspaceEdge {
+    pub path: String,
+    pub edge: LockEdge,
+}
+
+/// Per-lock-region bookkeeping for the check-then-act rule.
+#[derive(Debug)]
+struct RegionStats {
+    lock: String,
+    first_line: u32,
+    check_line: Option<u32>,
+    mutation: Option<(u32, String)>,
+}
+
+/// Runs the per-file concurrency rules on `file`, returning findings
+/// plus the file's contribution to the workspace lock-order graph.
+pub(crate) fn file_findings(
+    file: &SourceFile,
+    annotations: &[Annotated],
+) -> (Vec<Finding>, Vec<WorkspaceEdge>) {
+    let mut out = Vec::new();
+    let mut edges = Vec::new();
+    if file.kind == FileKind::Excluded {
+        return (out, edges);
+    }
+    let applicable: Vec<&Annotated> = annotations
+        .iter()
+        .filter(|a| a.ann.cross_file() || a.path == file.path)
+        .collect();
+
+    for func in &functions(&file.tokens) {
+        let mut regions: BTreeMap<usize, RegionStats> = BTreeMap::new();
+        let mut atomic_bindings: BTreeMap<String, String> = BTreeMap::new();
+        let mut fn_edges: Vec<LockEdge> = Vec::new();
+        walk_fn(&file.tokens, func, &mut fn_edges, &mut |stmt, live| {
+            if file.is_test_line(stmt.first_line) {
+                return;
+            }
+            guarded_by_stmt(file, &applicable, stmt, live, &mut out);
+            check_then_act_stmt(file, stmt, live, &mut regions);
+            atomic_rmw_stmt(file, stmt, &mut atomic_bindings, &mut out);
+        });
+        check_then_act_regions(file, &regions, &mut out);
+        edges.extend(
+            fn_edges
+                .into_iter()
+                .filter(|e| !file.is_test_line(e.line))
+                .map(|edge| WorkspaceEdge {
+                    path: file.path.clone(),
+                    edge,
+                }),
+        );
+    }
+    (out, edges)
+}
+
+/// guarded-by: a write to an annotated symbol with no live guard of
+/// the declared lock.
+fn guarded_by_stmt(
+    file: &SourceFile,
+    annotations: &[&Annotated],
+    stmt: &Stmt,
+    live: &[LiveGuard],
+    out: &mut Vec<Finding>,
+) {
+    if annotations.is_empty() {
+        return;
+    }
+    let own: Vec<usize> = stmt.own_token_indices().collect();
+    for a in annotations {
+        // The declaration line itself is not a write.
+        if a.path == file.path && stmt.covers_line(a.ann.decl_line) {
+            continue;
+        }
+        let Some(sym_at) = own.iter().position(|&i| {
+            file.tokens[i].kind == TokenKind::Ident && file.tokens[i].text == a.ann.symbol
+        }) else {
+            continue;
+        };
+        if live.iter().any(|g| g.lock == a.ann.lock) {
+            continue;
+        }
+        if is_write(file, &own, sym_at, &a.ann.symbol) {
+            let line = file.tokens[own[sym_at]].line;
+            out.push(Finding::new(
+                &file.path,
+                line,
+                "guarded-by",
+                format!(
+                    "`{}` written while its guard `{}` is not held (declared `guarded_by({})` in {})",
+                    a.ann.symbol, a.ann.lock, a.ann.lock, a.path
+                ),
+                "hold the lock across the write (move the write before the guard drops), or fix the annotation",
+            ));
+        }
+    }
+}
+
+/// Whether the statement writes the symbol: a direct assignment
+/// (`sym = …`, `sym += …`), the symbol as a mutator's receiver
+/// (`sym.insert(…)`), or the symbol inside a mutator's argument list
+/// (`registry.set_gauge(SYM, …)`).
+fn is_write(file: &SourceFile, own: &[usize], sym_at: usize, symbol: &str) -> bool {
+    let tok = |k: usize| &file.tokens[own[k]];
+    // Direct assignment: any occurrence of the symbol followed by an
+    // assignment operator.
+    for (p, &i) in own.iter().enumerate() {
+        let t = &file.tokens[i];
+        if t.kind == TokenKind::Ident && t.text == symbol {
+            if let Some(next) = own.get(p + 1) {
+                let n = &file.tokens[*next];
+                if n.kind == TokenKind::Punct && ASSIGN_OPS.contains(&n.text.as_str()) {
+                    return true;
+                }
+            }
+        }
+    }
+    // Mutator calls.
+    for p in 0..own.len() {
+        let t = tok(p);
+        if t.kind != TokenKind::Ident || !MUTATORS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !own
+            .get(p + 1)
+            .is_some_and(|&i| file.tokens[i].is_punct("("))
+        {
+            continue;
+        }
+        // `sym.mutator(...)`
+        if p >= 2 && tok(p - 1).is_punct(".") && tok(p - 2).text == symbol {
+            return true;
+        }
+        // `recv.mutator(..., SYM, ...)` — symbol inside the argument
+        // parens.
+        let mut depth = 0usize;
+        for q in (p + 1)..own.len() {
+            let u = tok(q);
+            if u.is_punct("(") {
+                depth += 1;
+            } else if u.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth > 0 && q == sym_at {
+                return true;
+            } else if depth > 0 && u.kind == TokenKind::Ident && u.text == symbol {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// check-then-act, statement half: record presence checks and
+/// mutations against every live lock region.
+fn check_then_act_stmt(
+    file: &SourceFile,
+    stmt: &Stmt,
+    live: &[LiveGuard],
+    regions: &mut BTreeMap<usize, RegionStats>,
+) {
+    if live.is_empty() {
+        return;
+    }
+    let own: Vec<usize> = stmt.own_token_indices().collect();
+    let mut check: Option<u32> = None;
+    let mut mutation: Option<(u32, String)> = None;
+    for (p, &i) in own.iter().enumerate() {
+        let t = &file.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let called = own
+            .get(p + 1)
+            .is_some_and(|&j| file.tokens[j].is_punct("("));
+        if !called {
+            continue;
+        }
+        if CHECKS.contains(&t.text.as_str()) && check.is_none() {
+            check = Some(t.line);
+        }
+        if CTA_MUTATIONS.contains(&t.text.as_str()) && mutation.is_none() {
+            mutation = Some((t.line, t.text.clone()));
+        }
+    }
+    if check.is_none() && mutation.is_none() {
+        return;
+    }
+    for g in live {
+        let stats = regions.entry(g.region).or_insert_with(|| RegionStats {
+            lock: g.lock.clone(),
+            first_line: g.line,
+            check_line: None,
+            mutation: None,
+        });
+        if stats.check_line.is_none() {
+            stats.check_line = check;
+        }
+        if stats.mutation.is_none() {
+            stats.mutation.clone_from(&mutation);
+        }
+    }
+}
+
+/// check-then-act, function half: a mutation region of lock L with no
+/// re-check, preceded by a check region of the same L.
+fn check_then_act_regions(
+    file: &SourceFile,
+    regions: &BTreeMap<usize, RegionStats>,
+    out: &mut Vec<Finding>,
+) {
+    let mut ordered: Vec<&RegionStats> = regions.values().collect();
+    ordered.sort_by_key(|r| r.first_line);
+    for (j, later) in ordered.iter().enumerate() {
+        let Some((mut_line, ref mut_name)) = later.mutation else {
+            continue;
+        };
+        if later.check_line.is_some() {
+            continue; // re-checked under the same guard: the safe idiom
+        }
+        let Some(check_line) = ordered[..j]
+            .iter()
+            .filter(|r| r.lock == later.lock)
+            .find_map(|r| r.check_line)
+        else {
+            continue;
+        };
+        out.push(Finding::new(
+            &file.path,
+            mut_line,
+            "check-then-act",
+            format!(
+                "`{mut_name}` under `{}` acts on a check made in an earlier lock region (line {check_line}) — the state may have changed between the two acquisitions",
+                later.lock
+            ),
+            "re-check under the guard that performs the mutation, or hold one guard across check and act",
+        ));
+    }
+}
+
+/// atomic-rmw: `let v = A.load(...)` followed by `A.store(… v …)` in
+/// the same function (or `A.store(A.load(…) …)` in one statement).
+fn atomic_rmw_stmt(
+    file: &SourceFile,
+    stmt: &Stmt,
+    bindings: &mut BTreeMap<String, String>,
+    out: &mut Vec<Finding>,
+) {
+    let own: Vec<usize> = stmt.own_token_indices().collect();
+    let tok = |k: usize| &file.tokens[own[k]];
+
+    // Record `let v = … recv.load(…) …` bindings.
+    if own.first().is_some_and(|&i| file.tokens[i].is_ident("let")) {
+        let mut k = 1;
+        if own.get(k).is_some_and(|&i| file.tokens[i].is_ident("mut")) {
+            k += 1;
+        }
+        if let Some(&vi) = own.get(k) {
+            if file.tokens[vi].kind == TokenKind::Ident {
+                let var = file.tokens[vi].text.clone();
+                if let Some(recv) = method_receiver(file, &own, "load") {
+                    bindings.insert(var, recv);
+                }
+            }
+        }
+    }
+
+    // `recv.store(args…)`: flag when the args derive from a load of
+    // the same atomic.
+    for p in 0..own.len() {
+        if !tok(p).is_ident("store") {
+            continue;
+        }
+        if p < 2 || !tok(p - 1).is_punct(".") || tok(p - 2).kind != TokenKind::Ident {
+            continue;
+        }
+        if !own
+            .get(p + 1)
+            .is_some_and(|&i| file.tokens[i].is_punct("("))
+        {
+            continue;
+        }
+        let recv = tok(p - 2).text.clone();
+        let mut depth = 0usize;
+        let mut derived = false;
+        let mut inline_load = false;
+        for q in (p + 1)..own.len() {
+            let u = tok(q);
+            if u.is_punct("(") {
+                depth += 1;
+            } else if u.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth > 0 && u.kind == TokenKind::Ident {
+                if bindings.get(&u.text).is_some_and(|a| *a == recv) {
+                    derived = true;
+                }
+                if u.text == recv {
+                    inline_load = true;
+                }
+                if inline_load && u.text == "load" {
+                    derived = true;
+                }
+            }
+        }
+        if derived {
+            out.push(Finding::new(
+                &file.path,
+                tok(p).line,
+                "atomic-rmw",
+                format!(
+                    "`{recv}.store(…)` writes a value derived from an earlier `{recv}.load(…)` — updates racing between the load and the store are lost",
+                ),
+                "use fetch_add/fetch_sub (or compare_exchange for arbitrary updates) instead of load-then-store",
+            ));
+        }
+    }
+}
+
+/// The receiver of the first `.name(` call in the statement, if any.
+fn method_receiver(file: &SourceFile, own: &[usize], name: &str) -> Option<String> {
+    for p in 2..own.len() {
+        let t = &file.tokens[own[p]];
+        if t.is_ident(name)
+            && file.tokens[own[p - 1]].is_punct(".")
+            && file.tokens[own[p - 2]].kind == TokenKind::Ident
+            && own
+                .get(p + 1)
+                .is_some_and(|&i| file.tokens[i].is_punct("("))
+        {
+            return Some(file.tokens[own[p - 2]].text.clone());
+        }
+    }
+    None
+}
+
+/// lock-order, workspace half: aggregate every acquired-while-held
+/// edge into one graph and flag each edge that sits on a cycle, citing
+/// the opposite-order site.
+pub(crate) fn lock_order_findings(edges: &[WorkspaceEdge]) -> Vec<Finding> {
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        graph
+            .entry(e.edge.held.as_str())
+            .or_default()
+            .insert(e.edge.acquired.as_str());
+    }
+    let mut out: Vec<Finding> = Vec::new();
+    for e in edges {
+        if !reaches(&graph, &e.edge.acquired, &e.edge.held) {
+            continue;
+        }
+        let opposite = edges
+            .iter()
+            .find(|o| o.edge.held == e.edge.acquired && o.edge.acquired == e.edge.held);
+        let cite = match opposite {
+            Some(o) => format!(
+                "the opposite order is taken in fn `{}` ({}:{})",
+                o.edge.func, o.path, o.edge.line
+            ),
+            None => "the reverse path runs through intermediate locks".to_owned(),
+        };
+        out.push(Finding::new(
+            &e.path,
+            e.edge.line,
+            "lock-order",
+            format!(
+                "fn `{}` acquires `{}` while holding `{}` (held since line {}), but {} — deadlock-capable cycle",
+                e.edge.func, e.edge.acquired, e.edge.held, e.edge.held_line, cite
+            ),
+            "pick one global acquisition order for these locks and restructure the out-of-order site",
+        ));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    out
+}
+
+/// BFS reachability over the lock graph.
+fn reaches(graph: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: Vec<&str> = vec![from];
+    while let Some(node) = queue.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = graph.get(node) {
+            queue.extend(next.iter().copied().filter(|n| !seen.contains(n)));
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let annotations: Vec<Annotated> = file
+            .annotations
+            .iter()
+            .map(|ann| Annotated {
+                path: file.path.clone(),
+                ann: ann.clone(),
+            })
+            .collect();
+        let (mut findings, edges) = file_findings(&file, &annotations);
+        findings.extend(lock_order_findings(&edges));
+        findings
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn guarded_write_outside_lock_is_flagged() {
+        let src = "\
+// dut-lint: guarded_by(queue)
+pub static DEPTH: u64 = 0;
+fn f(shared: &S, registry: &R) {
+    let mut queue = shared.lock_queue();
+    drop(queue);
+    registry.set_gauge(DEPTH, 0);
+}
+";
+        let findings = run("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&findings), vec!["guarded-by"]);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn guarded_write_under_lock_is_clean() {
+        let src = "\
+// dut-lint: guarded_by(queue)
+pub static DEPTH: u64 = 0;
+fn f(shared: &S, registry: &R) {
+    let mut queue = shared.lock_queue();
+    registry.set_gauge(DEPTH, queue.len() as u64);
+    drop(queue);
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guarded_reads_are_not_writes() {
+        let src = "\
+// dut-lint: guarded_by(queue)
+pub static DEPTH: u64 = 0;
+fn f(registry: &R) -> u64 {
+    registry.gauge(DEPTH)
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lowercase_symbols_are_file_local() {
+        let src = "\
+// dut-lint: guarded_by(state)
+pub struct Wrapper { map: u64 }
+";
+        let file = SourceFile::parse("crates/a/src/lib.rs", src);
+        let annotations: Vec<Annotated> = file
+            .annotations
+            .iter()
+            .map(|ann| Annotated {
+                path: file.path.clone(),
+                ann: ann.clone(),
+            })
+            .collect();
+        // A different file writing `map` without the lock: not flagged,
+        // because lowercase annotations do not cross files.
+        let other = SourceFile::parse(
+            "crates/b/src/lib.rs",
+            "fn g(map: &mut M, k: u64, v: u64) { map.insert(k, v); }",
+        );
+        let (findings, _) = file_findings(&other, &annotations);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn check_then_act_across_regions_is_flagged() {
+        let src = "\
+fn memo(key: u64, value: u64) -> u64 {
+    if let Some(&v) = CACHE.read().get(&key) {
+        return v;
+    }
+    let mut map = CACHE.write();
+    map.insert(key, value);
+    value
+}
+";
+        let findings = run("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&findings), vec!["check-then-act"]);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn recheck_under_write_guard_is_clean() {
+        let src = "\
+fn memo(key: u64, value: u64) -> u64 {
+    if let Some(&v) = CACHE.read().get(&key) {
+        return v;
+    }
+    let mut map = CACHE.write();
+    if let Some(&v) = map.get(&key) {
+        return v;
+    }
+    map.insert(key, value);
+    value
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn single_region_check_and_act_is_clean() {
+        let src = "\
+fn memo(key: u64, value: u64) {
+    let mut map = CACHE.write();
+    if !map.contains_key(&key) {
+        map.insert(key, value);
+    }
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_load_then_store_is_flagged() {
+        let src = "\
+fn bump(stats: &Stats, delta: u64) {
+    let seen = stats.total.load(Ordering::Relaxed);
+    stats.total.store(seen + delta, Ordering::Relaxed);
+}
+";
+        let findings = run("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&findings), vec!["atomic-rmw"]);
+    }
+
+    #[test]
+    fn store_of_unrelated_value_is_clean() {
+        let src = "\
+fn capture(&self, epoch: u64) {
+    if epoch <= self.last_epoch.load(Ordering::Relaxed) {
+        return;
+    }
+    self.last_epoch.store(epoch, Ordering::Relaxed);
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fetch_add_is_clean() {
+        let src = "fn bump(stats: &Stats) { stats.total.fetch_add(1, Ordering::Relaxed); }";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn opposite_order_acquisitions_form_a_cycle() {
+        let src = "\
+impl S {
+    fn ab(&self) -> u64 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *ga + *gb
+    }
+    fn ba(&self) -> u64 {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        *ga + *gb
+    }
+}
+";
+        let findings = run("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&findings), vec!["lock-order", "lock-order"]);
+        assert!(findings[0].message.contains("opposite order"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "\
+impl S {
+    fn ab(&self) -> u64 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *ga + *gb
+    }
+    fn ab2(&self) -> u64 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *gb - *ga
+    }
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+// dut-lint: guarded_by(queue)
+pub static DEPTH: u64 = 0;
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(registry: &R) {
+        registry.set_gauge(DEPTH, 7);
+    }
+}
+";
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -266,17 +266,22 @@ impl Lexer<'_> {
     fn char_or_lifetime(&mut self) {
         let scan_to_close = |this: &mut Self| {
             while let Some(b) = this.peek(0) {
-                this.pos += if b == b'\\' { 2 } else { 1 };
-                if b == b'\'' {
+                this.pos += 1;
+                if b == b'\n' {
+                    this.line += 1;
+                } else if b == b'\'' {
                     break;
                 }
             }
             this.push(TokenKind::Str, String::from("'…'"));
         };
         match self.peek(1) {
-            // Escaped char literal: skip to the closing quote.
+            // Escaped char literal: consume the backslash and the byte
+            // it escapes — otherwise `'\\'` and `'\''` would read their
+            // own closing quote as escaped and swallow the rest of the
+            // file up to the next stray apostrophe.
             Some(b'\\') => {
-                self.pos += 2;
+                self.pos += 3;
                 scan_to_close(self);
             }
             // Non-ASCII char literal (`'∞'`): scan to the close quote.
@@ -492,6 +497,20 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn escaped_backslash_char_does_not_swallow_the_file() {
+        // `'\\'` ends at its own closing quote; the code after it —
+        // including its line numbers — must survive intact.
+        let lexed = lex("let s = p.replace('\\\\', \"/\");\nlet q = '\\'';\nlet after = 1;");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("code after the char literals is lexed");
+        assert_eq!(after.line, 3);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("replace")));
     }
 
     #[test]

@@ -50,7 +50,27 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "unwrap",
         family: "numeric",
-        summary: "bans .unwrap() in library code — propagate a Result or document the invariant with .expect(\"…\")",
+        summary: "bans .unwrap()/.expect() in library code — propagate a Result, or suppress with the invariant as the reason",
+    },
+    RuleInfo {
+        id: "lock-order",
+        family: "concurrency",
+        summary: "flags cycles in the workspace acquired-while-held lock graph (deadlock risk), citing both acquisition sites",
+    },
+    RuleInfo {
+        id: "guarded-by",
+        family: "concurrency",
+        summary: "symbols annotated `// dut-lint: guarded_by(<lock>)` may only be written while that lock's guard is live",
+    },
+    RuleInfo {
+        id: "check-then-act",
+        family: "concurrency",
+        summary: "flags a contains_key/get/is_some check whose dependent insert/set lands in a different lock region of the same lock",
+    },
+    RuleInfo {
+        id: "atomic-rmw",
+        family: "concurrency",
+        summary: "flags an atomic store whose operand derives from an earlier load of the same atomic — use fetch_*/compare_exchange",
     },
     RuleInfo {
         id: "println",
@@ -88,15 +108,16 @@ pub struct FileOutcome {
     pub suppressed: usize,
 }
 
-/// Runs every applicable rule on `file`.
+/// Runs the token and structure rules on `file`, returning raw
+/// (pre-dedup, pre-suppression) findings. The concurrency rules live
+/// in [`crate::concurrency`]; [`crate::lint_files`] combines both and
+/// applies suppressions.
 #[must_use]
-pub fn check_file(file: &SourceFile) -> FileOutcome {
-    let mut outcome = FileOutcome::default();
-    if file.kind == FileKind::Excluded {
-        return outcome;
-    }
+pub(crate) fn raw_findings(file: &SourceFile) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
-
+    if file.kind == FileKind::Excluded {
+        return raw;
+    }
     scan_tokens(file, &mut raw);
     check_manifest(file, &mut raw);
 
@@ -108,23 +129,10 @@ pub fn check_file(file: &SourceFile) -> FileOutcome {
             *line,
             "bad-suppression",
             problem.clone(),
-            "syntax: `// dut-lint: allow(<rule>): <reason>`",
+            "syntax: `// dut-lint: allow(<rule>): <reason>` or `// dut-lint: guarded_by(<lock>)`",
         ));
     }
-
-    // One finding per (rule, line): repeated hits on a line add noise,
-    // not information.
-    raw.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
-    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
-
-    for f in raw {
-        if f.rule != "bad-suppression" && file.is_suppressed(f.rule, f.line) {
-            outcome.suppressed += 1;
-        } else {
-            outcome.findings.push(f);
-        }
-    }
-    outcome
+    raw
 }
 
 fn finding(
@@ -134,13 +142,7 @@ fn finding(
     message: String,
     hint: &'static str,
 ) -> Finding {
-    Finding {
-        path: file.path.clone(),
-        line,
-        rule,
-        message,
-        hint,
-    }
+    Finding::new(&file.path, line, rule, message, hint)
 }
 
 /// Token-stream rules, one linear pass.
@@ -222,7 +224,25 @@ fn scan_tokens(file: &SourceFile, out: &mut Vec<Finding>) {
                         line,
                         "unwrap",
                         "`.unwrap()` in library code hides the panic condition".to_owned(),
-                        "propagate a Result, or state the invariant with .expect(\"why this holds\")",
+                        "propagate a Result, or suppress with the invariant as the reason",
+                    ));
+                }
+                Some(t)
+                    if t.is_ident("expect")
+                        && matches!(tokens.get(i + 2), Some(t) if t.is_punct("("))
+                        // `Option::expect`/`Result::expect` take a &str
+                        // message. A char or byte literal argument
+                        // (`self.expect(b'"')?`) is some other method
+                        // that happens to share the name.
+                        && !matches!(tokens.get(i + 3),
+                            Some(t) if t.kind == TokenKind::Str && t.text.starts_with('\'')) =>
+                {
+                    out.push(finding(
+                        file,
+                        line,
+                        "unwrap",
+                        "`.expect()` in library code still panics on the error path".to_owned(),
+                        "propagate a Result, or suppress with the invariant as the reason",
                     ));
                 }
                 _ => {}
@@ -349,7 +369,7 @@ mod tests {
     use super::*;
 
     fn lint(path: &str, src: &str) -> FileOutcome {
-        check_file(&SourceFile::parse(path, src))
+        crate::check_file(&SourceFile::parse(path, src))
     }
 
     fn rule_ids(outcome: &FileOutcome) -> Vec<&'static str> {
@@ -406,6 +426,54 @@ mod tests {
             "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
         );
         assert_eq!(rule_ids(&out), vec!["partial-cmp", "unwrap"]);
+    }
+
+    #[test]
+    fn expect_is_flagged_like_unwrap() {
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f(o: Option<u8>) -> u8 { o.expect(\"always present\") }",
+        );
+        assert_eq!(rule_ids(&out), vec!["unwrap"]);
+        assert!(out.findings[0].message.contains(".expect()"));
+        // Binaries may expect; test code may expect.
+        assert!(lint(
+            "src/bin/dut.rs",
+            "fn f(o: Option<u8>) -> u8 { o.expect(\"cli invariant\") }"
+        )
+        .findings
+        .is_empty());
+        let test_src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1u8).expect(\"test code may panic\"); }
+}
+";
+        assert!(lint("crates/x/src/lib.rs", test_src).findings.is_empty());
+    }
+
+    #[test]
+    fn expect_err_and_expect_fields_are_not_flagged() {
+        // `.expect_err(` is a different method; a bare `expect` ident
+        // without a call is not a finding either.
+        let out = lint(
+            "crates/x/src/lib.rs",
+            "fn f(r: Result<u8, u8>) -> u8 { let expect = 1; r.expect_err(\"inverted\") + expect }",
+        );
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn expect_with_byte_literal_is_a_different_method() {
+        // dut-obs's JSON scanner has `fn expect(&mut self, b: u8) ->
+        // Result<…>`; `self.expect(b'"')?` must not read as
+        // Option::expect (whose message is always a string).
+        let out = lint(
+            "crates/obs/src/lib.rs",
+            "fn obj(&mut self) -> Result<(), String> { self.expect(b'{')?; self.expect(':')?; Ok(()) }",
+        );
+        assert!(out.findings.is_empty(), "got {:?}", out.findings);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Per-file analysis context: path classification, `#[cfg(test)]`
 //! region detection, and `// dut-lint: allow(...)` suppressions.
 
-use crate::lexer::{lex, Lexed, LineComment, Token};
+use crate::lexer::{lex, Lexed, LineComment, Token, TokenKind};
 use std::collections::BTreeSet;
 
 /// What kind of code a file holds; rules scope themselves by kind.
@@ -59,6 +59,32 @@ pub struct Suppression {
     pub target_line: u32,
 }
 
+/// A parsed `// dut-lint: guarded_by(<lock>)` annotation: the
+/// symbol declared on the target line may only be written while a
+/// guard of `lock` is live (the `guarded-by` rule).
+#[derive(Debug, Clone)]
+pub struct GuardedBy {
+    /// The lock whose guard must be held.
+    pub lock: String,
+    /// The annotated symbol: the first identifier on the target line
+    /// after declaration keywords (`pub`, `static`, `let`, …).
+    pub symbol: String,
+    /// Line of the annotated declaration.
+    pub decl_line: u32,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+}
+
+impl GuardedBy {
+    /// Uppercase-initial symbols (statics, enum variants) are checked
+    /// workspace-wide; lowercase field names only in their own file,
+    /// because short field names like `map` collide across crates.
+    #[must_use]
+    pub fn cross_file(&self) -> bool {
+        self.symbol.chars().next().is_some_and(char::is_uppercase)
+    }
+}
+
 /// A lexed source file ready for rule checks.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -70,6 +96,8 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// Parsed suppressions.
     pub suppressions: Vec<Suppression>,
+    /// Parsed `guarded_by` annotations.
+    pub annotations: Vec<GuardedBy>,
     /// Comments whose `dut-lint:` marker failed to parse, with the
     /// parse problem (reported as `bad-suppression` findings).
     pub malformed: Vec<(u32, String)>,
@@ -83,12 +111,13 @@ impl SourceFile {
     pub fn parse(path: &str, source: &str) -> Self {
         let lexed = lex(source);
         let test_lines = find_test_lines(&lexed.tokens);
-        let (suppressions, malformed) = parse_suppressions(&lexed);
+        let (suppressions, annotations, malformed) = parse_markers(&lexed);
         Self {
             path: path.replace('\\', "/"),
             kind: classify(path),
             tokens: lexed.tokens,
             suppressions,
+            annotations,
             malformed,
             test_lines,
         }
@@ -204,24 +233,39 @@ fn item_extent(tokens: &[Token], from: usize) -> usize {
 
 const MARKER: &str = "dut-lint:";
 
-/// Parses `dut-lint: allow(<rule>): <reason>` comments. Standalone
+/// Parses the two `dut-lint:` comment forms: `allow(<rule>): <reason>`
+/// suppressions and `guarded_by(<lock>)` annotations. Standalone
 /// comments target the next code line; trailing comments target their
-/// own line.
-fn parse_suppressions(lexed: &Lexed) -> (Vec<Suppression>, Vec<(u32, String)>) {
+/// own line. The marker must *lead* the comment (doc-comment `/`/`!`
+/// prefixes aside) — prose that merely mentions `dut-lint:` syntax,
+/// like this sentence, is not a marker.
+fn parse_markers(lexed: &Lexed) -> (Vec<Suppression>, Vec<GuardedBy>, Vec<(u32, String)>) {
     let mut ok = Vec::new();
+    let mut anns = Vec::new();
     let mut bad = Vec::new();
     for comment in &lexed.comments {
-        let Some(at) = comment.text.find(MARKER) else {
+        let body = comment.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = body.strip_prefix(MARKER) else {
             continue;
         };
-        let rest = comment.text[at + MARKER.len()..].trim();
+        let rest = rest.trim();
+        let target_line = if comment.standalone {
+            next_code_line(lexed, comment)
+        } else {
+            comment.line
+        };
+        if rest.starts_with("guarded_by") {
+            match parse_guarded_by(rest, lexed, target_line) {
+                Ok(mut ann) => {
+                    ann.comment_line = comment.line;
+                    anns.push(ann);
+                }
+                Err(problem) => bad.push((comment.line, problem)),
+            }
+            continue;
+        }
         match parse_allow(rest) {
             Ok((rule, reason)) => {
-                let target_line = if comment.standalone {
-                    next_code_line(lexed, comment)
-                } else {
-                    comment.line
-                };
                 if reason.is_empty() {
                     bad.push((
                         comment.line,
@@ -238,7 +282,43 @@ fn parse_suppressions(lexed: &Lexed) -> (Vec<Suppression>, Vec<(u32, String)>) {
             Err(problem) => bad.push((comment.line, problem)),
         }
     }
-    (ok, bad)
+    (ok, anns, bad)
+}
+
+/// Keywords that may precede the annotated symbol on its declaration
+/// line (`pub static FOO`, `let mut bar`, a struct field, …).
+const DECL_KEYWORDS: &[&str] = &[
+    "pub", "static", "let", "mut", "const", "ref", "crate", "super", "in",
+];
+
+/// Parses the `guarded_by(<lock>)` tail and resolves the annotated
+/// symbol: the first non-keyword identifier on the target line.
+fn parse_guarded_by(rest: &str, lexed: &Lexed, target_line: u32) -> Result<GuardedBy, String> {
+    let rest = rest
+        .strip_prefix("guarded_by(")
+        .ok_or_else(|| "expected `guarded_by(<lock>)` after `dut-lint:`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `guarded_by(` in annotation".to_owned())?;
+    let lock = rest[..close].trim();
+    if lock.is_empty() || !lock.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(
+            "guarded_by names exactly one lock identifier, e.g. `guarded_by(queue)`".to_owned(),
+        );
+    }
+    let symbol = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.line == target_line && t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .find(|name| !DECL_KEYWORDS.contains(name))
+        .ok_or_else(|| "guarded_by annotation targets a line with no symbol to guard".to_owned())?;
+    Ok(GuardedBy {
+        lock: lock.to_owned(),
+        symbol: symbol.to_owned(),
+        decl_line: target_line,
+        comment_line: 0,
+    })
 }
 
 /// Parses the `allow(<rule>): <reason>` tail of a suppression.
@@ -358,9 +438,57 @@ let trailing = w == 0.0; // dut-lint: allow(float-eq): mass is exactly zero here
     }
 
     #[test]
+    fn guarded_by_annotation_resolves_symbol() {
+        let src = "\
+struct CacheState {
+    // dut-lint: guarded_by(state)
+    map: BTreeMap<u64, u64>,
+    tick: u64, // dut-lint: guarded_by(state)
+}
+// dut-lint: guarded_by(queue)
+pub static DEPTH: AtomicU64 = AtomicU64::new(0);
+";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(file.annotations.len(), 3);
+        assert_eq!(file.annotations[0].symbol, "map");
+        assert_eq!(file.annotations[0].lock, "state");
+        assert!(!file.annotations[0].cross_file());
+        assert_eq!(file.annotations[1].symbol, "tick");
+        assert_eq!(file.annotations[1].decl_line, 4);
+        assert_eq!(file.annotations[2].symbol, "DEPTH");
+        assert_eq!(file.annotations[2].lock, "queue");
+        assert!(file.annotations[2].cross_file());
+        assert!(file.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_guarded_by_is_reported() {
+        let src = "// dut-lint: guarded_by(\nlet x = 1;\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(file.malformed.len(), 1);
+        let src2 = "// dut-lint: guarded_by(two locks)\nlet x = 1;\n";
+        let file2 = SourceFile::parse("crates/x/src/lib.rs", src2);
+        assert_eq!(file2.malformed.len(), 1);
+    }
+
+    #[test]
     fn garbled_suppression_is_malformed() {
         let src = "// dut-lint: alow(unwrap): typo in keyword\nlet x = 1;\n";
         let file = SourceFile::parse("crates/x/src/lib.rs", src);
         assert_eq!(file.malformed.len(), 1);
+    }
+
+    #[test]
+    fn prose_mentioning_the_marker_is_not_a_marker() {
+        let src = "\
+/// A parsed `// dut-lint: allow(<rule>): <reason>` suppression.
+//! The `dut-lint: guarded_by(<lock>)` form is documented elsewhere.
+// write `// dut-lint: allow(float-eq): <reason>` to suppress
+let x = 1;
+";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(file.suppressions.is_empty());
+        assert!(file.annotations.is_empty());
+        assert!(file.malformed.is_empty());
     }
 }

@@ -1,0 +1,14 @@
+//! BAD: load-then-store on the same atomic is not atomic — an update
+//! racing between the two operations is silently overwritten.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    total: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(&self, delta: u64) {
+        let seen = self.total.load(Ordering::Relaxed);
+        self.total.store(seen + delta, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,16 @@
+//! BAD: the presence check runs under a read guard, the insert under
+//! a later write guard, and nothing re-validates in between — two
+//! racing callers both pass the check and both insert.
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+pub static CACHE: RwLock<BTreeMap<u64, u64>> = RwLock::new(BTreeMap::new());
+
+pub fn memoize(key: u64, value: u64) -> u64 {
+    if let Some(&hit) = CACHE.read().get(&key) {
+        return hit;
+    }
+    let mut map = CACHE.write();
+    map.insert(key, value);
+    value
+}

@@ -1,0 +1,5 @@
+//! BAD: `.expect()` still panics on the error path; the message only
+//! decorates the crash.
+pub fn parse_count(input: &str) -> u64 {
+    input.parse().expect("input must be numeric")
+}

@@ -1,0 +1,40 @@
+//! BAD — regression fixture for the PR 6 ServeQueueDepth gauge race.
+//!
+//! This reproduces the exact pre-fix shape of `dut serve`'s
+//! enqueue path: the queue guard is dropped first and the depth gauge
+//! written afterwards, so between the `drop` and the `set_gauge`
+//! another worker can pop (or another accept can push) and the
+//! published depth no longer matches the queue — the race the
+//! guarded-by rule exists to catch statically.
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+pub enum Gauge {
+    // dut-lint: guarded_by(queue)
+    ServeQueueDepth,
+}
+
+pub struct Shared {
+    queue: Mutex<VecDeque<QueuedConn>>,
+    queue_cap: usize,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> parking_lot::MutexGuard<'_, VecDeque<QueuedConn>> {
+        self.queue.lock()
+    }
+}
+
+pub fn enqueue_or_shed(shared: &Shared, conn: QueuedConn, registry: &Registry) -> bool {
+    let mut queue = shared.lock_queue();
+    if queue.len() >= shared.queue_cap {
+        drop(queue);
+        registry.set_gauge(Gauge::ServeQueueDepth, shared.queue_cap as u64);
+        return false;
+    }
+    queue.push_back(conn);
+    let depth = queue.len() as u64;
+    drop(queue);
+    registry.set_gauge(Gauge::ServeQueueDepth, depth);
+    true
+}

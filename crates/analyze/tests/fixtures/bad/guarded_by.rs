@@ -1,0 +1,19 @@
+//! BAD: the annotated gauge is written after its guard was dropped —
+//! another thread can mutate the queue between the drop and the
+//! write, so the published value is stale.
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+// dut-lint: guarded_by(queue)
+pub static QueueDepth: u64 = 0;
+
+pub struct Shared {
+    queue: Mutex<VecDeque<u64>>,
+}
+
+pub fn publish_depth(shared: &Shared, registry: &Registry) {
+    let queue = shared.queue.lock();
+    let depth = queue.len() as u64;
+    drop(queue);
+    registry.set_gauge(QueueDepth, depth);
+}

@@ -1,0 +1,24 @@
+//! BAD: two functions acquire the same pair of locks in opposite
+//! orders — schedule them on two threads and each can hold one lock
+//! while waiting forever for the other.
+use parking_lot::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn transfer(&self, amount: u64) {
+        let mut a = self.alpha.lock();
+        let mut b = self.beta.lock();
+        *a -= amount;
+        *b += amount;
+    }
+
+    pub fn reconcile(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}

@@ -1,4 +1,5 @@
-//! BAD: partial_cmp on floats misorders NaN and needs an unwrap.
+//! BAD: partial_cmp on floats misorders NaN (the comparison silently
+//! degrades to Equal when either side is NaN).
 pub fn sort_probs(v: &mut [f64]) {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 }

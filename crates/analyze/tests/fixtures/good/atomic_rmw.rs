@@ -1,0 +1,13 @@
+//! GOOD: fetch_add performs the read-modify-write as one atomic
+//! operation; no concurrent update can be lost.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    total: AtomicU64,
+}
+
+impl Stats {
+    pub fn bump(&self, delta: u64) {
+        self.total.fetch_add(delta, Ordering::Relaxed);
+    }
+}

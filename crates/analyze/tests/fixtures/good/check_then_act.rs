@@ -1,0 +1,19 @@
+//! GOOD: the fast path still checks under a read guard, but the slow
+//! path re-checks under the write guard before inserting — the
+//! double-checked idiom the workspace's tester cache uses.
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+pub static CACHE: RwLock<BTreeMap<u64, u64>> = RwLock::new(BTreeMap::new());
+
+pub fn memoize(key: u64, value: u64) -> u64 {
+    if let Some(&hit) = CACHE.read().get(&key) {
+        return hit;
+    }
+    let mut map = CACHE.write();
+    if let Some(&hit) = map.get(&key) {
+        return hit;
+    }
+    map.insert(key, value);
+    value
+}

@@ -1,0 +1,5 @@
+//! GOOD: the error is propagated to the caller, who has context to
+//! handle it.
+pub fn parse_count(input: &str) -> Result<u64, std::num::ParseIntError> {
+    input.parse()
+}

@@ -1,0 +1,34 @@
+//! GOOD — the post-PR 6 shape of the enqueue path: the depth gauge is
+//! written while the queue guard is still held, on both branches, so
+//! the published value always matches the queue it describes.
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+pub enum Gauge {
+    // dut-lint: guarded_by(queue)
+    ServeQueueDepth,
+}
+
+pub struct Shared {
+    queue: Mutex<VecDeque<QueuedConn>>,
+    queue_cap: usize,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> parking_lot::MutexGuard<'_, VecDeque<QueuedConn>> {
+        self.queue.lock()
+    }
+}
+
+pub fn enqueue_or_shed(shared: &Shared, conn: QueuedConn, registry: &Registry) -> bool {
+    let mut queue = shared.lock_queue();
+    if queue.len() >= shared.queue_cap {
+        registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
+        drop(queue);
+        return false;
+    }
+    queue.push_back(conn);
+    registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
+    drop(queue);
+    true
+}

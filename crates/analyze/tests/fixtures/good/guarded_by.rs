@@ -1,0 +1,17 @@
+//! GOOD: the gauge write happens while the queue guard is still
+//! live, so the published value and the queue state agree.
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+// dut-lint: guarded_by(queue)
+pub static QueueDepth: u64 = 0;
+
+pub struct Shared {
+    queue: Mutex<VecDeque<u64>>,
+}
+
+pub fn publish_depth(shared: &Shared, registry: &Registry) {
+    let queue = shared.queue.lock();
+    registry.set_gauge(QueueDepth, queue.len() as u64);
+    drop(queue);
+}

@@ -1,0 +1,23 @@
+//! GOOD: every function acquires alpha before beta — the workspace
+//! lock graph stays acyclic.
+use parking_lot::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn transfer(&self, amount: u64) {
+        let mut a = self.alpha.lock();
+        let mut b = self.beta.lock();
+        *a -= amount;
+        *b += amount;
+    }
+
+    pub fn reconcile(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+}

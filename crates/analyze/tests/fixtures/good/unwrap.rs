@@ -1,6 +1,9 @@
-//! GOOD: the invariant is stated, or the error is propagated.
-pub fn first(xs: &[u64]) -> u64 {
-    *xs.first().expect("callers pass a non-empty trial batch")
+//! GOOD: fallible lookups propagate `Option`/`Result` instead of
+//! panicking in library code.
+pub fn first(xs: &[u64]) -> Result<u64, String> {
+    xs.first()
+        .copied()
+        .ok_or_else(|| "empty trial batch".to_string())
 }
 
 pub fn try_first(xs: &[u64]) -> Option<u64> {

@@ -1,13 +1,14 @@
 //! Fixture corpus + workspace self-test for `dut lint`.
 //!
-//! Each rule has one known-bad and one known-good snippet under
-//! `tests/fixtures/{bad,good}/<rule>.rs`. The bad snippet must produce
-//! exactly its rule's finding; the good snippet must lint clean. The
-//! self-test then lints the real workspace and asserts it is clean —
-//! this is the same gate CI runs via `dut lint`.
+//! Each rule has at least one known-bad and one known-good snippet
+//! under `tests/fixtures/{bad,good}/<stem>.rs`. The bad snippet must
+//! produce exactly its rule's finding; the good snippet must lint
+//! clean. The self-test then lints the real workspace and asserts it
+//! is clean modulo the committed `analyze-baseline.json` — the same
+//! gate CI runs via `dut lint --baseline analyze-baseline.json`.
 
 use dut_analyze::rules::FileOutcome;
-use dut_analyze::{lint_source, lint_workspace};
+use dut_analyze::{baseline, lint_source, lint_workspace};
 use std::path::Path;
 
 /// Maps a fixture stem to (rule id, virtual path). The path controls
@@ -24,7 +25,17 @@ const CASES: &[(&str, &str, &str)] = &[
     ("partial_cmp", "partial-cmp", "crates/stats/src/fixture.rs"),
     ("lossy_cast", "lossy-cast", "crates/stats/src/fixture.rs"),
     ("unwrap", "unwrap", "crates/testers/src/fixture.rs"),
+    ("expect", "unwrap", "crates/testers/src/fixture.rs"),
     ("println", "println", "crates/fourier/src/fixture.rs"),
+    ("lock_order", "lock-order", "crates/serve/src/fixture.rs"),
+    ("guarded_by", "guarded-by", "crates/serve/src/fixture.rs"),
+    ("gauge_race", "guarded-by", "crates/serve/src/fixture.rs"),
+    (
+        "check_then_act",
+        "check-then-act",
+        "crates/testers/src/fixture.rs",
+    ),
+    ("atomic_rmw", "atomic-rmw", "crates/obs/src/fixture.rs"),
     (
         "missing_manifest",
         "missing-manifest",
@@ -132,9 +143,10 @@ fn suppression_round_trip() {
 
 #[test]
 fn fixture_corpus_is_complete() {
-    // One bad and one good snippet per registered rule — adding a rule
-    // without fixtures fails here.
-    assert_eq!(CASES.len(), dut_analyze::RULES.len());
+    // At least one bad/good snippet pair per registered rule — adding
+    // a rule without fixtures fails here. (Some rules have several
+    // stems: `unwrap` covers both `.unwrap()` and `.expect()`, and
+    // `guarded-by` also carries the PR 6 gauge-race regression shape.)
     for rule in dut_analyze::RULES {
         assert!(
             CASES.iter().any(|&(_, r, _)| r == rule.id),
@@ -142,10 +154,16 @@ fn fixture_corpus_is_complete() {
             rule.id
         );
     }
+    for &(stem, rule, _) in CASES {
+        assert!(
+            dut_analyze::RULES.iter().any(|r| r.id == rule),
+            "fixture {stem} names unregistered rule `{rule}`"
+        );
+    }
 }
 
 #[test]
-fn workspace_lints_clean() {
+fn workspace_lints_clean_modulo_baseline() {
     // CARGO_MANIFEST_DIR = <root>/crates/analyze.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -156,20 +174,33 @@ fn workspace_lints_clean() {
         "not a workspace root: {}",
         root.display()
     );
-    let report = lint_workspace(root).expect("workspace walk succeeds");
+    let mut report = lint_workspace(root).expect("workspace walk succeeds");
     assert!(
         report.files_checked > 50,
         "suspiciously few files checked: {}",
         report.files_checked
     );
+    // Same gate CI runs: new findings beyond the committed baseline
+    // fail, and so do baseline entries that no longer match anything
+    // (the ratchet only tightens).
+    let baseline_path = root.join("analyze-baseline.json");
+    let raw = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("missing {}: {e}", baseline_path.display()));
+    let baseline = baseline::parse(&raw).expect("committed baseline parses");
+    report.apply_baseline(&baseline.ids());
     assert!(
         report.findings.is_empty(),
-        "workspace must lint clean; run `dut lint`:\n{}",
+        "workspace has findings beyond the baseline; fix or `dut lint --write-baseline`:\n{}",
         report
             .findings
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries (finding fixed — remove from analyze-baseline.json): {:?}",
+        report.stale_baseline
     );
 }

@@ -133,7 +133,10 @@ pub enum Gauge {
     /// (0 = no count-based run yet).
     SamplingBackend,
     /// Connections waiting in the `dut serve` accept queue (sampled at
-    /// each enqueue/dequeue).
+    /// each enqueue/dequeue). Written only while the queue lock is
+    /// held, so the published depth always matches the queue it
+    /// describes (the PR 6 gauge race).
+    // dut-lint: guarded_by(queue)
     ServeQueueDepth,
 }
 

@@ -47,7 +47,9 @@ struct Slot {
 
 #[derive(Debug, Default)]
 struct CacheState {
+    // dut-lint: guarded_by(state)
     map: BTreeMap<CacheKey, Slot>,
+    // dut-lint: guarded_by(state)
     tick: u64,
 }
 

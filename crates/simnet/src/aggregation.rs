@@ -77,13 +77,14 @@ impl Convergecast {
             self.values.len(),
             "topology mismatch"
         );
-        // Depth of the BFS tree bounds the rounds needed.
+        // Depth of the BFS tree bounds the rounds needed. An empty
+        // graph has depth 0 (one round still runs the root's fold).
         let depth = network
             .topology()
             .bfs_distances(0)
             .into_iter()
             .max()
-            .expect("non-empty graph");
+            .unwrap_or(0);
         let (states, stats) = network.run(self, depth + 1);
         (states[0].partial_sum, stats)
     }

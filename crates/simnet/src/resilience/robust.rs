@@ -86,6 +86,7 @@ impl RobustRule {
             "fault rate must be in [0, 1), got {rate}"
         );
         let t = threshold_equivalent(rule, k)
+            // dut-lint: allow(unwrap): documented `# Panics` contract — custom rules carry no threshold structure to shift
             .expect("cannot recalibrate a custom rule: no threshold structure");
         assert!(
             t >= 1 && t <= k,

@@ -36,7 +36,7 @@ COMMANDS:
     advise    recommend a decision rule
     faults    render error-vs-fault-rate curves and Byzantine tolerance
     report    summarize a JSONL trace (written via DUT_TRACE=<path>)
-    lint      run workspace static analysis (determinism / numeric / obs rules)
+    lint      run workspace static analysis (determinism / numeric / concurrency rules)
     bench     time the per-draw vs histogram sampling backends
     serve     run the long-lived uniformity-testing TCP service
     loadgen   drive a running service at a fixed request rate
@@ -77,6 +77,14 @@ report USAGE:
 lint USAGE:
     dut lint [workspace-root]     lint the workspace (default: cwd)
     dut lint --rules              list rule IDs and what they enforce
+    dut lint --format json        machine-readable findings (stable ids,
+                                  schema dut-analyze-findings/v1)
+    dut lint --baseline <file>    ratchet mode: findings in the committed
+                                  baseline pass, new findings fail, stale
+                                  baseline entries fail
+    dut lint --write-baseline <file>   capture current findings as the
+                                  new baseline (schema dut-analyze-baseline/v1)
+    dut lint --list-suppressions  audit every dut-lint allow with its reason
 
 bench USAGE:
     dut bench [--smoke] [--out <file>]   time both backends over an
@@ -355,20 +363,105 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         print!("{}", dut_analyze::rules_table());
         return ExitCode::SUCCESS;
     }
-    let root = match args {
-        [] => match std::env::current_dir() {
+    let usage = "usage: dut lint [workspace-root] [--rules] [--format text|json] \
+                 [--baseline <file>] [--write-baseline <file>] [--list-suppressions]";
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut format = String::from("text");
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut write_baseline: Option<std::path::PathBuf> = None;
+    let mut list_suppressions = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{usage}");
+                    return ExitCode::FAILURE;
+                };
+                if value != "text" && value != "json" {
+                    eprintln!("error: --format takes `text` or `json`, got `{value}`");
+                    return ExitCode::FAILURE;
+                }
+                format = value.clone();
+                i += 2;
+            }
+            "--baseline" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{usage}");
+                    return ExitCode::FAILURE;
+                };
+                baseline_path = Some(std::path::PathBuf::from(value));
+                i += 2;
+            }
+            "--write-baseline" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{usage}");
+                    return ExitCode::FAILURE;
+                };
+                write_baseline = Some(std::path::PathBuf::from(value));
+                i += 2;
+            }
+            "--list-suppressions" => {
+                list_suppressions = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown lint flag `{flag}`\n{usage}");
+                return ExitCode::FAILURE;
+            }
+            path => {
+                if root.is_some() {
+                    eprintln!("{usage}");
+                    return ExitCode::FAILURE;
+                }
+                root = Some(std::path::PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    let root = match root {
+        Some(dir) => dir,
+        None => match std::env::current_dir() {
             Ok(dir) => dir,
             Err(error) => {
                 eprintln!("error: cannot resolve cwd: {error}");
                 return ExitCode::FAILURE;
             }
         },
-        [path] => std::path::PathBuf::from(path),
-        _ => {
-            eprintln!("usage: dut lint [workspace-root] | dut lint --rules");
-            return ExitCode::FAILURE;
-        }
     };
+
+    if list_suppressions {
+        return match dut_analyze::list_suppressions(&root) {
+            Ok(records) => {
+                for r in &records {
+                    println!("{}:{}: allow({}): {}", r.path, r.line, r.rule, r.reason);
+                }
+                println!("dut lint: {} suppression(s) on file", records.len());
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Baseline file contents are read before the (slow) lint pass so
+    // a malformed baseline fails fast.
+    let baseline = match &baseline_path {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))
+            .and_then(|text| dut_analyze::baseline::parse(&text))
+        {
+            Ok(parsed) => Some(parsed),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
     dut_obs::init_from_env();
     let result = {
         let _span = dut_obs::span!("lint.workspace");
@@ -376,14 +469,39 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     };
     let recorder = dut_obs::global();
     let code = match result {
-        Ok(report) => {
+        Ok(mut report) => {
+            if let Some(path) = &write_baseline {
+                let rendered = dut_analyze::baseline::render(&report.findings);
+                if let Err(error) = std::fs::write(path, rendered) {
+                    eprintln!("error: cannot write baseline {}: {error}", path.display());
+                    recorder.flush();
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "dut lint: wrote baseline {} ({} finding{})",
+                    path.display(),
+                    report.findings.len(),
+                    if report.findings.len() == 1 { "" } else { "s" },
+                );
+                recorder.flush();
+                return ExitCode::SUCCESS;
+            }
+            if let Some(baseline) = &baseline {
+                report.apply_baseline(&baseline.ids());
+            }
             recorder.emit_with(|| {
                 dut_obs::Event::new("lint_summary")
                     .with("files", report.files_checked as u64)
                     .with("findings", report.findings.len() as u64)
                     .with("suppressed", report.suppressed as u64)
+                    .with("baselined", report.baselined as u64)
+                    .with("stale_baseline", report.stale_baseline.len() as u64)
             });
-            println!("{report}");
+            if format == "json" {
+                println!("{}", dut_analyze::render_report_json(&report));
+            } else {
+                println!("{report}");
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
