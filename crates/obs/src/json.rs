@@ -17,7 +17,14 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (stored as `f64`; exact for integers below 2^53).
+    /// A non-fractional, non-negative numeric literal (no `-`, `.`,
+    /// or exponent) that fits `u64`, kept exact. `f64` alone loses
+    /// integer precision above 2^53, which silently corrupted large
+    /// RNG seeds crossing the serve wire (found by `dut fuzz`'s
+    /// differential plane).
+    Uint(u64),
+    /// Any other number (stored as `f64`; exact for integers below
+    /// 2^53).
     Num(f64),
     /// A string.
     Str(String),
@@ -28,19 +35,26 @@ pub enum Json {
 }
 
 impl Json {
-    /// The value as `f64`, if numeric.
+    /// The value as `f64`, if numeric. `Uint` values above 2^53
+    /// round to the nearest representable `f64` — callers that need
+    /// exact large integers use [`Self::as_u64`].
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            #[allow(clippy::cast_precision_loss)]
+            Json::Uint(x) => Some(*x as f64),
             Json::Num(x) => Some(*x),
             _ => None,
         }
     }
 
-    /// The value as `u64`, if a non-negative integer.
+    /// The value as `u64`, if a non-negative integer. Plain integer
+    /// literals arrive as `Uint` and return exactly; a `Num` that
+    /// happens to be integral (e.g. `1e3`) is accepted too.
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Uint(x) => Some(*x),
             #[allow(
                 clippy::cast_possible_truncation,
                 clippy::cast_sign_loss,
@@ -112,6 +126,9 @@ pub fn write(out: &mut String, node: &Json) {
     match node {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Uint(x) => {
+            let _ = write!(out, "{x}");
+        }
         Json::Num(x) => write_f64(out, *x),
         Json::Str(s) => write_escaped(out, s),
         Json::Arr(items) => {
@@ -139,16 +156,26 @@ pub fn write(out: &mut String, node: &Json) {
     }
 }
 
+/// Deepest container nesting [`parse`] accepts. The parser is
+/// recursive-descent, so without a bound a hostile line of `[[[[…`
+/// converts input length into call-stack depth and aborts the whole
+/// process with a stack overflow — a fuzzer-found crash, not a
+/// hypothetical. 64 levels is far beyond anything the workspace
+/// writes (traces nest 2–3 deep).
+pub const MAX_DEPTH: usize = 64;
+
 /// Parses one JSON document from `input`.
 ///
 /// # Errors
 ///
 /// Returns a message with the byte offset of the first syntax error,
-/// or if trailing non-whitespace follows the document.
+/// if trailing non-whitespace follows the document, or if containers
+/// nest deeper than [`MAX_DEPTH`].
 pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -162,6 +189,7 @@ pub fn parse(input: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -186,6 +214,17 @@ impl Parser<'_> {
                 self.pos
             ))
         }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
     }
 
     fn value(&mut self) -> Result<Json, String> {
@@ -220,6 +259,13 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| format!("invalid utf8 in number at byte {start}"))?;
+        // Plain digit runs stay exact: `f64` cannot represent every
+        // u64 above 2^53, and seeds ride this wire.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Uint(v));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number `{text}` at byte {start}"))
@@ -277,10 +323,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -291,6 +339,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -300,10 +349,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -319,6 +370,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -353,9 +405,9 @@ mod tests {
         assert_eq!(
             v.get("cfg").and_then(|c| c.get("n")),
             Some(&Json::Arr(vec![
-                Json::Num(1.0),
-                Json::Num(2.0),
-                Json::Num(3.0)
+                Json::Uint(1),
+                Json::Uint(2),
+                Json::Uint(3)
             ]))
         );
     }
@@ -369,6 +421,26 @@ mod tests {
     }
 
     #[test]
+    fn deep_nesting_is_an_error_not_a_crash() {
+        // One past the cap fails with a structured error…
+        let mut hostile = "[".repeat(MAX_DEPTH + 1);
+        hostile.push_str(&"]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&hostile).unwrap_err().contains("nesting"));
+        // …and far past the cap must not overflow the stack (this is
+        // the fuzzer's original crashing input shape).
+        let bomb = "[".repeat(200_000);
+        assert!(parse(&bomb).is_err());
+        // Exactly at the cap still parses.
+        let mut legal = "[".repeat(MAX_DEPTH);
+        legal.push_str(&"]".repeat(MAX_DEPTH));
+        assert!(parse(&legal).is_ok());
+        // Depth is nesting, not total container count: siblings at the
+        // same level don't accumulate.
+        let wide = format!("[{}]", vec!["[1]"; 100].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
     fn number_forms() {
         assert_eq!(parse("-3.25e2").unwrap().as_f64(), Some(-325.0));
         assert_eq!(
@@ -376,6 +448,27 @@ mod tests {
             Some(18_446_744_073_709)
         );
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn large_integers_survive_exactly() {
+        // Above 2^53, f64 cannot hold every integer; seeds this large
+        // cross the serve wire and must round-trip bit-exactly (found
+        // by the differential fuzz plane).
+        let seed = 13_827_855_532_095_422_826_u64;
+        let text = seed.to_string();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, Json::Uint(seed));
+        assert_eq!(parsed.as_u64(), Some(seed));
+        let mut out = String::new();
+        write(&mut out, &parsed);
+        assert_eq!(out, text);
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        // One past u64::MAX falls back to f64 rather than erroring.
+        assert!(parse("18446744073709551616").unwrap().as_f64().is_some());
     }
 
     #[test]

@@ -61,10 +61,29 @@ pub enum Counter {
     /// Connections shed with an `overloaded` reply because the accept
     /// queue was at its bound.
     ServeShed,
+    /// Request lines `dut serve` rejected as malformed before they
+    /// reached the engine: unparseable JSON or over the per-line byte
+    /// cap.
+    ServeMalformed,
+    /// Connections `dut serve` closed for failing to complete a
+    /// request line within the idle timeout (idle-forever clients and
+    /// slowloris writers alike).
+    ServeReaped,
+    /// Connections `dut serve` closed for exhausting their
+    /// per-connection error budget (abusive clients looping on
+    /// rejected requests).
+    ServeErrorBudget,
+    /// Request evaluations that panicked and were converted into a
+    /// structured `internal` error reply instead of killing a worker.
+    ServePanicsCaught,
+    /// Hostile client actions injected by `dut loadgen --chaos`
+    /// (slowloris writes, half-open connects, mid-frame disconnects,
+    /// reconnect storms, garbage frames, …).
+    ChaosInjected,
 }
 
 impl Counter {
-    const COUNT: usize = 22;
+    const COUNT: usize = 27;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -90,6 +109,11 @@ impl Counter {
         Counter::ServeCacheHits,
         Counter::ServeCacheMisses,
         Counter::ServeShed,
+        Counter::ServeMalformed,
+        Counter::ServeReaped,
+        Counter::ServeErrorBudget,
+        Counter::ServePanicsCaught,
+        Counter::ChaosInjected,
     ];
 
     /// The stable name used in trace snapshots.
@@ -118,6 +142,11 @@ impl Counter {
             Counter::ServeCacheHits => "serve_cache_hits",
             Counter::ServeCacheMisses => "serve_cache_misses",
             Counter::ServeShed => "serve_shed",
+            Counter::ServeMalformed => "serve_malformed",
+            Counter::ServeReaped => "serve_reaped",
+            Counter::ServeErrorBudget => "serve_error_budget",
+            Counter::ServePanicsCaught => "serve_panics_caught",
+            Counter::ChaosInjected => "chaos_injected",
         }
     }
 }

@@ -456,6 +456,28 @@ impl Report {
                 if let Some(&depth) = self.gauges.get("serve_queue_depth") {
                     let _ = writeln!(out, "  serve queue      {depth} waiting at snapshot");
                 }
+                let malformed = self.counter("serve_malformed");
+                let reaped = self.counter("serve_reaped");
+                let budget_closed = self.counter("serve_error_budget");
+                let panics = self.counter("serve_panics_caught");
+                if malformed + reaped + budget_closed + panics > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  serve hardening  {} malformed, {} reaped, {} budget-closed, {} panics caught",
+                        human_count(malformed),
+                        human_count(reaped),
+                        human_count(budget_closed),
+                        human_count(panics),
+                    );
+                }
+            }
+            let chaos = self.counter("chaos_injected");
+            if chaos > 0 {
+                let _ = writeln!(
+                    out,
+                    "  chaos injected   {} hostile client actions",
+                    human_count(chaos)
+                );
             }
             if let Some(&threads) = self.gauges.get("runner_threads").filter(|&&t| t > 0) {
                 let _ = writeln!(out, "  runner threads   {threads}");
@@ -525,6 +547,7 @@ fn display_json(value: &Json) -> String {
     match value {
         Json::Null => "null".into(),
         Json::Bool(b) => b.to_string(),
+        Json::Uint(x) => x.to_string(),
         Json::Num(x) => {
             // dut-lint: allow(float-eq): fract() of an integral f64 is exactly +0.0 — exact integrality test picking the display format
             if x.fract() == 0.0 && x.abs() < 9e15 {

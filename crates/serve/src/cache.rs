@@ -23,16 +23,20 @@
 //! entries stay alive for whoever still holds their `Arc`; builds
 //! whose slot was evicted mid-flight simply complete unobserved.
 
-use crate::engine::{CacheKey, PreparedEntry};
+use crate::engine::{BuildError, CacheKey, PreparedEntry};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
-/// The build outcome stored per entry. Errors are cached too: they
-/// are deterministic functions of the key, and re-validating a bad
-/// configuration on every request would let a hostile client bypass
-/// the cache entirely.
-type BuildResult = Result<Arc<PreparedEntry>, String>;
+/// The build outcome stored per entry. *Permanent* errors are cached
+/// too: they are deterministic functions of the key, and
+/// re-validating a bad configuration on every request would let a
+/// hostile client bypass the cache entirely. *Transient* errors (a
+/// panicked build, a shed-era failure) are evicted right after they
+/// are served, so the next request for the key retries the build —
+/// one bad calibration must not pin a configuration to failure for
+/// the key's whole cache lifetime.
+type BuildResult = Result<Arc<PreparedEntry>, BuildError>;
 
 #[derive(Debug, Default)]
 struct EntryCell {
@@ -121,6 +125,21 @@ impl TesterCache {
             }
         };
         let result = cell.once.get_or_init(|| build(key)).clone();
+        if matches!(&result, Err(e) if e.transient) {
+            // Poison recovery: drop the slot so the next lookup
+            // rebuilds, but only if it still holds *this* cell — a
+            // concurrent eviction + re-insert may already have a
+            // fresh build in flight that must not be torn down. The
+            // re-check and the removal happen under one lock
+            // acquisition (the same double-check discipline as
+            // `dut_testers::cache`).
+            let mut state = self.state.lock();
+            if let Some(slot) = state.map.get(key) {
+                if Arc::ptr_eq(&slot.cell, &cell) {
+                    state.map.remove(key);
+                }
+            }
+        }
         (result, hit)
     }
 }
@@ -213,6 +232,47 @@ mod tests {
         assert!(first.is_err() && second.is_err());
         assert!(!hit1);
         assert!(hit2, "the cached error serves the second call");
+    }
+
+    #[test]
+    fn transient_errors_are_retried() {
+        use crate::engine::BuildError;
+        let cache = TesterCache::new(2);
+        let k = key(64, 9);
+        let builds = std::sync::atomic::AtomicUsize::new(0);
+        // First build fails transiently (as a panicked calibration
+        // would); the error must be served but not pinned.
+        let (first, hit1) = cache.get_or_build(&k, |_| {
+            builds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Err(BuildError::transient("calibration fell over"))
+        });
+        assert!(matches!(&first, Err(e) if e.transient));
+        assert!(!hit1);
+        assert_eq!(cache.len(), 0, "transient failure was evicted");
+        // Second lookup is a fresh miss and the real build succeeds.
+        let (second, hit2) = cache.get_or_build(&k, |kk| {
+            builds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            build_entry(kk)
+        });
+        assert!(second.is_ok());
+        assert!(!hit2, "recovery is a miss, not a poisoned hit");
+        assert_eq!(builds.load(std::sync::atomic::Ordering::Relaxed), 2);
+        // And the recovered entry is now resident.
+        let (third, hit3) = cache.get_or_build(&k, build_entry);
+        assert!(third.is_ok());
+        assert!(hit3);
+    }
+
+    #[test]
+    fn permanent_errors_stay_resident() {
+        let cache = TesterCache::new(2);
+        let bad = key(0, 1);
+        let _ = cache.get_or_build(&bad, build_entry);
+        assert_eq!(
+            cache.len(),
+            1,
+            "permanent errors are kept to stop re-validation storms"
+        );
     }
 
     #[test]

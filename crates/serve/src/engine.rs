@@ -34,6 +34,50 @@ use std::time::Instant;
 /// The z-score of the Wilson interval in replies (95% two-sided).
 pub const WILSON_Z: f64 = 1.96;
 
+/// A failed tester build, classified for the cache.
+///
+/// * **Permanent** errors are deterministic functions of the cache
+///   key (an unsatisfiable configuration): re-validating on every
+///   request would let a hostile client bypass the cache, so they are
+///   cached like successes.
+/// * **Transient** errors are not properties of the key — a build
+///   that panicked, or a future backend's resource exhaustion. The
+///   cache evicts them immediately after serving, so one bad
+///   calibration never pins a configuration to failure forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// The message sent back to the client as `{"error":...}`.
+    pub message: String,
+    /// Whether the cache should retry this key on the next request.
+    pub transient: bool,
+}
+
+impl BuildError {
+    /// A deterministic validation failure (cached with the key).
+    #[must_use]
+    pub fn permanent(message: impl Into<String>) -> BuildError {
+        BuildError {
+            message: message.into(),
+            transient: false,
+        }
+    }
+
+    /// A retryable failure (evicted from the cache after serving).
+    #[must_use]
+    pub fn transient(message: impl Into<String>) -> BuildError {
+        BuildError {
+            message: message.into(),
+            transient: true,
+        }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// Identity of a prepared tester: every field that influences
 /// preparation or sampling. Epsilon enters by IEEE-754 bit pattern —
 /// two requests either share a tester exactly or not at all.
@@ -117,8 +161,9 @@ pub struct PreparedEntry {
 ///
 /// # Errors
 ///
-/// Returns the family or tester-builder validation message.
-pub fn build_entry(key: &CacheKey) -> Result<Arc<PreparedEntry>, String> {
+/// Returns the family or tester-builder validation message as a
+/// permanent [`BuildError`].
+pub fn build_entry(key: &CacheKey) -> Result<Arc<PreparedEntry>, BuildError> {
     let eps = f64::from_bits(key.eps_bits);
     // Builder first: it validates n, k, ε before the family
     // constructors (which assert rather than return errors) run.
@@ -128,14 +173,44 @@ pub fn build_entry(key: &CacheKey) -> Result<Arc<PreparedEntry>, String> {
         .epsilon(eps)
         .rule(key.rule())
         .build()
-        .map_err(|e| e.to_string())?;
-    let distribution = key.family.build(key.n, eps)?;
+        .map_err(|e| BuildError::permanent(e.to_string()))?;
+    let distribution = key
+        .family
+        .build(key.n, eps)
+        .map_err(BuildError::permanent)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(key.calibration_seed());
     let prepared = tester.prepare(key.q, &mut rng);
     Ok(Arc::new(PreparedEntry {
         prepared,
         sampler: distribution.dual_sampler(),
     }))
+}
+
+/// [`build_entry`] with a panic boundary: a build that panics becomes
+/// a *transient* [`BuildError`] instead of unwinding through the
+/// worker (killing it) or wedging the entry's single-flight cell.
+/// Every caught panic increments `serve_panics_caught`.
+pub fn build_entry_caught(key: &CacheKey) -> Result<Arc<PreparedEntry>, BuildError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build_entry(key))).unwrap_or_else(
+        |panic| {
+            dut_obs::metrics::global().incr(Counter::ServePanicsCaught);
+            Err(BuildError::transient(format!(
+                "internal: tester build panicked: {}",
+                panic_message(&panic)
+            )))
+        },
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Runs the request's trials against a prepared entry. Trial `i` uses
@@ -187,7 +262,7 @@ fn assemble(
 /// Same conditions as [`build_entry`].
 pub fn offline_reply(req: &Request) -> Result<Reply, String> {
     let start = Instant::now();
-    let entry = build_entry(&CacheKey::of(req))?;
+    let entry = build_entry(&CacheKey::of(req)).map_err(|e| e.message)?;
     let (verdict, estimate) = run_trials(&entry, req);
     Ok(assemble(verdict, &estimate, false, start, 0))
 }
@@ -271,7 +346,7 @@ impl Engine {
         let mut calibrate_micros = 0u64;
         let (entry, cache_hit) = self.cache.get_or_build(&key, |k| {
             let build_start = Instant::now();
-            let built = build_entry(k);
+            let built = build_entry_caught(k);
             calibrate_micros = u64::try_from(build_start.elapsed().as_micros()).unwrap_or(u64::MAX);
             registry.observe(HistogramId::CalibrateMicros, calibrate_micros);
             built
@@ -281,7 +356,7 @@ impl Engine {
         } else {
             Counter::ServeCacheMisses
         });
-        let entry = entry?;
+        let entry = entry.map_err(|e| e.message)?;
         let compute_start = Instant::now();
         let (verdict, estimate) = run_trials(&entry, req);
         let compute_micros = u64::try_from(compute_start.elapsed().as_micros()).unwrap_or(u64::MAX);

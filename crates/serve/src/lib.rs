@@ -33,6 +33,7 @@
 //! `std::thread` workers, no async runtime.
 
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod loadgen;
 pub mod protocol;
@@ -40,6 +41,7 @@ pub mod server;
 pub mod stats;
 pub mod top;
 
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use engine::Engine;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{Command, Reply, Request};

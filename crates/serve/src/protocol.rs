@@ -35,6 +35,32 @@ use std::fmt;
 /// request from pinning a worker for minutes.
 pub const MAX_TRIALS: u64 = 100_000;
 
+/// Largest domain size a served request may name. A prepared tester
+/// materializes O(n) probability tables, so an unchecked
+/// `{"n":1e18}` is a one-line allocation bomb — the fuzzer's favorite
+/// abusive config. Offline runs (`dut test`) are not bound by this;
+/// only the wire protocol is.
+pub const MAX_N: usize = 1 << 20;
+
+/// Largest per-player sample count a served request may name (same
+/// rationale as [`MAX_N`]: per-request work is O(k·(n+q)) per trial).
+pub const MAX_Q: usize = 1 << 20;
+
+/// Largest player count a served request may name.
+pub const MAX_K: usize = 1 << 12;
+
+/// Upper bound on `k·(n+q)`: the per-trial work of one request.
+/// Individually legal n, q, k can still multiply into minutes of
+/// worker time; this cap bounds the product so one request can pin a
+/// worker for milliseconds, not minutes.
+pub const MAX_WORK: u64 = 1 << 26;
+
+/// Longest request line the server will buffer, in bytes. A client
+/// that streams bytes without a newline used to grow the server's
+/// line buffer without limit; past this cap the connection gets
+/// [`render_line_too_long`] and is closed.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
 /// The input families a request can name. A closed enum (rather than
 /// an arbitrary distribution) keeps cache keys small and totally
 /// ordered.
@@ -166,6 +192,21 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     let n = field_usize(&doc, "n")?;
     let k = field_usize(&doc, "k")?;
     let q = field_usize(&doc, "q")?;
+    if n > MAX_N {
+        return Err(format!("`n` exceeds the served maximum {MAX_N}"));
+    }
+    if k > MAX_K {
+        return Err(format!("`k` exceeds the served maximum {MAX_K}"));
+    }
+    if q > MAX_Q {
+        return Err(format!("`q` exceeds the served maximum {MAX_Q}"));
+    }
+    let work = (k as u64).saturating_mul((n as u64).saturating_add(q as u64));
+    if work > MAX_WORK {
+        return Err(format!(
+            "configuration too large: k*(n+q) = {work} exceeds {MAX_WORK}"
+        ));
+    }
     let eps = doc
         .get("eps")
         .and_then(Json::as_f64)
@@ -378,6 +419,27 @@ pub fn render_error(message: &str) -> String {
 #[must_use]
 pub fn render_shutdown_ack() -> String {
     "{\"ok\":\"shutdown\"}".to_owned()
+}
+
+/// The line sent when a request line exceeds [`MAX_LINE_BYTES`]; the
+/// connection is closed right after.
+#[must_use]
+pub fn render_line_too_long() -> String {
+    "{\"error\":\"line_too_long\"}".to_owned()
+}
+
+/// The line sent when a connection exhausts its error budget; the
+/// connection is closed right after.
+#[must_use]
+pub fn render_error_budget_exhausted() -> String {
+    "{\"error\":\"error_budget_exhausted\"}".to_owned()
+}
+
+/// The line sent when a connection is reaped for failing to complete
+/// a request line within the idle timeout.
+#[must_use]
+pub fn render_idle_timeout() -> String {
+    "{\"error\":\"idle_timeout\"}".to_owned()
 }
 
 #[cfg(test)]

@@ -52,6 +52,17 @@ pub struct ServeConfig {
     pub trace_sample: u64,
     /// Service-level objectives evaluated by `{"cmd":"stats"}`.
     pub slo: SloConfig,
+    /// A connection that completes no request line for this long is
+    /// reaped (covers both idle-forever clients and slowloris drips
+    /// that send bytes but never a newline).
+    pub idle_timeout: Duration,
+    /// Error replies a single connection may receive before the
+    /// server closes it (0 disables the budget). Honest clients never
+    /// get near it; a fuzzer or abuser hits it quickly.
+    pub error_budget: u32,
+    /// Hard cap on one request line's bytes; longer lines get
+    /// `{"error":"line_too_long"}` and the connection closes.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +74,9 @@ impl Default for ServeConfig {
             queue_cap: 64,
             trace_sample: crate::engine::DEFAULT_TRACE_SAMPLE,
             slo: SloConfig::default(),
+            idle_timeout: Duration::from_secs(30),
+            error_budget: 64,
+            max_line_bytes: protocol::MAX_LINE_BYTES,
         }
     }
 }
@@ -84,6 +98,9 @@ struct Shared {
     /// Consecutive sheds since the last successful enqueue; crossing
     /// [`SHED_BURST_THRESHOLD`] dumps the flight recorder once.
     shed_streak: AtomicU64,
+    idle_timeout: Duration,
+    error_budget: u32,
+    max_line_bytes: usize,
 }
 
 impl Shared {
@@ -172,6 +189,9 @@ pub fn start(config: &ServeConfig) -> Result<ServerHandle, String> {
         queue_cap: config.queue_cap.max(1),
         slo: config.slo,
         shed_streak: AtomicU64::new(0),
+        idle_timeout: config.idle_timeout.max(POLL_INTERVAL),
+        error_budget: config.error_budget,
+        max_line_bytes: config.max_line_bytes.max(1),
     });
     let workers = config.workers.max(1);
     let mut threads = Vec::with_capacity(workers + 1);
@@ -298,7 +318,21 @@ fn worker_loop(shared: &Shared) {
 /// `queue_wait_micros` is how long the connection sat in the accept
 /// queue; it is charged to the *first* request only (later requests on
 /// the same connection never waited in that queue).
+///
+/// Three hostile-client defenses live here, all with explicit final
+/// replies so a well-meaning-but-buggy client can diagnose itself:
+///
+/// * **Line cap.** Bytes accumulated without a newline past
+///   `max_line_bytes` (or a drained line over it) get
+///   `{"error":"line_too_long"}` and a close — the only alternative
+///   is unbounded buffering.
+/// * **Idle reap.** No *completed line* within `idle_timeout` reaps
+///   the connection. Keying on completed lines (not raw bytes)
+///   catches slowloris drips, which send a byte at a time forever.
+/// * **Error budget.** More than `error_budget` error replies close
+///   the connection; a worker slot is not a fuzzing amplifier.
 fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait_micros: u64) {
+    let registry = dut_obs::metrics::global();
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     // One-line replies must leave immediately: without nodelay the
@@ -308,27 +342,55 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait_micros: u
     let mut queue_wait = queue_wait_micros;
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut last_line_at = Instant::now();
+    let mut errors_seen: u32 = 0;
     loop {
+        if last_line_at.elapsed() >= shared.idle_timeout {
+            registry.incr(Counter::ServeReaped);
+            notice_and_close(stream, &protocol::render_idle_timeout());
+            return;
+        }
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(got) => {
                 pending.extend_from_slice(&chunk[..got]);
                 while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = pending.drain(..=newline).collect();
+                    last_line_at = Instant::now();
+                    if line.len() > shared.max_line_bytes {
+                        registry.incr(Counter::ServeMalformed);
+                        notice_and_close(stream, &protocol::render_line_too_long());
+                        return;
+                    }
                     let text = String::from_utf8_lossy(&line);
                     let text = text.trim();
                     if text.is_empty() {
                         continue;
                     }
-                    let (reply, stop) = answer_line(shared, text, queue_wait);
+                    let answer = answer_line_caught(shared, text, queue_wait);
                     queue_wait = 0;
-                    if writeln!(stream, "{reply}").is_err() {
+                    if writeln!(stream, "{}", answer.reply).is_err() {
                         return;
                     }
-                    if stop {
+                    if answer.close {
                         let _ = stream.flush();
                         return;
                     }
+                    if answer.is_error {
+                        errors_seen = errors_seen.saturating_add(1);
+                        if shared.error_budget > 0 && errors_seen >= shared.error_budget {
+                            registry.incr(Counter::ServeErrorBudget);
+                            notice_and_close(stream, &protocol::render_error_budget_exhausted());
+                            return;
+                        }
+                    }
+                }
+                if pending.len() > shared.max_line_bytes {
+                    // A line still has no newline but already blew the
+                    // cap: stop buffering it.
+                    registry.incr(Counter::ServeMalformed);
+                    notice_and_close(stream, &protocol::render_line_too_long());
+                    return;
                 }
             }
             Err(e)
@@ -349,25 +411,109 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait_micros: u
     let _ = stream.flush();
 }
 
-/// Evaluates one request line; returns the reply and whether this
-/// connection should close (shutdown acknowledgement).
-fn answer_line(shared: &Shared, line: &str, queue_wait_micros: u64) -> (String, bool) {
+/// Writes a final notice, then closes without destroying it: an
+/// abrupt `close(2)` with unread client bytes still queued makes the
+/// kernel send RST, which discards the notice before the client can
+/// read it. Shutting down only the write side first, then draining
+/// (and discarding) the client's leftovers for a bounded moment,
+/// lets the notice actually arrive.
+fn notice_and_close(mut stream: TcpStream, notice: &str) {
+    if writeln!(stream, "{notice}").is_err() {
+        return;
+    }
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// One evaluated request line.
+struct Answer {
+    reply: String,
+    /// Close the connection after writing the reply (shutdown ack or
+    /// a caught handler panic).
+    close: bool,
+    /// The reply is an error line; it counts against the
+    /// connection's error budget.
+    is_error: bool,
+}
+
+impl Answer {
+    fn ok(reply: String) -> Answer {
+        Answer {
+            reply,
+            close: false,
+            is_error: false,
+        }
+    }
+
+    fn error(reply: String) -> Answer {
+        Answer {
+            reply,
+            close: false,
+            is_error: true,
+        }
+    }
+}
+
+/// [`answer_line`] behind a panic boundary. A panicking handler must
+/// cost at most its own connection: without this, the unwind kills
+/// the worker thread, and enough of them wedge the whole pool.
+fn answer_line_caught(shared: &Shared, line: &str, queue_wait_micros: u64) -> Answer {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        answer_line(shared, line, queue_wait_micros)
+    }));
+    match caught {
+        Ok(answer) => answer,
+        Err(_panic) => {
+            dut_obs::metrics::global().incr(Counter::ServePanicsCaught);
+            Answer {
+                reply: protocol::render_error("internal: request handler panicked"),
+                close: true,
+                is_error: true,
+            }
+        }
+    }
+}
+
+/// Evaluates one request line.
+fn answer_line(shared: &Shared, line: &str, queue_wait_micros: u64) -> Answer {
     match protocol::parse_command(line) {
         Ok(Command::Run(request)) => {
             match shared.engine.handle_queued(&request, queue_wait_micros) {
-                Ok(reply) => (reply.render(), false),
-                Err(message) => (protocol::render_error(&message), false),
+                Ok(reply) => Answer::ok(reply.render()),
+                Err(message) => Answer::error(protocol::render_error(&message)),
             }
         }
         Ok(Command::Shutdown) => {
             shared.begin_shutdown();
-            (protocol::render_shutdown_ack(), true)
+            Answer {
+                reply: protocol::render_shutdown_ack(),
+                close: true,
+                is_error: false,
+            }
         }
         Ok(Command::Stats) => {
             let cached = u64::try_from(shared.engine.cached_testers()).unwrap_or(u64::MAX);
-            (stats::gather(cached, &shared.slo).render(), false)
+            Answer::ok(stats::gather(cached, &shared.slo).render())
         }
-        Ok(Command::Flight) => (stats::render_flight(dut_obs::flight::global()), false),
-        Err(message) => (protocol::render_error(&message), false),
+        Ok(Command::Flight) => Answer::ok(stats::render_flight(dut_obs::flight::global())),
+        Err(message) => {
+            dut_obs::metrics::global().incr(Counter::ServeMalformed);
+            Answer::error(protocol::render_error(&message))
+        }
     }
 }

@@ -36,6 +36,12 @@ pub struct Stats {
     pub cache_hits: u64,
     /// Cumulative tester-cache misses since boot.
     pub cache_misses: u64,
+    /// Cumulative malformed lines (unparseable or over the byte cap).
+    pub malformed: u64,
+    /// Cumulative connections reaped for idleness / slowloris drips.
+    pub reaped: u64,
+    /// Cumulative connections closed for exhausting the error budget.
+    pub error_budget_closed: u64,
     /// Actual span of the short window, microseconds.
     pub window_micros: u64,
     /// Requests per second over the short window.
@@ -108,6 +114,9 @@ pub fn gather(cached_testers: u64, slo_config: &SloConfig) -> Stats {
         shed: registry.counter(Counter::ServeShed),
         cache_hits: registry.counter(Counter::ServeCacheHits),
         cache_misses: registry.counter(Counter::ServeCacheMisses),
+        malformed: registry.counter(Counter::ServeMalformed),
+        reaped: registry.counter(Counter::ServeReaped),
+        error_budget_closed: registry.counter(Counter::ServeErrorBudget),
         window_micros: short.span_micros,
         req_per_sec: short.rate_per_sec(Counter::ServeRequests),
         shed_per_sec: short.rate_per_sec(Counter::ServeShed),
@@ -152,8 +161,9 @@ impl Stats {
         );
         let _ = write!(
             out,
-            ",\"cumulative\":{{\"requests\":{},\"shed\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
-            self.requests, self.shed, self.cache_hits, self.cache_misses
+            ",\"cumulative\":{{\"requests\":{},\"shed\":{},\"cache_hits\":{},\"cache_misses\":{},\"malformed\":{},\"reaped\":{},\"error_budget_closed\":{}}}",
+            self.requests, self.shed, self.cache_hits, self.cache_misses,
+            self.malformed, self.reaped, self.error_budget_closed
         );
         let _ = write!(out, ",\"window\":{{\"span_us\":{}", self.window_micros);
         let field = |out: &mut String, key: &str, value: f64| {
@@ -209,6 +219,11 @@ impl Stats {
             shed: u(cumulative, "shed"),
             cache_hits: u(cumulative, "cache_hits"),
             cache_misses: u(cumulative, "cache_misses"),
+            // `unwrap_or(0)` keeps stats lines from older servers
+            // parseable: the hardening counters simply read zero.
+            malformed: u(cumulative, "malformed"),
+            reaped: u(cumulative, "reaped"),
+            error_budget_closed: u(cumulative, "error_budget_closed"),
             window_micros: u(window, "span_us"),
             req_per_sec: f(window, "req_per_sec"),
             shed_per_sec: f(window, "shed_per_sec"),
@@ -245,6 +260,9 @@ mod tests {
             shed: 7,
             cache_hits: 950,
             cache_misses: 50,
+            malformed: 11,
+            reaped: 2,
+            error_budget_closed: 1,
             window_micros: 10_000_000,
             req_per_sec: 99.5,
             shed_per_sec: 0.25,

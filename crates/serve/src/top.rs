@@ -117,6 +117,11 @@ pub fn render_frame(stats: &Stats, addr: &str) -> String {
         stats.shed_burn_long,
         stats.max_shed_rate * 100.0,
     );
+    let _ = writeln!(
+        out,
+        "abuse    {} malformed   {} reaped   {} budget-closed",
+        stats.malformed, stats.reaped, stats.error_budget_closed,
+    );
     out
 }
 
@@ -185,6 +190,9 @@ mod tests {
             shed: 7,
             cache_hits: 950,
             cache_misses: 50,
+            malformed: 13,
+            reaped: 2,
+            error_budget_closed: 1,
             window_micros: 10_000_000,
             req_per_sec: 99.5,
             shed_per_sec: 0.25,
@@ -219,7 +227,8 @@ mod tests {
         assert!(frame.contains("p50 210\u{b5}s"));
         assert!(frame.contains("p95 4.8ms"));
         assert!(frame.contains("p99 1.02s"));
-        assert_eq!(frame.lines().count(), 6);
+        assert!(frame.contains("13 malformed"));
+        assert_eq!(frame.lines().count(), 7);
     }
 
     #[test]

@@ -41,6 +41,7 @@ COMMANDS:
     serve     run the long-lived uniformity-testing TCP service
     loadgen   drive a running service at a fixed request rate
     top       live dashboard over a running service's stats
+    fuzz      structured adversarial testing (protocol / differential / chaos)
 
 COMMON OPTIONS:
     --n <int>         domain size                  [default: 1024]
@@ -95,17 +96,25 @@ bench USAGE:
 serve USAGE:
     dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>]
               [--queue-cap <N>] [--trace-sample <N>]
+              [--idle-timeout <secs>] [--error-budget <N>]
+              [--max-line-bytes <N>]
         serve newline-delimited JSON requests until a client sends
         {\"cmd\":\"shutdown\"}; also answers {\"cmd\":\"stats\"} (windowed
         metrics + SLO) and {\"cmd\":\"flight\"} (flight-recorder dump)
         [defaults: 127.0.0.1:7979, 4 workers, 32 cached testers,
-        64 queued connections, 1-in-64 trace sampling]
+        64 queued connections, 1-in-64 trace sampling]; hardening:
+        connections with no completed line for --idle-timeout are
+        reaped (default 30s), lines past --max-line-bytes get
+        {\"error\":\"line_too_long\"} then close, and a connection
+        exhausting --error-budget error replies is closed (default
+        64, 0 disables)
 
 loadgen USAGE:
     dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>]
                 [--conns <N>] [--smoke] [--stats-check]
                 [--bench-out <file>] [--check <file>]
                 [--shutdown] [--shutdown-only]
+                [--chaos] [--chaos-rate <f>] [--chaos-seed <N>]
         open-loop load at --rps for --duration, then print achieved
         throughput and p50/p95/p99 latency; --smoke runs the CI
         gate (>=1000 req/s, zero shed, offline-identical verdicts);
@@ -113,7 +122,29 @@ loadgen USAGE:
         accounting against the client tally (polling mid-load);
         --bench-out writes a dut-bench-serve/v1 artifact and --check
         validates one without generating load; --shutdown stops the
-        server afterwards, --shutdown-only does nothing else
+        server afterwards, --shutdown-only does nothing else;
+        --chaos replaces the honest load with the hostile client mix
+        (slowloris, half-open connects, mid-frame cuts, idle holds,
+        reconnect storms; --conns lanes, Gilbert-Elliott bursts at
+        --chaos-rate) and verifies the server still answers bit-
+        exactly afterwards
+
+fuzz USAGE:
+    dut fuzz --smoke [--seed <N>] [--corpus-dir <dir>]
+        run all three attack planes bounded with fixed seeds against
+        in-process servers — the CI gate
+    dut fuzz --plane <protocol|differential|chaos> [--iters <N>]
+             [--seed <N>] [--duration <secs>] [--addr <host:port>]
+             [--corpus-dir <dir>]
+        run one plane; protocol and differential attack --addr when
+        given, otherwise a fuzz-owned in-process server; violations
+        persist to --corpus-dir as replayable dut-fuzz-corpus/v1
+        entries
+    dut fuzz --check <file|dir>...
+        validate corpus entries against the schema
+    dut fuzz --replay <file|dir>... [--addr <host:port>]
+        replay corpus entries as assertions (protocol entries against
+        --addr or an in-process server)
 
 top USAGE:
     dut top [--addr <host:port>] [--interval <secs>] [--once]
@@ -148,6 +179,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("top") {
         return cmd_top(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return cmd_fuzz(&args[1..]);
     }
     let Some((command, options)) = parse(&args) else {
         eprint!("{USAGE}");
@@ -528,26 +562,46 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 .cloned()
                 .ok_or_else(|| format!("{key} needs a value"))
         };
-        let parsed =
-            match args[i].as_str() {
-                "--addr" => need_value("--addr").map(|v| config.addr = v),
-                "--workers" => {
-                    parse_count(&need_value("--workers"), "--workers").map(|v| config.workers = v)
-                }
-                "--cache-cap" => parse_count(&need_value("--cache-cap"), "--cache-cap")
-                    .map(|v| config.cache_cap = v),
-                "--queue-cap" => parse_count(&need_value("--queue-cap"), "--queue-cap")
-                    .map(|v| config.queue_cap = v),
-                "--trace-sample" => need_value("--trace-sample").and_then(|v| {
-                    v.parse::<u64>()
-                        .map_err(|_| format!("--trace-sample needs an integer, got `{v}`"))
-                        .map(|v| config.trace_sample = v)
-                }),
-                other => Err(format!("unknown serve option `{other}`")),
-            };
+        let parsed = match args[i].as_str() {
+            "--addr" => need_value("--addr").map(|v| config.addr = v),
+            "--workers" => {
+                parse_count(&need_value("--workers"), "--workers").map(|v| config.workers = v)
+            }
+            "--cache-cap" => {
+                parse_count(&need_value("--cache-cap"), "--cache-cap").map(|v| config.cache_cap = v)
+            }
+            "--queue-cap" => {
+                parse_count(&need_value("--queue-cap"), "--queue-cap").map(|v| config.queue_cap = v)
+            }
+            "--trace-sample" => need_value("--trace-sample").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--trace-sample needs an integer, got `{v}`"))
+                    .map(|v| config.trace_sample = v)
+            }),
+            "--idle-timeout" => need_value("--idle-timeout").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--idle-timeout needs seconds, got `{v}`"))
+                    .map(|v| {
+                        config.idle_timeout =
+                            std::time::Duration::from_secs_f64(v.clamp(0.05, 3600.0));
+                    })
+            }),
+            "--error-budget" => need_value("--error-budget").and_then(|v| {
+                v.parse::<u32>()
+                    .map_err(|_| format!("--error-budget needs an integer, got `{v}`"))
+                    .map(|v| config.error_budget = v)
+            }),
+            "--max-line-bytes" => parse_count(&need_value("--max-line-bytes"), "--max-line-bytes")
+                .map(|v| config.max_line_bytes = v),
+            other => Err(format!("unknown serve option `{other}`")),
+        };
         if let Err(message) = parsed {
             eprintln!("error: {message}");
-            eprintln!("usage: dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>] [--queue-cap <N>] [--trace-sample <N>]");
+            eprintln!(
+                "usage: dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>] \
+                 [--queue-cap <N>] [--trace-sample <N>] [--idle-timeout <secs>] \
+                 [--error-budget <N>] [--max-line-bytes <N>]"
+            );
             return ExitCode::FAILURE;
         }
         i += 2;
@@ -586,6 +640,9 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
     let mut bench_out: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut duration_secs = 2.0f64;
+    let mut chaos = false;
+    let mut chaos_rate = 0.3f64;
+    let mut chaos_seed = 7u64;
     let mut i = 0;
     while i < args.len() {
         let need_value = |key: &str| -> Result<String, String> {
@@ -614,6 +671,21 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 i += 1;
                 continue;
             }
+            "--chaos" => {
+                chaos = true;
+                i += 1;
+                continue;
+            }
+            "--chaos-rate" => need_value("--chaos-rate").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--chaos-rate needs a fraction, got `{v}`"))
+                    .map(|v| chaos_rate = v.clamp(0.0, 0.375))
+            }),
+            "--chaos-seed" => need_value("--chaos-seed").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--chaos-seed needs an integer, got `{v}`"))
+                    .map(|v| chaos_seed = v)
+            }),
             "--bench-out" => need_value("--bench-out").map(|v| bench_out = Some(v)),
             "--check" => need_value("--check").map(|v| check_path = Some(v)),
             "--addr" => need_value("--addr").map(|v| config.addr = v),
@@ -637,7 +709,7 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>] \
                  [--conns <N>] [--smoke] [--stats-check] [--bench-out <file>] [--check <file>] \
-                 [--shutdown] [--shutdown-only]"
+                 [--shutdown] [--shutdown-only] [--chaos] [--chaos-rate <f>] [--chaos-seed <N>]"
             );
             return ExitCode::FAILURE;
         }
@@ -676,6 +748,43 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    // `--chaos` replaces the honest load with the hostile client mix;
+    // the verdict is survival (every probe answered or cleanly shed,
+    // bit-exact known-good reply and stats afterwards).
+    if chaos {
+        let result = dut_serve::chaos::run(&dut_serve::chaos::ChaosConfig {
+            addr: config.addr.clone(),
+            duration: std::time::Duration::from_secs_f64(duration_secs),
+            lanes: config.connections.max(1),
+            rate: chaos_rate,
+            seed: chaos_seed,
+            ..dut_serve::chaos::ChaosConfig::default()
+        });
+        let code = match result {
+            Ok(report) => {
+                println!("chaos: {}", report.summary());
+                if report.survived() {
+                    println!("chaos: PASS (server survived the hostile mix)");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("chaos FAIL: server did not survive the hostile mix");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+        if shutdown_after {
+            if let Err(message) = dut_serve::loadgen::send_shutdown(&config.addr) {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+            println!("server at {} acknowledged shutdown", config.addr);
+        }
+        return code;
     }
     if smoke {
         config.rps = 2000;
@@ -879,6 +988,419 @@ fn cmd_top(args: &[String]) -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `dut fuzz` — structured adversarial testing (crates/fuzz).
+///
+/// `--smoke` runs all three attack planes bounded with fixed seeds —
+/// the CI gate. `--plane` runs one plane with tunable iteration
+/// counts. `--check` validates corpus entries against the
+/// `dut-fuzz-corpus/v1` schema; `--replay` re-fires them as
+/// assertions.
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    const FUZZ_USAGE: &str = "usage: dut fuzz --smoke [--seed <N>] [--corpus-dir <dir>]\n\
+       dut fuzz --plane <protocol|differential|chaos> [--iters <N>] [--seed <N>]\n\
+                [--duration <secs>] [--addr <host:port>] [--corpus-dir <dir>]\n\
+       dut fuzz --check <file|dir>...\n\
+       dut fuzz --replay <file|dir>... [--addr <host:port>]";
+    let mut smoke = false;
+    let mut plane: Option<String> = None;
+    let mut iters: Option<u64> = None;
+    let mut seed = 7u64;
+    let mut duration_secs = 0.8f64;
+    let mut addr: Option<String> = None;
+    let mut corpus_dir: Option<std::path::PathBuf> = None;
+    let mut mode_check = false;
+    let mut mode_replay = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |key: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{key} needs a value"))
+        };
+        let parsed = match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+                continue;
+            }
+            "--check" => {
+                mode_check = true;
+                i += 1;
+                continue;
+            }
+            "--replay" => {
+                mode_replay = true;
+                i += 1;
+                continue;
+            }
+            "--plane" => need_value("--plane").map(|v| plane = Some(v)),
+            "--iters" => need_value("--iters").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--iters needs an integer, got `{v}`"))
+                    .map(|v| iters = Some(v.max(1)))
+            }),
+            "--seed" => need_value("--seed").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--seed needs an integer, got `{v}`"))
+                    .map(|v| seed = v)
+            }),
+            "--duration" => need_value("--duration").and_then(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--duration needs seconds, got `{v}`"))
+                    .map(|v| duration_secs = v.clamp(0.1, 600.0))
+            }),
+            "--addr" => need_value("--addr").map(|v| addr = Some(v)),
+            "--corpus-dir" => {
+                need_value("--corpus-dir").map(|v| corpus_dir = Some(std::path::PathBuf::from(v)))
+            }
+            flag if flag.starts_with("--") => Err(format!("unknown fuzz option `{flag}`")),
+            path => {
+                paths.push(path.to_owned());
+                i += 1;
+                continue;
+            }
+        };
+        if let Err(message) = parsed {
+            eprintln!("error: {message}");
+            eprintln!("{FUZZ_USAGE}");
+            return ExitCode::FAILURE;
+        }
+        i += 2;
+    }
+    if mode_check {
+        return fuzz_check(&paths);
+    }
+    if mode_replay {
+        return fuzz_replay(&paths, addr.as_deref());
+    }
+    if smoke {
+        let config = dut_fuzz::SmokeConfig {
+            seed,
+            corpus_dir,
+            ..dut_fuzz::SmokeConfig::default()
+        };
+        return match dut_fuzz::smoke(&config) {
+            Ok(report) => print_smoke_report(&report),
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match plane.as_deref() {
+        Some("protocol") => {
+            let (addr, server) = match fuzz_target(addr) {
+                Ok(pair) => pair,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let result =
+                dut_fuzz::protocol_plane::run(&dut_fuzz::protocol_plane::ProtocolFuzzConfig {
+                    iters: iters.unwrap_or(100),
+                    seed,
+                    addr,
+                    corpus_dir,
+                });
+            stop_fuzz_server(server);
+            match result {
+                Ok(report) => print_protocol_report(&report),
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("differential") => {
+            let (addr, server) = match fuzz_target(addr) {
+                Ok(pair) => pair,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let result = dut_fuzz::differential::run(&dut_fuzz::differential::DiffConfig {
+                iters: iters.unwrap_or(32),
+                seed,
+                addr: Some(addr),
+                corpus_dir,
+                cross_backend_every: 4,
+            });
+            stop_fuzz_server(server);
+            match result {
+                Ok(report) => print_diff_report(&report),
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("chaos") => {
+            match dut_fuzz::chaos_plane::run(&dut_fuzz::chaos_plane::ChaosPlaneConfig {
+                duration: std::time::Duration::from_secs_f64(duration_secs),
+                lanes: 3,
+                rate: 0.3,
+                seed,
+            }) {
+                Ok(report) => {
+                    println!("chaos: {}", report.summary());
+                    if report.survived() {
+                        println!("chaos: PASS");
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("chaos FAIL");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("error: unknown plane `{other}` (protocol | differential | chaos)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{FUZZ_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves the fuzz target: an explicit `--addr`, or a fuzz-owned
+/// in-process server the caller must stop via [`stop_fuzz_server`].
+fn fuzz_target(
+    addr: Option<String>,
+) -> Result<(String, Option<dut_serve::server::ServerHandle>), String> {
+    match addr {
+        Some(addr) => Ok((addr, None)),
+        None => {
+            let handle = dut_serve::server::start(&dut_serve::ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 4,
+                queue_cap: 32,
+                ..dut_serve::ServeConfig::default()
+            })?;
+            let addr = handle.local_addr().to_string();
+            println!("fuzz: attacking in-process server at {addr}");
+            Ok((addr, Some(handle)))
+        }
+    }
+}
+
+fn stop_fuzz_server(server: Option<dut_serve::server::ServerHandle>) {
+    if let Some(handle) = server {
+        handle.request_shutdown();
+        handle.join();
+    }
+}
+
+fn print_smoke_report(report: &dut_fuzz::SmokeReport) -> ExitCode {
+    let protocol_code = print_protocol_report(&report.protocol);
+    let diff_code = print_diff_report(&report.differential);
+    println!("chaos: {}", report.chaos.summary());
+    if report.passed() {
+        println!("fuzz smoke: PASS (all three planes held)");
+        ExitCode::SUCCESS
+    } else {
+        if protocol_code == ExitCode::FAILURE {
+            eprintln!("fuzz smoke FAIL: protocol plane");
+        }
+        if diff_code == ExitCode::FAILURE {
+            eprintln!("fuzz smoke FAIL: differential plane");
+        }
+        if !report.chaos.survived() {
+            eprintln!("fuzz smoke FAIL: chaos plane");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn print_protocol_report(report: &dut_fuzz::protocol_plane::ProtocolFuzzReport) -> ExitCode {
+    println!(
+        "protocol: {} frames fired, {} known-good probes, accounting {}",
+        report.iterations,
+        report.probes,
+        if report.accounting_ok {
+            "balanced"
+        } else {
+            "BROKEN"
+        }
+    );
+    for violation in &report.violations {
+        eprintln!(
+            "protocol violation [{}]: {} (frame: {})",
+            violation.mutation.name(),
+            violation.what,
+            violation.frame_preview
+        );
+        if let Some(path) = &violation.corpus_file {
+            eprintln!("  persisted to {}", path.display());
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_diff_report(report: &dut_fuzz::differential::DiffReport) -> ExitCode {
+    println!(
+        "differential: {} configs, {} cross-backend checks, {} served-path checks",
+        report.iterations, report.cross_backend_checked, report.served_checked
+    );
+    for failure in &report.failures {
+        eprintln!(
+            "differential mismatch: {} (shrunk config: {:?})",
+            failure.what, failure.request
+        );
+        if let Some(path) = &failure.corpus_file {
+            eprintln!("  persisted to {}", path.display());
+        }
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Expands files and directories (recursively) into sorted `.json`
+/// corpus file paths.
+fn collect_corpus_files(
+    path: &std::path::Path,
+    files: &mut Vec<std::path::PathBuf>,
+) -> Result<(), String> {
+    if path.is_dir() {
+        let mut children: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        children.sort();
+        for child in children {
+            collect_corpus_files(&child, files)?;
+        }
+    } else if path.extension().is_some_and(|ext| ext == "json") {
+        files.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+fn load_corpus(paths: &[String]) -> Result<Vec<std::path::PathBuf>, String> {
+    if paths.is_empty() {
+        return Err("no corpus files or directories given".into());
+    }
+    let mut files = Vec::new();
+    for p in paths {
+        collect_corpus_files(std::path::Path::new(p), &mut files)?;
+    }
+    if files.is_empty() {
+        return Err("no .json corpus files found".into());
+    }
+    Ok(files)
+}
+
+/// `dut fuzz --check` — schema-validate corpus entries.
+fn fuzz_check(paths: &[String]) -> ExitCode {
+    let files = match load_corpus(paths) {
+        Ok(files) => files,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut bad = 0u64;
+    for file in &files {
+        match std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| dut_fuzz::corpus::validate(&text))
+        {
+            Ok(()) => {}
+            Err(message) => {
+                eprintln!("{}: {message}", file.display());
+                bad += 1;
+            }
+        }
+    }
+    println!(
+        "fuzz check: {} of {} corpus entries valid",
+        files.len() as u64 - bad,
+        files.len()
+    );
+    if bad == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `dut fuzz --replay` — re-fire corpus entries as assertions.
+fn fuzz_replay(paths: &[String], addr: Option<&str>) -> ExitCode {
+    let files = match load_corpus(paths) {
+        Ok(files) => files,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut entries = Vec::new();
+    for file in &files {
+        let entry = std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| dut_fuzz::corpus::Entry::parse(&text));
+        match entry {
+            Ok(entry) => entries.push(entry),
+            Err(message) => {
+                eprintln!("{}: {message}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Protocol entries need a live server; differential ones run
+    // in-process, so only start a server when something will use it.
+    let needs_server = entries
+        .iter()
+        .any(|e| e.plane == dut_fuzz::corpus::Plane::Protocol);
+    let (addr, server) = if needs_server {
+        match fuzz_target(addr.map(str::to_owned)) {
+            Ok((addr, server)) => (addr, server),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (String::new(), None)
+    };
+    let mut failed = 0u64;
+    for entry in &entries {
+        match entry.replay(&addr) {
+            Ok(()) => println!("replay {} [{}]: ok", entry.name, entry.plane.name()),
+            Err(message) => {
+                eprintln!("replay {} [{}]: {message}", entry.name, entry.plane.name());
+                failed += 1;
+            }
+        }
+    }
+    stop_fuzz_server(server);
+    println!(
+        "fuzz replay: {} of {} entries held",
+        entries.len() as u64 - failed,
+        entries.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
