@@ -215,9 +215,8 @@ fn is_write(file: &SourceFile, own: &[usize], sym_at: usize, symbol: &str) -> bo
                 if depth == 0 {
                     break;
                 }
-            } else if depth > 0 && q == sym_at {
-                return true;
-            } else if depth > 0 && u.kind == TokenKind::Ident && u.text == symbol {
+            } else if depth > 0 && (q == sym_at || (u.kind == TokenKind::Ident && u.text == symbol))
+            {
                 return true;
             }
         }

@@ -35,8 +35,9 @@ pub struct Harness {
     /// Output directory for CSV tables (`DUT_RESULTS`, default `results`).
     pub results_dir: PathBuf,
     /// Sampling backend for experiments that draw occupancy histograms
-    /// (`DUT_BACKEND`: `per-draw` or `histogram`, default per-draw —
-    /// the correctness oracle; both backends draw from the same law).
+    /// (`DUT_BACKEND`: `per-draw`, `histogram` or `auto`, default auto —
+    /// the cost model resolves a concrete engine per `(n, q)`; all
+    /// choices draw from the same law).
     pub backend: SampleBackend,
 }
 
@@ -217,7 +218,7 @@ mod tests {
             backend: SampleBackend::default(),
         };
         assert_eq!(h.trials, 200);
-        assert_eq!(h.backend, SampleBackend::PerDraw);
+        assert_eq!(h.backend, SampleBackend::Auto);
     }
 
     #[test]

@@ -101,24 +101,39 @@ impl UniformityTester {
     }
 
     /// Binds the tester to a per-player sample count, performing any
-    /// required calibration.
+    /// required calibration with the default [`SampleBackend::Auto`]
+    /// (the cost model picks the cheaper engine for the calibration's
+    /// Monte-Carlo draws).
     pub fn prepare<R: Rng + ?Sized>(&self, q: usize, rng: &mut R) -> PreparedUniformityTester {
-        let variant = match self.rule {
-            Rule::And => PreparedVariant::Biased(TThresholdTester::new(self.n, self.k, 1)),
-            Rule::TThreshold { t } => {
-                PreparedVariant::Biased(TThresholdTester::new(self.n, self.k, t))
-            }
-            Rule::Balanced => PreparedVariant::Balanced(
-                BalancedThresholdTester::new(self.n, self.k, self.epsilon).prepare(
-                    q,
-                    self.calibration_trials,
-                    rng,
+        self.prepare_with_backend(q, SampleBackend::Auto, rng)
+    }
+
+    /// [`Self::prepare`] with an explicit calibration backend. The
+    /// balanced rule's threshold calibration runs thousands of
+    /// `q`-sample draws, so on configurations where one engine is much
+    /// faster the backend choice dominates preparation time; both
+    /// engines draw exactly Multinomial(q, p) histograms, so the
+    /// calibrated thresholds are identically distributed either way.
+    pub fn prepare_with_backend<R: Rng + ?Sized>(
+        &self,
+        q: usize,
+        backend: SampleBackend,
+        rng: &mut R,
+    ) -> PreparedUniformityTester {
+        let variant =
+            match self.rule {
+                Rule::And => PreparedVariant::Biased(TThresholdTester::new(self.n, self.k, 1)),
+                Rule::TThreshold { t } => {
+                    PreparedVariant::Biased(TThresholdTester::new(self.n, self.k, t))
+                }
+                Rule::Balanced => PreparedVariant::Balanced(
+                    BalancedThresholdTester::new(self.n, self.k, self.epsilon)
+                        .prepare_with_backend(q, self.calibration_trials, backend, rng),
                 ),
-            ),
-            Rule::Centralized => {
-                PreparedVariant::Centralized(CollisionTester::new(self.n, self.epsilon))
-            }
-        };
+                Rule::Centralized => {
+                    PreparedVariant::Centralized(CollisionTester::new(self.n, self.epsilon))
+                }
+            };
         PreparedUniformityTester { q, variant }
     }
 

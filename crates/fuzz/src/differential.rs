@@ -11,7 +11,10 @@
 //! exception: they agree **in distribution**, not draw-for-draw (see
 //! `dut_probability::occupancy`), so cross-backend comparison uses a
 //! seeded acceptance-frequency tolerance instead of bit equality —
-//! deterministic under fixed seeds, so it can never flake.
+//! deterministic under fixed seeds, so it can never flake. `Auto` is
+//! *not* such an exception: it is a choice between those two engines,
+//! so the auto lane ([`auto_matches_resolved`]) demands bit-identity
+//! with whatever the cost model resolved.
 //!
 //! A failing configuration is *shrunk* (halving n, q, k, trials while
 //! the failure persists) and persisted as a replayable corpus entry;
@@ -86,6 +89,8 @@ pub struct DiffReport {
     pub iterations: u64,
     /// Cross-backend tolerance checks performed.
     pub cross_backend_checked: u64,
+    /// Auto-vs-resolved bit-identity checks performed.
+    pub auto_checked: u64,
     /// Configurations that included the served-TCP path.
     pub served_checked: u64,
     /// Path disagreements (empty = the contract held).
@@ -225,6 +230,43 @@ pub fn cross_backend_agreement(request: &Request) -> Result<(), String> {
     Ok(())
 }
 
+/// The auto-resolution lane: `Auto` is a *choice*, not a third
+/// sampling law, so running with `Auto` must be bit-identical — same
+/// seed, same verdict, trial for trial — to running with the concrete
+/// engine the cost model resolves it to.
+///
+/// # Errors
+///
+/// Returns a description of the first diverging trial (or a tester
+/// build failure, or a leaked `Auto` from `resolve`).
+pub fn auto_matches_resolved(request: &Request) -> Result<(), String> {
+    use dut_core::probability::SampleBackend;
+    let entry = engine::build_entry(&CacheKey::of(request)).map_err(|e| e.message.clone())?;
+    let q = request.q as u64;
+    let resolved = entry.sampler.resolve(SampleBackend::Auto, q);
+    if resolved == SampleBackend::Auto {
+        return Err("resolve() returned Auto instead of a concrete engine".into());
+    }
+    for i in 0..CROSS_BACKEND_TRIALS {
+        let mut auto_rng = StdRng::seed_from_u64(derive_seed(request.seed, i));
+        let mut fixed_rng = StdRng::seed_from_u64(derive_seed(request.seed, i));
+        let auto = entry
+            .prepared
+            .run_dual(&entry.sampler, SampleBackend::Auto, &mut auto_rng);
+        let fixed = entry
+            .prepared
+            .run_dual(&entry.sampler, resolved, &mut fixed_rng);
+        if auto != fixed {
+            return Err(format!(
+                "auto diverged from its resolved engine ({}) on trial {i}: \
+                 {auto:?} vs {fixed:?}",
+                resolved.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Shrinks a failing configuration: repeatedly halves `n`, `q`, `k`,
 /// and `trials` (respecting validity: a threshold rule's `t` is
 /// clamped into `1..=k`) while the failure reproduces, so the corpus
@@ -312,6 +354,10 @@ pub fn run(config: &DiffConfig) -> Result<DiffReport, String> {
             if let Err(e) = cross_backend_agreement(&request) {
                 verdicts.push(e);
             }
+            report.auto_checked += 1;
+            if let Err(e) = auto_matches_resolved(&request) {
+                verdicts.push(e);
+            }
         }
         for what in verdicts {
             let shrunk = shrink(&request, addr);
@@ -371,11 +417,27 @@ mod tests {
         .expect("run completes");
         assert_eq!(report.iterations, 4);
         assert_eq!(report.cross_backend_checked, 2);
+        assert_eq!(report.auto_checked, 2);
         assert!(
             report.passed(),
             "differential failures: {:?}",
             report.failures
         );
+    }
+
+    #[test]
+    fn auto_lane_bit_identity_on_fixed_config() {
+        let request = Request {
+            n: 64,
+            k: 3,
+            q: 8,
+            eps: 0.5,
+            rule: dut_core::Rule::Balanced,
+            family: protocol::Family::Uniform,
+            seed: 11,
+            trials: 2,
+        };
+        auto_matches_resolved(&request).expect("auto runs bit-identical to its resolved engine");
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub enum Counter {
     /// Request evaluations that panicked and were converted into a
     /// structured `internal` error reply instead of killing a worker.
     ServePanicsCaught,
+    /// Served requests whose `Auto` backend resolved to the per-draw
+    /// engine (cost model picked O(q log n) inversion).
+    ServeBackendPerDraw,
+    /// Served requests whose `Auto` backend resolved to the histogram
+    /// engine (cost model picked O(n + q) stick-breaking).
+    ServeBackendHistogram,
     /// Hostile client actions injected by `dut loadgen --chaos`
     /// (slowloris writes, half-open connects, mid-frame disconnects,
     /// reconnect storms, garbage frames, …).
@@ -83,7 +89,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    const COUNT: usize = 27;
+    const COUNT: usize = 29;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -113,6 +119,8 @@ impl Counter {
         Counter::ServeReaped,
         Counter::ServeErrorBudget,
         Counter::ServePanicsCaught,
+        Counter::ServeBackendPerDraw,
+        Counter::ServeBackendHistogram,
         Counter::ChaosInjected,
     ];
 
@@ -146,6 +154,8 @@ impl Counter {
             Counter::ServeReaped => "serve_reaped",
             Counter::ServeErrorBudget => "serve_error_budget",
             Counter::ServePanicsCaught => "serve_panics_caught",
+            Counter::ServeBackendPerDraw => "serve_backend_per_draw",
+            Counter::ServeBackendHistogram => "serve_backend_histogram",
             Counter::ChaosInjected => "chaos_injected",
         }
     }
@@ -159,7 +169,9 @@ pub enum Gauge {
     RunnerThreads,
     /// Sampling backend of the most recent count-based network run:
     /// 1 for `SampleBackend::PerDraw`, 2 for `SampleBackend::Histogram`
-    /// (0 = no count-based run yet).
+    /// (0 = no count-based run yet). Always the *resolved* engine —
+    /// `Auto` (code 3) is resolved through the cost model before the
+    /// run, so 3 appears only in configuration manifests.
     SamplingBackend,
     /// Connections waiting in the `dut serve` accept queue (sampled at
     /// each enqueue/dequeue). Written only while the queue lock is

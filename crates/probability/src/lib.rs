@@ -45,6 +45,7 @@
 mod dense;
 mod error;
 
+pub mod costmodel;
 pub mod distance;
 pub mod empirical;
 pub mod families;

@@ -45,15 +45,24 @@ pub enum SampleBackend {
     /// Draw `q` individual samples by inverse-transform (binary search
     /// on the CDF) and bin them — O(q log n) per player. The
     /// historical default and the correctness oracle.
-    #[default]
     PerDraw,
     /// Draw the occupancy histogram directly via conditional-binomial
     /// stick-breaking — O(n + q) expected per player, no sample vector.
     Histogram,
+    /// Consult the calibrated cost model ([`crate::costmodel`]) and
+    /// take whichever concrete engine it predicts is cheaper for the
+    /// `(n, q)` at hand. The default everywhere: neither engine wins
+    /// uniformly (the bench grid has histogram at 57x on one corner
+    /// and 0.33x on another), so a fixed choice is always wrong
+    /// somewhere.
+    #[default]
+    Auto,
 }
 
 impl SampleBackend {
-    /// All backends, in presentation order.
+    /// The concrete engines, in presentation order. `Auto` is not a
+    /// third engine — it resolves to one of these per `(n, q)` — so
+    /// equivalence tests and benches iterate this list.
     pub const ALL: [SampleBackend; 2] = [SampleBackend::PerDraw, SampleBackend::Histogram];
 
     /// Stable lowercase name, used in CLI flags, env vars and reports.
@@ -62,26 +71,42 @@ impl SampleBackend {
         match self {
             SampleBackend::PerDraw => "per-draw",
             SampleBackend::Histogram => "histogram",
+            SampleBackend::Auto => "auto",
         }
     }
 
-    /// Parses a backend name as written on a CLI (`per-draw`/`perdraw`
-    /// or `histogram`/`hist`, case-insensitive).
+    /// Parses a backend name as written on a CLI (`per-draw`/`perdraw`,
+    /// `histogram`/`hist`, or `auto`, case-insensitive).
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "per-draw" | "perdraw" | "per_draw" => Some(SampleBackend::PerDraw),
             "histogram" | "hist" => Some(SampleBackend::Histogram),
+            "auto" => Some(SampleBackend::Auto),
             _ => None,
         }
     }
 
     /// Small integer code for the observability gauge (0 is "unset").
+    /// Runs record the *resolved* engine, so 3 only ever shows up in
+    /// configuration manifests, never in the sampling gauge.
     #[must_use]
     pub fn gauge_code(self) -> u64 {
         match self {
             SampleBackend::PerDraw => 1,
             SampleBackend::Histogram => 2,
+            SampleBackend::Auto => 3,
+        }
+    }
+
+    /// The concrete engine this backend uses for a `q`-sample draw on
+    /// a size-`n` domain: fixed engines return themselves, `Auto` asks
+    /// the cost model. Never returns `Auto`.
+    #[must_use]
+    pub fn resolve(self, n: usize, q: u64) -> SampleBackend {
+        match self {
+            SampleBackend::PerDraw | SampleBackend::Histogram => self,
+            SampleBackend::Auto => crate::costmodel::choose(n, q),
         }
     }
 }
@@ -167,10 +192,41 @@ fn binomial_small_mean(n: u64, p: f64, u: f64) -> u64 {
 /// The BINV recurrence with its inputs precomputed: `ratio = p/(1-p)`
 /// and `pmf0 = (1-p)^n`. [`HistogramSampler`] hoists the log/exp work
 /// behind these out of its per-cell loop.
+///
+/// The inversion walk is chunked: four pmf-recurrence steps are
+/// unrolled per iteration and `u` is tested once against the chunk's
+/// end, so long walks (large means) take one data-dependent branch per
+/// four terms instead of one per term. The partial sums inside a chunk
+/// accumulate in the same left-to-right order the one-step loop would
+/// use and `cdf` is nondecreasing, so crossing points — and therefore
+/// draws — are identical to the unchunked recurrence.
 fn binv_from_zero(n: u64, ratio: f64, pmf0: f64, u: f64) -> u64 {
     let mut pmf = pmf0;
     let mut cdf = pmf;
     let mut k = 0u64;
+    while cdf < u && k + 4 <= n {
+        let p1 = pmf * (ratio * ((n - k) as f64) / ((k + 1) as f64));
+        let p2 = p1 * (ratio * ((n - k - 1) as f64) / ((k + 2) as f64));
+        let p3 = p2 * (ratio * ((n - k - 2) as f64) / ((k + 3) as f64));
+        let p4 = p3 * (ratio * ((n - k - 3) as f64) / ((k + 4) as f64));
+        let end = cdf + p1 + p2 + p3 + p4;
+        if end < u {
+            cdf = end;
+            pmf = p4;
+            k += 4;
+            continue;
+        }
+        // `u` lands inside this chunk: re-walk its four terms with the
+        // per-term test (sums recomputed in the identical order).
+        for p in [p1, p2, p3, p4] {
+            k += 1;
+            pmf = p;
+            cdf += p;
+            if cdf >= u {
+                return k;
+            }
+        }
+    }
     while cdf < u && k < n {
         k += 1;
         pmf *= ratio * ((n - k + 1) as f64) / k as f64;
@@ -224,6 +280,39 @@ fn binomial_from_mode(n: u64, p: f64, u: f64) -> u64 {
     }
 }
 
+/// Remaining-count bound below which `pmf0 = base^m` comes from the
+/// cell's exp table (binary exponentiation over cached squarings)
+/// instead of `exp(m · ln_base)`: at most [`POW_TABLE_BITS`] dependent
+/// multiplies, which beats the transcendental for the small `m` that
+/// dominate both deep stick-breaking walks and small-q serve traffic.
+const POW_TABLE_MAX: u64 = 1 << POW_TABLE_BITS;
+/// Cached squarings per cell: `base^(2^j)` for `j < POW_TABLE_BITS`.
+const POW_TABLE_BITS: u32 = 7;
+
+/// `base^m` for `m < 2^POW_TABLE_BITS` from the cached squarings.
+fn pow_from_table(table: &[f64; POW_TABLE_BITS as usize], m: u64) -> f64 {
+    let mut acc = 1.0f64;
+    let mut bits = m;
+    let mut j = 0usize;
+    while bits != 0 {
+        if bits & 1 == 1 {
+            acc *= table[j];
+        }
+        bits >>= 1;
+        j += 1;
+    }
+    acc
+}
+
+/// Repeated squarings of `base`: `[base, base², base⁴, …]`.
+fn squarings(base: f64) -> [f64; POW_TABLE_BITS as usize] {
+    let mut table = [base; POW_TABLE_BITS as usize];
+    for j in 1..POW_TABLE_BITS as usize {
+        table[j] = table[j - 1] * table[j - 1];
+    }
+    table
+}
+
 /// Precomputed stick-breaking tables for one support element: the
 /// conditional success probability plus every log/ratio the inversion
 /// sampler needs, so the per-cell draw loop touches no transcendentals.
@@ -239,6 +328,12 @@ struct Cell {
     mirror_ratio: f64,
     /// `ln(conditional)`.
     ln_take: f64,
+    /// Per-cell exp table for the direct branch: `(1-conditional)^(2^j)`,
+    /// so small-`m` draws compute `pmf0` with a few multiplies and no
+    /// `exp` at all.
+    keep_pows: [f64; POW_TABLE_BITS as usize],
+    /// Per-cell exp table for the mirrored branch: `conditional^(2^j)`.
+    take_pows: [f64; POW_TABLE_BITS as usize],
 }
 
 /// A sampler that draws the full `q`-sample occupancy [`Histogram`] in one
@@ -286,6 +381,8 @@ impl HistogramSampler {
                     ln_keep: (-conditional).ln_1p(),
                     mirror_ratio: (1.0 - conditional) / conditional,
                     ln_take: conditional.ln(),
+                    keep_pows: squarings(1.0 - conditional),
+                    take_pows: squarings(conditional),
                 }
             })
             .collect();
@@ -340,11 +437,21 @@ impl HistogramSampler {
         if cell.conditional <= 0.5 {
             if mf * cell.conditional < 30.0 {
                 let u = rng.random::<f64>();
-                return binv_from_zero(m, cell.ratio, (mf * cell.ln_keep).exp(), u);
+                let pmf0 = if m < POW_TABLE_MAX {
+                    pow_from_table(&cell.keep_pows, m)
+                } else {
+                    (mf * cell.ln_keep).exp()
+                };
+                return binv_from_zero(m, cell.ratio, pmf0, u);
             }
         } else if mf * (1.0 - cell.conditional) < 30.0 {
             let u = rng.random::<f64>();
-            return m - binv_from_zero(m, cell.mirror_ratio, (mf * cell.ln_take).exp(), u);
+            let pmf0 = if m < POW_TABLE_MAX {
+                pow_from_table(&cell.take_pows, m)
+            } else {
+                (mf * cell.ln_take).exp()
+            };
+            return m - binv_from_zero(m, cell.mirror_ratio, pmf0, u);
         }
         binomial(m, cell.conditional, rng)
     }
@@ -455,12 +562,21 @@ impl DualSampler {
         &self.histogram
     }
 
-    /// Draws the `q`-sample occupancy histogram with the chosen backend.
+    /// The concrete engine `backend` resolves to for a `q`-sample draw
+    /// on this sampler's domain (`Auto` asks the cost model).
+    #[must_use]
+    pub fn resolve(&self, backend: SampleBackend, q: u64) -> SampleBackend {
+        backend.resolve(self.support_size(), q)
+    }
+
+    /// Draws the `q`-sample occupancy histogram with the chosen backend
+    /// (`Auto` resolves through the cost model first).
     #[must_use]
     pub fn draw<R: Rng + ?Sized>(&self, backend: SampleBackend, q: u64, rng: &mut R) -> Histogram {
-        match backend {
+        match self.resolve(backend, q) {
             SampleBackend::PerDraw => self.per_draw.draw_counts(q, rng),
             SampleBackend::Histogram => self.histogram.draw(q, rng),
+            SampleBackend::Auto => unreachable!("resolve() returns a concrete engine"),
         }
     }
 }
@@ -486,9 +602,59 @@ mod tests {
             Some(SampleBackend::PerDraw)
         );
         assert_eq!(SampleBackend::parse("nope"), None);
-        assert_eq!(SampleBackend::default(), SampleBackend::PerDraw);
+        assert_eq!(SampleBackend::parse("auto"), Some(SampleBackend::Auto));
+        assert_eq!(SampleBackend::default(), SampleBackend::Auto);
         assert_eq!(SampleBackend::PerDraw.gauge_code(), 1);
         assert_eq!(SampleBackend::Histogram.gauge_code(), 2);
+        assert_eq!(SampleBackend::Auto.gauge_code(), 3);
+        assert_eq!(SampleBackend::Auto.name(), "auto");
+    }
+
+    #[test]
+    fn resolve_never_returns_auto() {
+        for n in [2usize, 100, 1_000, 10_000, 1 << 17] {
+            for q in [1u64, 1_000, 10_000, 100_000] {
+                let r = SampleBackend::Auto.resolve(n, q);
+                assert!(SampleBackend::ALL.contains(&r), "n={n} q={q} -> {r}");
+            }
+        }
+        // Concrete engines resolve to themselves.
+        for b in SampleBackend::ALL {
+            assert_eq!(b.resolve(50, 50), b);
+        }
+    }
+
+    #[test]
+    fn auto_draw_is_bit_identical_to_its_resolved_engine() {
+        for d in [
+            DenseDistribution::uniform(1_000),
+            DenseDistribution::from_weights((1..=200).map(f64::from).collect()).unwrap(),
+        ] {
+            let dual = DualSampler::new(&d);
+            for q in [100u64, 1_000, 20_000] {
+                let resolved = dual.resolve(SampleBackend::Auto, q);
+                let via_auto = dual.draw(SampleBackend::Auto, q, &mut rng(q));
+                let direct = dual.draw(resolved, q, &mut rng(q));
+                assert_eq!(via_auto, direct, "q={q} resolved={resolved}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_table_matches_exp_path() {
+        // The per-cell squarings table must agree with the log-space
+        // power it replaces to ~1 ulp-scale relative error for every
+        // m below the cutoff.
+        for base in [0.9999f64, 0.97, 0.5, 0.2, 1e-4] {
+            let table = squarings(base);
+            for m in 0..POW_TABLE_MAX {
+                let fast = pow_from_table(&table, m);
+                let slow = (m as f64 * base.ln()).exp();
+                let err = (fast - slow).abs() / slow.max(f64::MIN_POSITIVE);
+                assert!(err < 1e-12, "base={base} m={m}: {fast} vs {slow}");
+            }
+        }
+        assert_eq!(pow_from_table(&squarings(0.3), 0), 1.0);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Integration test for the cost-model probe.
+//!
+//! Lives in its own integration-test binary (not the crate's unit
+//! tests) because [`dut_probability::costmodel::run_probe`] installs
+//! process-global scale factors: running it alongside the unit tests
+//! that assert the *unscaled* model's grid winners would race.
+
+use dut_probability::costmodel::{predicted_draw_ns, probe_scales, run_probe};
+use dut_probability::SampleBackend;
+
+#[test]
+fn probe_installs_sane_scales_and_keeps_choices_concrete() {
+    assert_eq!(probe_scales(), None, "no probe has run yet");
+    let before_per_draw = predicted_draw_ns(SampleBackend::PerDraw, 1_000, 1_000);
+    let before_histogram = predicted_draw_ns(SampleBackend::Histogram, 1_000, 1_000);
+
+    let (per_draw_scale, histogram_scale) = run_probe();
+    assert!(
+        (1e-3..=1e3).contains(&per_draw_scale) && (1e-3..=1e3).contains(&histogram_scale),
+        "scales out of clamp range: {per_draw_scale}, {histogram_scale}"
+    );
+    assert_eq!(probe_scales(), Some((per_draw_scale, histogram_scale)));
+
+    // Predictions are rescaled multiplicatively by exactly the probe
+    // factors.
+    let after_per_draw = predicted_draw_ns(SampleBackend::PerDraw, 1_000, 1_000);
+    let after_histogram = predicted_draw_ns(SampleBackend::Histogram, 1_000, 1_000);
+    assert!((after_per_draw - before_per_draw * per_draw_scale).abs() < 1e-6 * after_per_draw);
+    assert!((after_histogram - before_histogram * histogram_scale).abs() < 1e-6 * after_histogram);
+
+    // Resolution still never leaks `Auto`, whatever the host timings.
+    for n in [100usize, 1_000, 10_000] {
+        for q in [1_000u64, 100_000] {
+            let r = SampleBackend::Auto.resolve(n, q);
+            assert!(SampleBackend::ALL.contains(&r), "n={n} q={q} -> {r}");
+        }
+    }
+}

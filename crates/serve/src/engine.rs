@@ -97,6 +97,13 @@ pub struct CacheKey {
     pub rule_t: usize,
     /// Input family.
     pub family: Family,
+    /// Gauge code of the *resolved* sampling backend the cost model
+    /// picked for this `(n, q)` (1 = per-draw, 2 = histogram; never 3).
+    /// Part of the key so the bit-identity contract is explicit about
+    /// which engine produced a cached answer: if the cost model's
+    /// resolution ever changed mid-process, the old entry could not be
+    /// silently served for the new choice.
+    pub backend_code: u64,
 }
 
 impl CacheKey {
@@ -117,6 +124,19 @@ impl CacheKey {
             rule_tag,
             rule_t,
             family: req.family,
+            backend_code: SampleBackend::Auto
+                .resolve(req.n, req.q as u64)
+                .gauge_code(),
+        }
+    }
+
+    /// The concrete engine recorded in [`CacheKey::backend_code`].
+    #[must_use]
+    pub fn backend(&self) -> SampleBackend {
+        if self.backend_code == SampleBackend::PerDraw.gauge_code() {
+            SampleBackend::PerDraw
+        } else {
+            SampleBackend::Histogram
         }
     }
 
@@ -139,11 +159,12 @@ impl CacheKey {
         // Domain-separation constant: ASCII "dutserve" truncated.
         let mut s = derive_seed2(0x6475_7473_6572_7665, self.n as u64, self.k as u64);
         s = derive_seed2(s, self.q as u64, self.eps_bits);
-        derive_seed2(
+        s = derive_seed2(
             s,
             u64::from(self.rule_tag) << 32 | self.rule_t as u64,
             self.family as u64,
-        )
+        );
+        derive_seed2(s, self.backend_code, 0)
     }
 }
 
@@ -154,6 +175,9 @@ pub struct PreparedEntry {
     pub prepared: PreparedUniformityTester,
     /// Dual sampler for the key's input family.
     pub sampler: DualSampler,
+    /// The resolved sampling engine every trial for this key runs on
+    /// (the cost model's pick for the key's `(n, q)`; never `Auto`).
+    pub backend: SampleBackend,
 }
 
 /// Builds the entry for a key from scratch (the cache-miss path and
@@ -179,10 +203,12 @@ pub fn build_entry(key: &CacheKey) -> Result<Arc<PreparedEntry>, BuildError> {
         .build(key.n, eps)
         .map_err(BuildError::permanent)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(key.calibration_seed());
-    let prepared = tester.prepare(key.q, &mut rng);
+    let backend = key.backend();
+    let prepared = tester.prepare_with_backend(key.q, backend, &mut rng);
     Ok(Arc::new(PreparedEntry {
         prepared,
         sampler: distribution.dual_sampler(),
+        backend,
     }))
 }
 
@@ -213,7 +239,10 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// Runs the request's trials against a prepared entry. Trial `i` uses
+/// Runs the request's trials against a prepared entry on the entry's
+/// resolved backend (the cost model's pick for the key — this used to
+/// hardwire the histogram engine, paying up to 3x on small-q/large-n
+/// configurations where per-draw wins). Trial `i` uses
 /// `derive_seed(req.seed, i)`; the reply verdict is trial 0's.
 fn run_trials(entry: &PreparedEntry, req: &Request) -> (Verdict, SuccessEstimate) {
     let mut accepts = 0u64;
@@ -222,7 +251,7 @@ fn run_trials(entry: &PreparedEntry, req: &Request) -> (Verdict, SuccessEstimate
         let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(req.seed, i));
         let verdict = entry
             .prepared
-            .run_dual(&entry.sampler, SampleBackend::Histogram, &mut rng);
+            .run_dual(&entry.sampler, entry.backend, &mut rng);
         if i == 0 {
             first = verdict;
         }
@@ -321,7 +350,8 @@ impl Engine {
     }
 
     /// Evaluates one request: resolve the tester (cache or build),
-    /// run the trials on the histogram fast path, assemble the reply.
+    /// run the trials on the key's resolved backend (the cost model's
+    /// per-`(n, q)` engine pick), assemble the reply.
     /// Every call increments `serve_requests` and exactly one of
     /// `serve_cache_hits` / `serve_cache_misses`, records the service
     /// time in `request_micros` and the per-phase times in
@@ -357,6 +387,10 @@ impl Engine {
             Counter::ServeCacheMisses
         });
         let entry = entry.map_err(|e| e.message)?;
+        registry.incr(match entry.backend {
+            SampleBackend::PerDraw => Counter::ServeBackendPerDraw,
+            SampleBackend::Histogram | SampleBackend::Auto => Counter::ServeBackendHistogram,
+        });
         let compute_start = Instant::now();
         let (verdict, estimate) = run_trials(&entry, req);
         let compute_micros = u64::try_from(compute_start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -376,6 +410,7 @@ impl Engine {
                     .with("compute_us", compute_micros)
                     .with("total_us", reply.micros)
                     .with("cache", if cache_hit { "hit" } else { "miss" })
+                    .with("backend", entry.backend.name())
                     .with("verdict", verdict.to_string())
             });
         }
@@ -391,6 +426,7 @@ impl Engine {
                 .with("trials", req.trials)
                 .with("verdict", verdict.to_string())
                 .with("cache", if cache_hit { "hit" } else { "miss" })
+                .with("backend", entry.backend.name())
                 .with("micros", reply.micros)
         });
         Ok(reply)
@@ -521,6 +557,43 @@ mod tests {
             key.calibration_seed(),
             CacheKey::of(&other).calibration_seed()
         );
+    }
+
+    #[test]
+    fn served_backend_is_the_cost_models_choice() {
+        // (n=10⁴, q=10³) was the 0.33x slow-path point the hardwired
+        // histogram engine kept hitting: the key must resolve per-draw.
+        let mut req = request(1);
+        req.n = 10_000;
+        req.q = 1_000;
+        assert_eq!(CacheKey::of(&req).backend(), SampleBackend::PerDraw);
+        // The flagship histogram corner stays histogram.
+        req.n = 100;
+        req.q = 10_000;
+        assert_eq!(CacheKey::of(&req).backend(), SampleBackend::Histogram);
+        // Entries store the key's resolution, and handling ticks the
+        // per-backend counter for it.
+        let registry = dut_obs::metrics::global();
+        let before = registry.counter(Counter::ServeBackendPerDraw);
+        let mut pd_req = request(5);
+        pd_req.n = 4096; // per-draw region at q=10
+        pd_req.rule = Rule::And; // calibration-free build
+        let key = CacheKey::of(&pd_req);
+        assert_eq!(key.backend(), SampleBackend::PerDraw);
+        assert_eq!(build_entry(&key).unwrap().backend, SampleBackend::PerDraw);
+        Engine::new(4).handle(&pd_req).unwrap();
+        assert!(registry.counter(Counter::ServeBackendPerDraw) > before);
+    }
+
+    #[test]
+    fn backend_enters_the_calibration_seed() {
+        // Two keys differing only in backend_code derive different
+        // calibration streams: the recorded engine is load-bearing in
+        // the bit-identity contract, not advisory.
+        let key = CacheKey::of(&request(1));
+        let mut flipped = key;
+        flipped.backend_code = if key.backend_code == 1 { 2 } else { 1 };
+        assert_ne!(key.calibration_seed(), flipped.calibration_seed());
     }
 
     #[test]

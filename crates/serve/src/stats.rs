@@ -42,6 +42,12 @@ pub struct Stats {
     pub reaped: u64,
     /// Cumulative connections closed for exhausting the error budget.
     pub error_budget_closed: u64,
+    /// Cumulative requests whose resolved backend was the per-draw
+    /// engine (the cost model's pick for their `(n, q)`).
+    pub backend_per_draw: u64,
+    /// Cumulative requests whose resolved backend was the histogram
+    /// engine.
+    pub backend_histogram: u64,
     /// Actual span of the short window, microseconds.
     pub window_micros: u64,
     /// Requests per second over the short window.
@@ -117,6 +123,8 @@ pub fn gather(cached_testers: u64, slo_config: &SloConfig) -> Stats {
         malformed: registry.counter(Counter::ServeMalformed),
         reaped: registry.counter(Counter::ServeReaped),
         error_budget_closed: registry.counter(Counter::ServeErrorBudget),
+        backend_per_draw: registry.counter(Counter::ServeBackendPerDraw),
+        backend_histogram: registry.counter(Counter::ServeBackendHistogram),
         window_micros: short.span_micros,
         req_per_sec: short.rate_per_sec(Counter::ServeRequests),
         shed_per_sec: short.rate_per_sec(Counter::ServeShed),
@@ -161,9 +169,10 @@ impl Stats {
         );
         let _ = write!(
             out,
-            ",\"cumulative\":{{\"requests\":{},\"shed\":{},\"cache_hits\":{},\"cache_misses\":{},\"malformed\":{},\"reaped\":{},\"error_budget_closed\":{}}}",
+            ",\"cumulative\":{{\"requests\":{},\"shed\":{},\"cache_hits\":{},\"cache_misses\":{},\"malformed\":{},\"reaped\":{},\"error_budget_closed\":{},\"backend_per_draw\":{},\"backend_histogram\":{}}}",
             self.requests, self.shed, self.cache_hits, self.cache_misses,
-            self.malformed, self.reaped, self.error_budget_closed
+            self.malformed, self.reaped, self.error_budget_closed,
+            self.backend_per_draw, self.backend_histogram
         );
         let _ = write!(out, ",\"window\":{{\"span_us\":{}", self.window_micros);
         let field = |out: &mut String, key: &str, value: f64| {
@@ -224,6 +233,8 @@ impl Stats {
             malformed: u(cumulative, "malformed"),
             reaped: u(cumulative, "reaped"),
             error_budget_closed: u(cumulative, "error_budget_closed"),
+            backend_per_draw: u(cumulative, "backend_per_draw"),
+            backend_histogram: u(cumulative, "backend_histogram"),
             window_micros: u(window, "span_us"),
             req_per_sec: f(window, "req_per_sec"),
             shed_per_sec: f(window, "shed_per_sec"),
@@ -263,6 +274,8 @@ mod tests {
             malformed: 11,
             reaped: 2,
             error_budget_closed: 1,
+            backend_per_draw: 40,
+            backend_histogram: 960,
             window_micros: 10_000_000,
             req_per_sec: 99.5,
             shed_per_sec: 0.25,

@@ -93,6 +93,18 @@ pub fn render_frame(stats: &Stats, addr: &str) -> String {
         stats.cache_hits,
         stats.cache_misses
     );
+    let backend_total = stats.backend_per_draw + stats.backend_histogram;
+    let _ = writeln!(
+        out,
+        "backend  {} per-draw / {} histogram ({:.0}% histogram, cost-model resolved)",
+        stats.backend_per_draw,
+        stats.backend_histogram,
+        if backend_total == 0 {
+            0.0
+        } else {
+            stats.backend_histogram as f64 / backend_total as f64 * 100.0
+        },
+    );
     let _ = writeln!(
         out,
         "latency  p50 {}   p95 {}   p99 {}   (target p99 {})",
@@ -193,6 +205,8 @@ mod tests {
             malformed: 13,
             reaped: 2,
             error_budget_closed: 1,
+            backend_per_draw: 40,
+            backend_histogram: 960,
             window_micros: 10_000_000,
             req_per_sec: 99.5,
             shed_per_sec: 0.25,
@@ -228,7 +242,8 @@ mod tests {
         assert!(frame.contains("p95 4.8ms"));
         assert!(frame.contains("p99 1.02s"));
         assert!(frame.contains("13 malformed"));
-        assert_eq!(frame.lines().count(), 7);
+        assert!(frame.contains("backend  40 per-draw / 960 histogram (96% histogram"));
+        assert_eq!(frame.lines().count(), 8);
     }
 
     #[test]

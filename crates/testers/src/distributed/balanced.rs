@@ -105,14 +105,15 @@ impl BalancedThresholdTester {
         calibration_trials: usize,
         rng: &mut R,
     ) -> PreparedBalancedTester {
-        self.prepare_with_backend(q, calibration_trials, SampleBackend::PerDraw, rng)
+        self.prepare_with_backend(q, calibration_trials, SampleBackend::Auto, rng)
     }
 
     /// [`Self::prepare`], with the Monte-Carlo calibration draws
-    /// realized by the chosen [`SampleBackend`]. Both backends produce
-    /// Multinomial(q, uniform)-distributed counts, so the calibrated
-    /// thresholds are drawn from the same law; the histogram path makes
-    /// large-`q` calibration O(n + q) per trial.
+    /// realized by the chosen [`SampleBackend`] (`Auto`, the
+    /// [`Self::prepare`] default, resolves through the cost model).
+    /// Both backends produce Multinomial(q, uniform)-distributed
+    /// counts, so the calibrated thresholds are drawn from the same
+    /// law; the backend only changes how long the trials take.
     ///
     /// # Panics
     ///
@@ -125,10 +126,12 @@ impl BalancedThresholdTester {
         rng: &mut R,
     ) -> PreparedBalancedTester {
         assert!(calibration_trials > 0, "need calibration trials");
+        let backend = backend.resolve(self.n, q as u64);
         let lambda = (q * q.saturating_sub(1)) as f64 / 2.0 / self.n as f64;
         let node_threshold = lambda * (1.0 + self.epsilon * self.epsilon / 2.0);
         let mut rejects = 0usize;
         match backend {
+            SampleBackend::Auto => unreachable!("resolve() returns a concrete engine"),
             SampleBackend::PerDraw => {
                 let uniform = UniformSampler::new(self.n);
                 for _ in 0..calibration_trials {

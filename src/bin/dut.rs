@@ -37,7 +37,7 @@ COMMANDS:
     faults    render error-vs-fault-rate curves and Byzantine tolerance
     report    summarize a JSONL trace (written via DUT_TRACE=<path>)
     lint      run workspace static analysis (determinism / numeric / concurrency rules)
-    bench     time the per-draw vs histogram sampling backends
+    bench     time the per-draw, histogram and auto sampling backends
     serve     run the long-lived uniformity-testing TCP service
     loadgen   drive a running service at a fixed request rate
     top       live dashboard over a running service's stats
@@ -56,7 +56,8 @@ test OPTIONS:
                                                    [default: two-level]
     --q <int>         samples per player           [default: predicted]
     --trials <int>    protocol executions          [default: 200]
-    --backend <name>  per-draw | histogram | both  [default: legacy alias path]
+    --backend <name>  per-draw | histogram | auto | both
+                                                   [default: legacy alias path]
 
 advise OPTIONS:
     --locality <name> and | threshold:<T> | any    [default: any]
@@ -88,16 +89,20 @@ lint USAGE:
     dut lint --list-suppressions  audit every dut-lint allow with its reason
 
 bench USAGE:
-    dut bench [--smoke] [--out <file>]   time both backends over an
-                                         (n, q) grid and write a perf
-                                         baseline  [default: BENCH_perf.json]
+    dut bench [--smoke] [--probe] [--out <file>]
+        time per-draw, histogram and the cost-model auto backend over
+        an (n, q) grid and write a dut-bench-perf/v2 baseline with
+        thread/host/probe provenance  [default: BENCH_perf.json];
+        --probe micro-calibrates the cost model to this host first;
+        fails if auto trails the better fixed engine by >5% anywhere
     dut bench --check <file>             validate a written baseline
+                                         (accepts v1 and v2 schemas)
 
 serve USAGE:
     dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>]
               [--queue-cap <N>] [--trace-sample <N>]
               [--idle-timeout <secs>] [--error-budget <N>]
-              [--max-line-bytes <N>]
+              [--max-line-bytes <N>] [--probe]
         serve newline-delimited JSON requests until a client sends
         {\"cmd\":\"shutdown\"}; also answers {\"cmd\":\"stats\"} (windowed
         metrics + SLO) and {\"cmd\":\"flight\"} (flight-recorder dump)
@@ -107,7 +112,9 @@ serve USAGE:
         reaped (default 30s), lines past --max-line-bytes get
         {\"error\":\"line_too_long\"} then close, and a connection
         exhausting --error-budget error replies is closed (default
-        64, 0 disables)
+        64, 0 disables); --probe times both sampling engines at
+        startup and rescales the cost model that picks the backend
+        per request
 
 loadgen USAGE:
     dut loadgen [--addr <host:port>] [--rps <N>] [--duration <secs>]
@@ -333,8 +340,9 @@ fn cmd_test(options: &BTreeMap<String, String>) -> Result<(), String> {
     if let Some(spec) = options.get("backend") {
         let backends: Vec<SampleBackend> = match spec.as_str() {
             "both" => SampleBackend::ALL.to_vec(),
-            s => vec![SampleBackend::parse(s)
-                .ok_or_else(|| format!("unknown backend `{s}` (per-draw | histogram | both)"))?],
+            s => vec![SampleBackend::parse(s).ok_or_else(|| {
+                format!("unknown backend `{s}` (per-draw | histogram | auto | both)")
+            })?],
         };
         let target = input.dual_sampler();
         let uniform = families::uniform(n).dual_sampler();
@@ -555,8 +563,14 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 /// a client sends `{"cmd":"shutdown"}`.
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut config = dut_serve::ServeConfig::default();
+    let mut probe = false;
     let mut i = 0;
     while i < args.len() {
+        if args[i] == "--probe" {
+            probe = true;
+            i += 1;
+            continue;
+        }
         let need_value = |key: &str| -> Result<String, String> {
             args.get(i + 1)
                 .cloned()
@@ -600,13 +614,21 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: dut serve [--addr <host:port>] [--workers <N>] [--cache-cap <N>] \
                  [--queue-cap <N>] [--trace-sample <N>] [--idle-timeout <secs>] \
-                 [--error-budget <N>] [--max-line-bytes <N>]"
+                 [--error-budget <N>] [--max-line-bytes <N>] [--probe]"
             );
             return ExitCode::FAILURE;
         }
         i += 2;
     }
     dut_obs::init_from_env();
+    if probe {
+        let (per_draw_scale, histogram_scale) =
+            distributed_uniformity::probability::costmodel::run_probe();
+        println!(
+            "probe: cost model rescaled \u{d7}{per_draw_scale:.2} per-draw, \
+             \u{d7}{histogram_scale:.2} histogram"
+        );
+    }
     let handle = match dut_serve::server::start(&config) {
         Ok(handle) => handle,
         Err(message) => {
@@ -1410,36 +1432,58 @@ struct BenchEntry {
     q: u64,
     per_draw_ns: f64,
     histogram_ns: f64,
+    auto_ns: f64,
+    /// Which concrete engine the cost model resolved `Auto` to here.
+    auto_backend: &'static str,
 }
 
 impl BenchEntry {
     fn speedup(&self) -> f64 {
         self.per_draw_ns / self.histogram_ns
     }
+
+    fn best_fixed_ns(&self) -> f64 {
+        self.per_draw_ns.min(self.histogram_ns)
+    }
 }
 
-/// The JSON schema tag for the perf baseline; bump on layout changes.
-const BENCH_SCHEMA: &str = "dut-bench-perf/v1";
+/// Auto may pay dispatch overhead but must track the better fixed
+/// engine: the gate (and `--check`) fail any grid point where
+/// `auto_ns > AUTO_SLACK × min(per_draw_ns, histogram_ns)`.
+const AUTO_SLACK: f64 = 1.05;
 
-/// `dut bench` — wall-clock comparison of the two sampling backends.
+/// The JSON schema tag for the perf baseline; bump on layout changes.
+const BENCH_SCHEMA: &str = "dut-bench-perf/v2";
+
+/// The previous layout (no auto column, no provenance); still accepted
+/// by `dut bench --check` so older committed baselines keep validating.
+const BENCH_SCHEMA_V1: &str = "dut-bench-perf/v1";
+
+/// `dut bench` — wall-clock comparison of the sampling backends.
 ///
 /// Times [`SampleBackend::PerDraw`] (inverse-CDF, O(q log n) per draw)
-/// against [`SampleBackend::Histogram`] (stick-breaking, O(n + q)) over
-/// an `(n, q)` grid on the uniform distribution, prints a table, and
-/// writes the machine-readable baseline to `BENCH_perf.json` (or
-/// `--out`). Exits nonzero if the histogram backend is slower at the
-/// largest grid point — the regression gate CI runs via `--smoke`.
+/// against [`SampleBackend::Histogram`] (stick-breaking, O(n + q)) and
+/// the cost-model-resolved `Auto` over an `(n, q)` grid on the uniform
+/// distribution, prints a table, and writes the machine-readable
+/// baseline to `BENCH_perf.json` (or `--out`). Exits nonzero if the
+/// histogram backend is slower at the largest grid point, or if Auto
+/// trails the better fixed engine by more than [`AUTO_SLACK`] anywhere
+/// — the regression gates CI runs via `--smoke`. `--probe` runs the
+/// startup micro-calibration first so the cost model is rescaled to
+/// this host before Auto is timed.
 ///
 /// [`SampleBackend::PerDraw`]: distributed_uniformity::probability::SampleBackend
 /// [`SampleBackend::Histogram`]: distributed_uniformity::probability::SampleBackend
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut smoke = false;
+    let mut probe = false;
     let mut out_path = String::from("BENCH_perf.json");
     let mut check_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--probe" => probe = true,
             "--out" | "--check" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("error: {} needs a path", args[i]);
@@ -1454,7 +1498,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
             other => {
                 eprintln!("error: unknown bench option `{other}`");
-                eprintln!("usage: dut bench [--smoke] [--out <file>] | dut bench --check <file>");
+                eprintln!(
+                    "usage: dut bench [--smoke] [--probe] [--out <file>] | dut bench --check <file>"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -1473,11 +1519,22 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         };
     }
     dut_obs::init_from_env();
+    use distributed_uniformity::probability::costmodel;
+    if probe {
+        let (per_draw_scale, histogram_scale) = costmodel::run_probe();
+        println!(
+            "probe: cost model rescaled \u{d7}{per_draw_scale:.2} per-draw, \
+             \u{d7}{histogram_scale:.2} histogram"
+        );
+    }
+    // Per-engine budget per grid point (a point costs ~3x this, see
+    // `time_backends`). The smoke budget is large enough that the
+    // 5% Auto gate does not flake on a noisy shared runner.
     let (ns, qs, budget) = if smoke {
         (
             vec![100usize, 1000],
             vec![1_000u64, 10_000],
-            std::time::Duration::from_millis(40),
+            std::time::Duration::from_millis(100),
         )
     } else {
         (
@@ -1489,28 +1546,32 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut entries = Vec::new();
     println!("backend timing (ns per q-sample histogram draw, uniform input):");
     println!(
-        "  {:>6} {:>7} {:>14} {:>14} {:>8}",
-        "n", "q", "per-draw", "histogram", "speedup"
+        "  {:>6} {:>7} {:>14} {:>14} {:>14} {:>8} {:>10}",
+        "n", "q", "per-draw", "histogram", "auto", "speedup", "auto-picks"
     );
     for &n in &ns {
         let dual = families::uniform(n).dual_sampler();
         for &q in &qs {
             let mut rng = rand::rngs::StdRng::seed_from_u64(20_190_729 ^ (n as u64) ^ q);
-            let per_draw_ns = time_backend(&dual, SampleBackend::PerDraw, q, budget, &mut rng);
-            let histogram_ns = time_backend(&dual, SampleBackend::Histogram, q, budget, &mut rng);
+            let (per_draw_ns, histogram_ns, auto_ns) = time_backends(&dual, q, budget, &mut rng);
+            let auto_backend = dual.resolve(SampleBackend::Auto, q).name();
             let entry = BenchEntry {
                 n,
                 q,
                 per_draw_ns,
                 histogram_ns,
+                auto_ns,
+                auto_backend,
             };
             println!(
-                "  {:>6} {:>7} {:>14.0} {:>14.0} {:>7.2}x",
+                "  {:>6} {:>7} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>10}",
                 n,
                 q,
                 entry.per_draw_ns,
                 entry.histogram_ns,
-                entry.speedup()
+                entry.auto_ns,
+                entry.speedup(),
+                entry.auto_backend
             );
             dut_obs::global().emit_with(|| {
                 dut_obs::Event::new("bench_point")
@@ -1518,8 +1579,44 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     .with("q", q)
                     .with("per_draw_ns", per_draw_ns)
                     .with("histogram_ns", histogram_ns)
+                    .with("auto_ns", auto_ns)
+                    .with("auto_backend", auto_backend)
             });
             entries.push(entry);
+        }
+    }
+    // Noise bursts on a shared host can poison one point's measurement
+    // window even under min-of-batches. Before gating (and before the
+    // artifact is written), any point where Auto appears to trail the
+    // better fixed engine is re-timed in a fresh window — up to twice —
+    // and every column keeps its minimum. A real Auto regression fails
+    // all three windows; a burst does not.
+    for retry in 1..=2u64 {
+        let offending: Vec<usize> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.auto_ns > AUTO_SLACK * e.best_fixed_ns())
+            .map(|(i, _)| i)
+            .collect();
+        if offending.is_empty() {
+            break;
+        }
+        for index in offending {
+            let e = &mut entries[index];
+            println!(
+                "  re-timing (n={}, q={}): auto {:.0}ns vs best {:.0}ns (attempt {retry})",
+                e.n,
+                e.q,
+                e.auto_ns,
+                e.best_fixed_ns()
+            );
+            let dual = families::uniform(e.n).dual_sampler();
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(20_190_729 ^ (e.n as u64) ^ e.q ^ (retry << 32));
+            let (per_draw_ns, histogram_ns, auto_ns) = time_backends(&dual, e.q, budget, &mut rng);
+            e.per_draw_ns = e.per_draw_ns.min(per_draw_ns);
+            e.histogram_ns = e.histogram_ns.min(histogram_ns);
+            e.auto_ns = e.auto_ns.min(auto_ns);
         }
     }
     let json = render_bench_json(&entries, smoke);
@@ -1540,44 +1637,102 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    let mut auto_failed = false;
+    for e in &entries {
+        if e.auto_ns > AUTO_SLACK * e.best_fixed_ns() {
+            eprintln!(
+                "error: auto backend trails the better fixed engine at (n={}, q={}): \
+                 {:.0}ns vs best {:.0}ns (limit {AUTO_SLACK}x)",
+                e.n,
+                e.q,
+                e.auto_ns,
+                e.best_fixed_ns()
+            );
+            auto_failed = true;
+        }
+    }
+    if auto_failed {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
-/// Mean wall-clock nanoseconds per `draw` of `q` samples, measured over
-/// as many repetitions as fit the time budget (at least 3, after 2
-/// warmup draws).
-fn time_backend(
+/// Wall-clock nanoseconds per `draw` of `q` samples for per-draw,
+/// histogram, and auto — in that order — timed together at one grid
+/// point.
+///
+/// The three engines are interleaved in round-robin batches (so host
+/// drift — frequency scaling, a noisy neighbour — hits all of them,
+/// not whichever happened to run in the bad window), and each engine
+/// reports its fastest batch mean. Timing noise on a shared host is
+/// one-sided: preemption only ever slows a batch down, so the minimum
+/// batch mean is a far more stable estimate than the global mean.
+fn time_backends(
     dual: &DualSampler,
-    backend: SampleBackend,
     q: u64,
     budget: std::time::Duration,
     rng: &mut rand::rngs::StdRng,
-) -> f64 {
+) -> (f64, f64, f64) {
+    const BACKENDS: [SampleBackend; 3] = [
+        SampleBackend::PerDraw,
+        SampleBackend::Histogram,
+        SampleBackend::Auto,
+    ];
     let mut sink = 0u64;
-    for _ in 0..2 {
-        sink = sink.wrapping_add(dual.draw(backend, q, rng).collision_count());
+    for backend in BACKENDS {
+        for _ in 0..2 {
+            sink = sink.wrapping_add(dual.draw(backend, q, rng).collision_count());
+        }
     }
+    // `budget` is the per-engine budget; a round times each engine for
+    // one ~budget/16 batch, so the whole point costs ~3x budget and
+    // each engine's minimum is taken over ~16 batches.
+    let batch_budget = budget / 16;
+    let total_budget = budget * 3;
     let start = std::time::Instant::now();
-    let mut reps = 0u32;
-    while reps < 3 || (start.elapsed() < budget && reps < 100_000) {
-        sink = sink.wrapping_add(dual.draw(backend, q, rng).collision_count());
-        reps += 1;
+    let mut best = [f64::INFINITY; 3];
+    let mut rounds = 0u32;
+    while rounds < 3 || (start.elapsed() < total_budget && rounds < 64) {
+        for (slot, &backend) in BACKENDS.iter().enumerate() {
+            let batch_start = std::time::Instant::now();
+            let mut reps = 0u32;
+            while reps < 1 || (batch_start.elapsed() < batch_budget && reps < 20_000) {
+                sink = sink.wrapping_add(dual.draw(backend, q, rng).collision_count());
+                reps += 1;
+            }
+            best[slot] =
+                best[slot].min(batch_start.elapsed().as_secs_f64() * 1e9 / f64::from(reps));
+        }
+        rounds += 1;
     }
-    let elapsed = start.elapsed();
     std::hint::black_box(sink);
-    elapsed.as_secs_f64() * 1e9 / f64::from(reps)
+    (best[0], best[1], best[2])
 }
 
-/// Serializes the measured grid as the `dut-bench-perf/v1` document.
+/// Serializes the measured grid as the `dut-bench-perf/v2` document:
+/// the timing columns plus a provenance block (thread count, host
+/// triple, and — when `--probe` ran — the installed cost-model scales).
 fn render_bench_json(entries: &[BenchEntry], smoke: bool) -> String {
+    use distributed_uniformity::probability::costmodel;
     use std::fmt::Write as _;
     let mut out = String::from("{\"schema\":");
     dut_obs::json::write_escaped(&mut out, BENCH_SCHEMA);
     let _ = write!(
         out,
-        ",\"mode\":\"{}\",\"entries\":[",
-        if smoke { "smoke" } else { "full" }
+        ",\"mode\":\"{}\",\"provenance\":{{\"threads\":{},\"host\":\"{}-{}\"",
+        if smoke { "smoke" } else { "full" },
+        distributed_uniformity::stats::runner::available_threads(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
     );
+    if let Some((per_draw_scale, histogram_scale)) = costmodel::probe_scales() {
+        out.push_str(",\"probe\":{\"per_draw_scale\":");
+        dut_obs::json::write_f64(&mut out, per_draw_scale);
+        out.push_str(",\"histogram_scale\":");
+        dut_obs::json::write_f64(&mut out, histogram_scale);
+        out.push('}');
+    }
+    out.push_str("},\"entries\":[");
     for (i, e) in entries.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -1586,6 +1741,10 @@ fn render_bench_json(entries: &[BenchEntry], smoke: bool) -> String {
         dut_obs::json::write_f64(&mut out, e.per_draw_ns);
         out.push_str(",\"histogram_ns\":");
         dut_obs::json::write_f64(&mut out, e.histogram_ns);
+        out.push_str(",\"auto_ns\":");
+        dut_obs::json::write_f64(&mut out, e.auto_ns);
+        out.push_str(",\"auto_backend\":");
+        dut_obs::json::write_escaped(&mut out, e.auto_backend);
         out.push_str(",\"speedup\":");
         dut_obs::json::write_f64(&mut out, e.speedup());
         out.push('}');
@@ -1594,8 +1753,10 @@ fn render_bench_json(entries: &[BenchEntry], smoke: bool) -> String {
     out
 }
 
-/// Validates a `dut-bench-perf/v1` file: schema tag, entry fields, and
-/// internal consistency of the recorded speedups.
+/// Validates a perf baseline: schema tag (`v1` or `v2`), entry fields,
+/// internal consistency of the recorded speedups, and — for `v2` —
+/// provenance plus the Auto gate (`auto_ns ≤ AUTO_SLACK × min(fixed)`
+/// at every grid point).
 fn check_bench_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = dut_obs::json::parse(&text)?;
@@ -1603,8 +1764,30 @@ fn check_bench_file(path: &str) -> Result<String, String> {
         .get("schema")
         .and_then(dut_obs::json::Json::as_str)
         .ok_or("missing `schema`")?;
-    if schema != BENCH_SCHEMA {
-        return Err(format!("schema `{schema}` is not `{BENCH_SCHEMA}`"));
+    let v2 = match schema {
+        BENCH_SCHEMA => true,
+        BENCH_SCHEMA_V1 => false,
+        other => {
+            return Err(format!(
+                "schema `{other}` is neither `{BENCH_SCHEMA}` nor `{BENCH_SCHEMA_V1}`"
+            ))
+        }
+    };
+    if v2 {
+        let Some(provenance) = doc.get("provenance") else {
+            return Err("v2 baseline missing `provenance`".into());
+        };
+        let threads = provenance
+            .get("threads")
+            .and_then(dut_obs::json::Json::as_f64)
+            .ok_or("provenance missing `threads`")?;
+        if threads < 1.0 {
+            return Err(format!("provenance thread count {threads} is not >= 1"));
+        }
+        provenance
+            .get("host")
+            .and_then(dut_obs::json::Json::as_str)
+            .ok_or("provenance missing `host`")?;
     }
     let Some(dut_obs::json::Json::Arr(entries)) = doc.get("entries") else {
         return Err("missing `entries` array".into());
@@ -1632,6 +1815,25 @@ fn check_bench_file(path: &str) -> Result<String, String> {
                  per_draw_ns/histogram_ns = {implied:.3}"
             ));
         }
+        if v2 {
+            let auto = field("auto_ns")?;
+            let auto_backend = entry
+                .get("auto_backend")
+                .and_then(dut_obs::json::Json::as_str)
+                .ok_or_else(|| format!("entry {i}: missing `auto_backend`"))?;
+            if SampleBackend::parse(auto_backend).is_none_or(|b| b == SampleBackend::Auto) {
+                return Err(format!(
+                    "entry {i}: `auto_backend` is `{auto_backend}`, not a concrete engine"
+                ));
+            }
+            let best = per_draw.min(histogram);
+            if auto > AUTO_SLACK * best {
+                return Err(format!(
+                    "entry {i}: auto_ns {auto:.0} exceeds {AUTO_SLACK}x the better \
+                     fixed engine ({best:.0}ns)"
+                ));
+            }
+        }
     }
     let last = entries.last().expect("checked non-empty");
     let last_speedup = last
@@ -1644,8 +1846,14 @@ fn check_bench_file(path: &str) -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "ok: {} entries, largest-point speedup {last_speedup:.2}x",
-        entries.len()
+        "ok: {} {} entries, largest-point speedup {last_speedup:.2}x{}",
+        entries.len(),
+        if v2 { "v2" } else { "v1" },
+        if v2 {
+            ", auto within slack everywhere"
+        } else {
+            ""
+        }
     ))
 }
 

@@ -92,14 +92,86 @@ fn chi_square_two_level_far_instance() {
 }
 
 #[test]
+fn chi_square_auto_law() {
+    // Auto resolves to one of the two engines per (n, q), so its draws
+    // must follow the same Multinomial law as a fixed backend.
+    let n = 256;
+    let dist = families::uniform(n);
+    let a = accumulated_counts(&dist, SampleBackend::PerDraw, 4_096, 50, 707);
+    let b = accumulated_counts(&dist, SampleBackend::Auto, 4_096, 50, 808);
+    let (stat, df) = two_sample_chi2(&a, &b);
+    let bound = df as f64 + 5.0 * (2.0 * df as f64).sqrt();
+    assert!(stat < bound, "chi2 {stat} exceeds {bound} (df {df})");
+}
+
+#[test]
 fn both_backends_deterministic_per_seed() {
     let dual = families::uniform(512).dual_sampler();
-    for backend in SampleBackend::ALL {
+    for backend in [
+        SampleBackend::PerDraw,
+        SampleBackend::Histogram,
+        SampleBackend::Auto,
+    ] {
         let a = dual.draw(backend, 20_000, &mut rng(7));
         let b = dual.draw(backend, 20_000, &mut rng(7));
         assert_eq!(a, b, "{backend} must be a pure function of the seed");
         let c = dual.draw(backend, 20_000, &mut rng(8));
         assert_ne!(a, c, "{backend} must actually consume the rng");
+    }
+}
+
+#[test]
+fn auto_is_bit_identical_to_its_resolved_engine() {
+    for (n, q) in [(100usize, 1_000u64), (10_000, 1_000), (100, 100_000)] {
+        let dual = families::uniform(n).dual_sampler();
+        let resolved = dual.resolve(SampleBackend::Auto, q);
+        assert_ne!(resolved, SampleBackend::Auto, "resolve must pick an engine");
+        let via_auto = dual.draw(SampleBackend::Auto, q, &mut rng(42));
+        let direct = dual.draw(resolved, q, &mut rng(42));
+        assert_eq!(
+            via_auto, direct,
+            "(n={n}, q={q}): auto diverged from {resolved}"
+        );
+    }
+}
+
+/// The data-parallel `run_counts` path must produce the same outcome —
+/// verdict and full transcript — at every thread count, because each
+/// player draws from its own derived RNG stream.
+#[test]
+fn run_counts_thread_invariance_through_facade() {
+    use distributed_uniformity::probability::Histogram;
+    use distributed_uniformity::simnet::{DecisionRule, Network, PlayerContext};
+    let net = Network::new(48);
+    let dual = families::uniform(256).dual_sampler();
+    let player = |_ctx: &PlayerContext, h: &Histogram| h.collision_count() < 300;
+    for backend in [
+        SampleBackend::PerDraw,
+        SampleBackend::Histogram,
+        SampleBackend::Auto,
+    ] {
+        let sequential = net.run_counts_with_threads(
+            &dual,
+            backend,
+            6_000,
+            &player,
+            &DecisionRule::Majority,
+            1,
+            &mut rng(31),
+        );
+        let parallel = net.run_counts_with_threads(
+            &dual,
+            backend,
+            6_000,
+            &player,
+            &DecisionRule::Majority,
+            8,
+            &mut rng(31),
+        );
+        assert_eq!(
+            sequential, parallel,
+            "{backend}: 1 thread vs 8 threads diverged"
+        );
     }
 }
 
