@@ -82,6 +82,13 @@ pub enum Counter {
     /// Served requests whose `Auto` backend resolved to the histogram
     /// engine (cost model picked O(n + q) stick-breaking).
     ServeBackendHistogram,
+    /// Served requests answered as followers of a coalesced batch:
+    /// they shared one prepared-tester resolution with the batch
+    /// leader instead of taking the cache lock themselves.
+    ServeCoalesced,
+    /// Requests shed by per-tenant admission control (token-bucket
+    /// quota exhausted) rather than by the global queue bound.
+    ServeTenantShed,
     /// Hostile client actions injected by `dut loadgen --chaos`
     /// (slowloris writes, half-open connects, mid-frame disconnects,
     /// reconnect storms, garbage frames, …).
@@ -89,7 +96,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    const COUNT: usize = 29;
+    const COUNT: usize = 31;
 
     /// All counters, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -121,6 +128,8 @@ impl Counter {
         Counter::ServePanicsCaught,
         Counter::ServeBackendPerDraw,
         Counter::ServeBackendHistogram,
+        Counter::ServeCoalesced,
+        Counter::ServeTenantShed,
         Counter::ChaosInjected,
     ];
 
@@ -156,6 +165,8 @@ impl Counter {
             Counter::ServePanicsCaught => "serve_panics_caught",
             Counter::ServeBackendPerDraw => "serve_backend_per_draw",
             Counter::ServeBackendHistogram => "serve_backend_histogram",
+            Counter::ServeCoalesced => "serve_coalesced",
+            Counter::ServeTenantShed => "serve_tenant_shed",
             Counter::ChaosInjected => "chaos_injected",
         }
     }
@@ -173,22 +184,26 @@ pub enum Gauge {
     /// `Auto` (code 3) is resolved through the cost model before the
     /// run, so 3 appears only in configuration manifests.
     SamplingBackend,
-    /// Connections waiting in the `dut serve` accept queue (sampled at
+    /// Requests waiting in the `dut serve` dispatch queue (sampled at
     /// each enqueue/dequeue). Written only while the queue lock is
     /// held, so the published depth always matches the queue it
     /// describes (the PR 6 gauge race).
     // dut-lint: guarded_by(queue)
     ServeQueueDepth,
+    /// Persistent connections currently parked on the `dut serve`
+    /// shard loops (accepted and not yet closed).
+    ServeConnections,
 }
 
 impl Gauge {
-    const COUNT: usize = 3;
+    const COUNT: usize = 4;
 
     /// All gauges, in slot order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::RunnerThreads,
         Gauge::SamplingBackend,
         Gauge::ServeQueueDepth,
+        Gauge::ServeConnections,
     ];
 
     /// The stable name used in trace snapshots.
@@ -198,6 +213,7 @@ impl Gauge {
             Gauge::RunnerThreads => "runner_threads",
             Gauge::SamplingBackend => "sampling_backend",
             Gauge::ServeQueueDepth => "serve_queue_depth",
+            Gauge::ServeConnections => "serve_connections",
         }
     }
 }
@@ -215,8 +231,10 @@ pub enum HistogramId {
     /// Wall-clock microseconds per `dut serve` request (parse through
     /// reply write).
     RequestMicros,
-    /// Microseconds a connection waited in the `dut serve` accept
-    /// queue before a worker picked it up (the queue phase).
+    /// Microseconds a *request* waited in the `dut serve` dispatch
+    /// queue between parse and worker pickup (the queue phase). Before
+    /// the request-level scheduler this recorded whole-connection
+    /// queueing, which inflated the p99 by the connection's lifetime.
     QueueWaitMicros,
     /// Microseconds spent preparing (calibrating) a tester on a
     /// `dut serve` cache miss (the calibrate phase).

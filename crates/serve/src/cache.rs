@@ -144,6 +144,74 @@ impl TesterCache {
     }
 }
 
+/// N independent single-flight LRU shards behind one facade.
+///
+/// The single `Mutex<CacheState>` in [`TesterCache`] serializes every
+/// lookup in the process; at request-level scheduling rates that lock
+/// becomes the hottest line in the server. Sharding by `CacheKey` hash
+/// splits the key space across `shards` independent caches, so lookups
+/// for unrelated testers never contend. Routing uses
+/// [`CacheKey::calibration_seed`](crate::engine::CacheKey::calibration_seed):
+/// a pure split-mix chain over every key field, so it is stable across
+/// runs (deterministic routing) and well mixed (balanced shards).
+///
+/// Each shard keeps the full single-flight and exact hit/miss
+/// accounting contract of [`TesterCache`]; the facade adds nothing but
+/// routing, so `hits + misses == calls` still holds globally.
+#[derive(Debug)]
+pub struct ShardedTesterCache {
+    shards: Vec<TesterCache>,
+}
+
+impl ShardedTesterCache {
+    /// A cache of `shards` independent LRUs (clamped to at least 1)
+    /// holding at most `cap` entries in total: each shard gets
+    /// `ceil(cap / shards)` slots so the aggregate bound is respected
+    /// up to rounding and no shard is starved to zero.
+    #[must_use]
+    pub fn new(cap: usize, shards: usize) -> ShardedTesterCache {
+        let shards = shards.max(1);
+        let per_shard = cap.max(1).div_ceil(shards);
+        ShardedTesterCache {
+            shards: (0..shards).map(|_| TesterCache::new(per_shard)).collect(),
+        }
+    }
+
+    /// How many shards the key space is split across.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries resident across every shard (including in-flight
+    /// builds).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(TesterCache::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shard responsible for `key`.
+    fn shard(&self, key: &CacheKey) -> &TesterCache {
+        let route = key.calibration_seed() % self.shards.len() as u64;
+        #[allow(clippy::cast_possible_truncation)]
+        &self.shards[route as usize]
+    }
+
+    /// Resolves `key` on its shard; see [`TesterCache::get_or_build`].
+    pub fn get_or_build<F>(&self, key: &CacheKey, build: F) -> (BuildResult, bool)
+    where
+        F: FnOnce(&CacheKey) -> BuildResult,
+    {
+        self.shard(key).get_or_build(key, build)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +350,73 @@ mod tests {
         assert!(built.is_ok());
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_routing_is_stable_and_accounting_stays_exact() {
+        let cache = ShardedTesterCache::new(16, 4);
+        assert_eq!(cache.shard_count(), 4);
+        assert!(cache.is_empty());
+        let keys: Vec<CacheKey> = (1..=8).map(|q| key(64, q)).collect();
+        for k in &keys {
+            let (built, hit) = cache.get_or_build(k, build_entry);
+            assert!(built.is_ok());
+            assert!(!hit, "first lookup is a miss");
+        }
+        assert_eq!(cache.len(), keys.len());
+        for k in &keys {
+            let (built, hit) = cache.get_or_build(k, build_entry);
+            assert!(built.is_ok());
+            assert!(hit, "same key routes to the same shard");
+        }
+    }
+
+    #[test]
+    fn sharded_herd_across_keys_builds_each_once() {
+        // Capacity comfortably above the key count on every possible
+        // routing, so no shard evicts mid-herd and single flight is
+        // the only thing under test.
+        let cache = ShardedTesterCache::new(16, 4);
+        let builds = std::sync::atomic::AtomicUsize::new(0);
+        let keys: Vec<CacheKey> = (1..=4).map(|q| key(64, q)).collect();
+        let mut misses = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|i| {
+                    let keys = &keys;
+                    let cache = &cache;
+                    let builds = &builds;
+                    scope.spawn(move || {
+                        let (result, hit) = cache.get_or_build(&keys[i % keys.len()], |k| {
+                            builds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            build_entry(k)
+                        });
+                        (result.is_ok(), hit)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (ok, hit) = handle.join().expect("no panic");
+                assert!(ok);
+                if !hit {
+                    misses += 1;
+                }
+            }
+        });
+        assert_eq!(
+            builds.load(std::sync::atomic::Ordering::Relaxed),
+            keys.len()
+        );
+        assert_eq!(misses, keys.len(), "hits + misses == calls per shard");
+    }
+
+    #[test]
+    fn sharded_cap_divides_across_shards() {
+        // cap 2 over 2 shards -> 1 slot per shard; shard clamp keeps
+        // at least one slot even for cap 0.
+        let tiny = ShardedTesterCache::new(0, 3);
+        let (built, _) = tiny.get_or_build(&key(64, 5), build_entry);
+        assert!(built.is_ok());
+        assert_eq!(tiny.len(), 1);
     }
 }

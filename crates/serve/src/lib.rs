@@ -21,16 +21,26 @@
 //!    identical tester. [`engine::offline_reply`] is that reference
 //!    path; the stress tests and `dut loadgen --smoke` hold the server
 //!    to it.
-//! 2. **Bounded overload.** The accept queue is bounded; beyond the
-//!    bound the server sheds load with an explicit `overloaded` reply
-//!    instead of queueing without limit or silently dropping
-//!    connections.
-//! 3. **Observability.** Requests, cache hits/misses, shed
-//!    connections, queue depth, and per-request service time all land
-//!    in the [`dut_obs`] registry and are surfaced by `dut report`.
+//! 2. **Bounded overload.** The dispatch queue holds *requests*, not
+//!    connections, and is bounded; beyond the bound the server sheds
+//!    the request with an explicit `overloaded` reply (the connection
+//!    stays parked) instead of queueing without limit or silently
+//!    dropping connections. Per-tenant token buckets shed over-quota
+//!    tenants before the queue, and a higher-priority arrival may
+//!    evict a queued lower-priority request at the cap.
+//! 3. **Observability.** Requests, cache hits/misses, coalesced
+//!    batches, shed requests (global and per tenant), parked
+//!    connections, queue depth, and per-request phase timings all
+//!    land in the [`dut_obs`] registry and are surfaced by
+//!    `{"cmd":"stats"}`, `dut top`, and `dut report`.
 //!
-//! The crate is std-only on the network path: `std::net` sockets and
-//! `std::thread` workers, no async runtime.
+//! The serving path is request-multiplexed: shard event loops park
+//! persistent connections on nonblocking sockets and dispatch framed
+//! request lines to the worker pool, which coalesces queued requests
+//! sharing a prepared tester into one answer pass over the sharded
+//! tester cache. The crate is std-only on the network path:
+//! `std::net` sockets and `std::thread` shards/workers, no async
+//! runtime.
 
 pub mod cache;
 pub mod chaos;
@@ -40,10 +50,12 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 pub mod top;
+pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use engine::Engine;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{Command, Reply, Request};
-pub use server::{ServeConfig, ServerHandle};
+pub use server::{ServeConfig, ServerHandle, TenantPolicy, TenantQuota};
 pub use stats::Stats;
+pub use trace::{Trace, TraceConfig};

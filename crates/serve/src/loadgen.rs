@@ -16,6 +16,7 @@
 use crate::engine::Engine;
 use crate::protocol::{self, Family, ReplyLine, Request};
 use crate::stats::Stats;
+use crate::trace::{Trace, TraceEvent};
 use dut_core::Rule;
 use dut_obs::json::{self, Json};
 use parking_lot::Mutex;
@@ -25,8 +26,21 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Schema tag stamped into (and required from) every bench artifact.
-pub const BENCH_SCHEMA: &str = "dut-bench-serve/v1";
+/// Schema tag stamped into every bench artifact. `v2` adds the
+/// server's windowed `queue_wait_p99_us` as a first-class field — the
+/// request-level scheduler made it a number worth tracking (under
+/// connection pinning it measured whole-connection queueing and was
+/// meaningless as a health signal).
+pub const BENCH_SCHEMA: &str = "dut-bench-serve/v2";
+
+/// The previous schema, still accepted by [`check_bench_json`] so
+/// historical artifacts keep validating.
+pub const BENCH_SCHEMA_V1: &str = "dut-bench-serve/v1";
+
+/// A `v2` artifact from a shed-free run must show a queue-wait p99
+/// below this (microseconds): with per-request scheduling, a healthy
+/// queue drains in well under 10ms.
+pub const SANE_QUEUE_WAIT_MICROS: f64 = 10_000.0;
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +54,12 @@ pub struct LoadgenConfig {
     pub duration: Duration,
     /// Persistent connections (= sender threads).
     pub connections: usize,
+    /// Requests each lane keeps in flight per connection: the lane
+    /// writes a window of this many request lines in one syscall,
+    /// then drains the same number of replies. `1` is strict
+    /// closed-loop; deeper windows amortize syscalls on both sides
+    /// of the wire (the server frames pipelined lines natively).
+    pub pipeline: usize,
     /// Check every reply against a local engine for bit-identity.
     pub verify_offline: bool,
 }
@@ -51,6 +71,7 @@ impl Default for LoadgenConfig {
             rps: 500,
             duration: Duration::from_secs(2),
             connections: 4,
+            pipeline: 1,
             verify_offline: false,
         }
     }
@@ -199,8 +220,12 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
             });
         }
     });
-    let elapsed = start.elapsed();
-    let mut total = total.into_inner();
+    Ok(finish_report(total.into_inner(), start.elapsed()))
+}
+
+/// Folds a run's tally into the final report (sorts latencies once).
+#[allow(clippy::cast_precision_loss)] // reply counts → rps display
+fn finish_report(mut total: Tally, elapsed: Duration) -> LoadgenReport {
     total.latencies.sort_unstable();
     let percentile = |p: u64| -> u64 {
         if total.latencies.is_empty() {
@@ -209,7 +234,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         let rank = (total.latencies.len() - 1) * usize::try_from(p).unwrap_or(0) / 100;
         total.latencies[rank]
     };
-    Ok(LoadgenReport {
+    LoadgenReport {
         sent: total.sent,
         replies: total.replies,
         shed: total.shed,
@@ -224,12 +249,122 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         p50_micros: percentile(50),
         p95_micros: percentile(95),
         p99_micros: percentile(99),
-    })
+    }
+}
+
+/// Replays a [`Trace`]: each trace lane gets its own persistent
+/// connection, every event is sent at its recorded offset (falling
+/// behind shows up as achieved-rps, exactly like the open-loop
+/// schedule), and tenant fields ride the wire as recorded.
+///
+/// # Errors
+///
+/// Returns an error if no connection could be established; transport
+/// errors after that are counted, not fatal.
+pub fn run_trace(config: &LoadgenConfig, trace: &Trace) -> Result<LoadgenReport, String> {
+    let catalog = catalog();
+    let probe = TcpStream::connect(&config.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+    drop(probe);
+    let verifier = config
+        .verify_offline
+        .then(|| Engine::new(catalog.len() * 2));
+    let verifier = verifier.as_ref();
+    let lanes = usize::try_from(trace.lanes).unwrap_or(1).max(1);
+    let mut per_lane: Vec<Vec<&TraceEvent>> = vec![Vec::new(); lanes];
+    for event in &trace.events {
+        per_lane[usize::try_from(event.lane).unwrap_or(0) % lanes].push(event);
+    }
+    let total = Mutex::new(Tally::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for events in &per_lane {
+            let catalog = &catalog;
+            let total = &total;
+            let config = &config;
+            scope.spawn(move || {
+                let tally = trace_lane_loop(config, catalog, verifier, events, start);
+                let mut total = total.lock();
+                total.sent += tally.sent;
+                total.replies += tally.replies;
+                total.shed += tally.shed;
+                total.errors += tally.errors;
+                total.mismatches += tally.mismatches;
+                total.latencies.extend(tally.latencies);
+            });
+        }
+    });
+    Ok(finish_report(total.into_inner(), start.elapsed()))
+}
+
+/// One trace lane: sends its recorded events in order at their
+/// recorded offsets over one persistent connection.
+fn trace_lane_loop(
+    config: &LoadgenConfig,
+    catalog: &[Request],
+    verifier: Option<&Engine>,
+    events: &[&TraceEvent],
+    start: Instant,
+) -> Tally {
+    let mut tally = Tally::default();
+    if events.is_empty() {
+        return tally;
+    }
+    let Ok(stream) = TcpStream::connect(&config.addr) else {
+        tally.errors += 1;
+        return tally;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for event in events {
+        let due = start + Duration::from_micros(event.at_micros);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let mut request = request_for_index(event.index, catalog);
+        request.seed = event.seed;
+        let wire = match &event.tenant {
+            Some(tenant) => protocol::render_request_tenant(&request, tenant),
+            None => protocol::render_request(&request),
+        };
+        let sent_at = Instant::now();
+        if writeln!(writer, "{wire}").is_err() {
+            tally.errors += 1;
+            break;
+        }
+        tally.sent += 1;
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                tally.errors += 1;
+                break;
+            }
+            Ok(_) => {
+                let micros = u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                record_reply(&mut tally, line.trim(), &request, verifier, micros);
+            }
+        }
+    }
+    tally
 }
 
 /// One sender: owns one persistent connection and the request indices
 /// `lane, lane + connections, lane + 2·connections, …`, each due at
-/// `start + index/rps`.
+/// `start + index/rps`. With `pipeline > 1` the lane sends a window
+/// of consecutive indices in one write (due when the window's first
+/// index is due), then drains the window's replies in order — the
+/// server's per-connection sequencing guarantees replies come back in
+/// send order even when the work completes out of order.
 fn sender_loop(
     config: &LoadgenConfig,
     catalog: &[Request],
@@ -253,10 +388,13 @@ fn sender_loop(
             return tally;
         }
     };
+    let pipeline = config.pipeline.max(1) as u64;
     let mut reader = BufReader::new(stream);
     let mut index = lane;
     let mut line = String::new();
-    loop {
+    let mut batch = String::new();
+    let mut window: Vec<Request> = Vec::with_capacity(config.pipeline.max(1));
+    'lane: loop {
         let due = start + Duration::from_nanos(index.saturating_mul(1_000_000_000) / rps);
         let now = Instant::now();
         if now.duration_since(start) >= config.duration {
@@ -265,25 +403,34 @@ fn sender_loop(
         if due > now {
             std::thread::sleep(due - now);
         }
-        let request = request_for_index(index, catalog);
+        batch.clear();
+        window.clear();
+        for slot in 0..pipeline {
+            let request = request_for_index(index + slot * lanes, catalog);
+            batch.push_str(&protocol::render_request(&request));
+            batch.push('\n');
+            window.push(request);
+        }
         let sent_at = Instant::now();
-        if writeln!(writer, "{}", protocol::render_request(&request)).is_err() {
+        if writer.write_all(batch.as_bytes()).is_err() {
             tally.errors += 1;
             break;
         }
-        tally.sent += 1;
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => {
-                tally.errors += 1;
-                break;
-            }
-            Ok(_) => {
-                let micros = u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX);
-                record_reply(&mut tally, line.trim(), &request, verifier, micros);
+        tally.sent += window.len() as u64;
+        for request in &window {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    tally.errors += 1;
+                    break 'lane;
+                }
+                Ok(_) => {
+                    let micros = u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    record_reply(&mut tally, line.trim(), request, verifier, micros);
+                }
             }
         }
-        index += lanes;
+        index += lanes * pipeline;
     }
     tally
 }
@@ -399,6 +546,23 @@ pub fn check_consistency(pre: &Stats, post: &Stats, report: &LoadgenReport) -> V
     if served > 0 && post.p99_micros <= 0.0 {
         failures.push("requests were served but windowed p99 is zero".to_owned());
     }
+    // Queue-wait sanity: with per-request scheduling, a run that shed
+    // nothing must show a queue-wait p99 below the latency target.
+    // (Under the old connection-pinned dispatch this number was the
+    // whole-connection queue time and blew past the target on
+    // perfectly healthy runs.)
+    #[allow(clippy::cast_precision_loss)]
+    let target = post.p99_target_micros as f64;
+    if post.shed.saturating_sub(pre.shed) == 0
+        && served > 0
+        && target > 0.0
+        && post.queue_wait_p99 >= target
+    {
+        failures.push(format!(
+            "queue-wait p99 {}us reached the {}us latency target on a shed-free run — per-request scheduling delay should be far below it",
+            post.queue_wait_p99, post.p99_target_micros
+        ));
+    }
     failures
 }
 
@@ -465,6 +629,10 @@ pub fn bench_json(report: &LoadgenReport, stats: Option<&Stats>) -> String {
         ",\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}",
         report.p50_micros, report.p95_micros, report.p99_micros
     );
+    // First-class in v2: the server's windowed queue-wait p99, the
+    // request-scheduling-delay number the bench trajectory tracks.
+    out.push_str(",\"queue_wait_p99_us\":");
+    json::write_f64(&mut out, stats.map_or(0.0, |s| s.queue_wait_p99));
     if let Some(stats) = stats {
         let _ = write!(out, ",\"server\":{}", stats.render());
     }
@@ -472,20 +640,27 @@ pub fn bench_json(report: &LoadgenReport, stats: Option<&Stats>) -> String {
     out
 }
 
-/// Validates a bench artifact against the `dut-bench-serve/v1`
-/// schema: the tag, every required field with the right type, and the
-/// internal invariants (replies ≤ sent, ordered quantiles).
+/// Validates a bench artifact against the `dut-bench-serve/v2`
+/// schema (`v1` artifacts are also accepted): the tag, every required
+/// field with the right type, and the internal invariants (replies ≤
+/// sent, ordered quantiles, and — v2, shed-free runs only — a sane
+/// queue-wait p99).
 ///
 /// # Errors
 ///
 /// Returns the first violation found.
 pub fn check_bench_json(text: &str) -> Result<(), String> {
     let doc = json::parse(text.trim()).map_err(|e| format!("not JSON: {e}"))?;
-    match doc.get("schema") {
-        Some(Json::Str(s)) if s == BENCH_SCHEMA => {}
-        Some(Json::Str(s)) => return Err(format!("schema is `{s}`, expected `{BENCH_SCHEMA}`")),
+    let v2 = match doc.get("schema") {
+        Some(Json::Str(s)) if s == BENCH_SCHEMA => true,
+        Some(Json::Str(s)) if s == BENCH_SCHEMA_V1 => false,
+        Some(Json::Str(s)) => {
+            return Err(format!(
+                "schema is `{s}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V1}`)"
+            ))
+        }
         _ => return Err("missing `schema` tag".to_owned()),
-    }
+    };
     let need_u64 = |key: &str| -> Result<u64, String> {
         doc.get(key)
             .and_then(Json::as_u64)
@@ -493,10 +668,21 @@ pub fn check_bench_json(text: &str) -> Result<(), String> {
     };
     let sent = need_u64("sent")?;
     let replies = need_u64("replies")?;
-    need_u64("shed")?;
+    let shed = need_u64("shed")?;
     need_u64("errors")?;
     need_u64("mismatches")?;
     need_u64("elapsed_us")?;
+    if v2 {
+        let queue_wait = doc
+            .get("queue_wait_p99_us")
+            .and_then(Json::as_f64)
+            .ok_or("missing or non-numeric `queue_wait_p99_us` (required by v2)")?;
+        if shed == 0 && queue_wait >= SANE_QUEUE_WAIT_MICROS {
+            return Err(format!(
+                "queue_wait_p99_us {queue_wait} on a shed-free run (v2 requires < {SANE_QUEUE_WAIT_MICROS})"
+            ));
+        }
+    }
     let p50 = need_u64("p50_us")?;
     let p95 = need_u64("p95_us")?;
     let p99 = need_u64("p99_us")?;
@@ -636,6 +822,88 @@ mod tests {
         assert!(check_bench_json(&overcounted)
             .unwrap_err()
             .contains("exceed"));
+    }
+
+    #[test]
+    fn bench_validator_accepts_legacy_v1_artifacts() {
+        // A v1 line has no `queue_wait_p99_us`; it must still pass.
+        let v1 = "{\"schema\":\"dut-bench-serve/v1\",\"sent\":100,\"replies\":90,\
+                  \"shed\":10,\"errors\":0,\"mismatches\":0,\"elapsed_us\":2000000,\
+                  \"achieved_rps\":45,\"p50_us\":100,\"p95_us\":300,\"p99_us\":900}";
+        check_bench_json(v1).unwrap();
+    }
+
+    #[test]
+    fn v2_requires_a_sane_queue_wait_on_shed_free_runs() {
+        let shed_free = LoadgenReport {
+            shed: 0,
+            ..report()
+        };
+        let healthy = Stats {
+            queue_wait_p99: 500.0,
+            ..Stats::default()
+        };
+        check_bench_json(&bench_json(&shed_free, Some(&healthy))).unwrap();
+        let mismeasured = Stats {
+            queue_wait_p99: 1_572_863.5, // the committed v1 baseline's value
+            ..Stats::default()
+        };
+        let line = bench_json(&shed_free, Some(&mismeasured));
+        assert!(check_bench_json(&line)
+            .unwrap_err()
+            .contains("queue_wait_p99_us"));
+        // A run that shed is allowed a backed-up queue.
+        let line = bench_json(&report(), Some(&mismeasured));
+        check_bench_json(&line).unwrap();
+    }
+
+    #[test]
+    fn consistency_flags_an_insane_queue_wait() {
+        let pre = Stats::default();
+        let post = Stats {
+            requests: 100,
+            cache_hits: 100,
+            p50_micros: 50.0,
+            p95_micros: 80.0,
+            p99_micros: 95.0,
+            queue_wait_p99: 1_572_863.5,
+            p99_target_micros: 250_000,
+            ..Stats::default()
+        };
+        let report = LoadgenReport {
+            sent: 100,
+            replies: 100,
+            shed: 0,
+            elapsed: Duration::from_secs(1),
+            ..LoadgenReport::default()
+        };
+        let failures = check_consistency(&pre, &post, &report);
+        assert!(
+            failures.iter().any(|f| f.contains("queue-wait")),
+            "{failures:?}"
+        );
+        let sane = Stats {
+            queue_wait_p99: 900.0,
+            ..post
+        };
+        assert!(check_consistency(&pre, &sane, &report).is_empty());
+    }
+
+    #[test]
+    fn trace_replay_partitions_events_by_lane() {
+        // Replay against nothing: unreachable server is an error, but
+        // the trace machinery itself is exercised via generate/parse
+        // round trips in `trace::tests`; here we only pin the error
+        // path so `--trace` against a dead server fails loudly.
+        let trace = crate::trace::generate(&crate::trace::TraceConfig {
+            duration: Duration::from_millis(20),
+            ..crate::trace::TraceConfig::default()
+        });
+        let config = LoadgenConfig {
+            addr: "127.0.0.1:1".to_owned(),
+            ..LoadgenConfig::default()
+        };
+        assert!(run_trace(&config, &trace).is_err());
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //!  "cache":"hit","micros":412,"rid":1042}
 //! ```
 //!
-//! Errors come back as `{"error":"..."}`; a shed connection receives
-//! `{"error":"overloaded","shed":true}` before the socket closes.
+//! Errors come back as `{"error":"..."}`; a shed *request* receives
+//! `{"error":"overloaded","shed":true}` on its line (the connection
+//! stays open — shedding is per request under the request-level
+//! scheduler). Requests may carry an optional `"tenant":"name"` field
+//! for admission control; a request shed by its tenant's quota gets
+//! the overloaded line extended with `"scope":"tenant"` and the
+//! tenant name, which still parses as [`ReplyLine::Overloaded`].
 //!
 //! Numbers cross the wire through Rust's shortest-round-trip `f64`
 //! formatting, so a reply parsed back yields bit-identical floats —
@@ -165,6 +170,19 @@ pub enum Command {
     Flight,
 }
 
+/// Longest tenant name accepted on the wire.
+pub const MAX_TENANT_BYTES: usize = 64;
+
+/// Request envelope fields that ride alongside a [`Command`] but are
+/// not part of the test configuration (and therefore never enter the
+/// cache key): today just the tenant identity for admission control.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestMeta {
+    /// The tenant this request bills against (`"tenant"` on the
+    /// wire). Absent requests bill against the default tenant.
+    pub tenant: Option<String>,
+}
+
 fn field_usize(doc: &Json, key: &str) -> Result<usize, String> {
     let raw = doc
         .get(key)
@@ -173,19 +191,46 @@ fn field_usize(doc: &Json, key: &str) -> Result<usize, String> {
     usize::try_from(raw).map_err(|_| format!("`{key}` out of range"))
 }
 
-/// Parses one request line.
+/// Parses one request line, discarding the envelope metadata; see
+/// [`parse_command_meta`] for the full form the server uses.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first malformed or missing field;
 /// the server sends it back verbatim as `{"error":...}`.
 pub fn parse_command(line: &str) -> Result<Command, String> {
+    parse_command_meta(line).map(|(cmd, _)| cmd)
+}
+
+/// Parses one request line together with its envelope metadata
+/// (tenant identity). This is the server's parser; [`parse_command`]
+/// is the metadata-free convenience wrapper.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed or missing field;
+/// the server sends it back verbatim as `{"error":...}`.
+pub fn parse_command_meta(line: &str) -> Result<(Command, RequestMeta), String> {
     let doc = json::parse(line)?;
+    let mut meta = RequestMeta::default();
+    if let Some(tenant) = doc.get("tenant") {
+        let name = tenant
+            .as_str()
+            .ok_or("`tenant` must be a string")?
+            .to_owned();
+        if name.is_empty() || name.len() > MAX_TENANT_BYTES {
+            return Err(format!(
+                "`tenant` must be 1..={MAX_TENANT_BYTES} bytes, got {}",
+                name.len()
+            ));
+        }
+        meta.tenant = Some(name);
+    }
     if let Some(cmd) = doc.get("cmd").and_then(Json::as_str) {
         return match cmd {
-            "shutdown" => Ok(Command::Shutdown),
-            "stats" => Ok(Command::Stats),
-            "flight" => Ok(Command::Flight),
+            "shutdown" => Ok((Command::Shutdown, meta)),
+            "stats" => Ok((Command::Stats, meta)),
+            "flight" => Ok((Command::Flight, meta)),
             other => Err(format!("unknown cmd `{other}` (shutdown | stats | flight)")),
         };
     }
@@ -231,16 +276,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     let family = Family::parse(family_spec).ok_or_else(|| {
         format!("unknown samples family `{family_spec}` (uniform | two-level | alternating | zipf)")
     })?;
-    Ok(Command::Run(Request {
-        n,
-        k,
-        q,
-        eps,
-        rule,
-        family,
-        seed,
-        trials,
-    }))
+    Ok((
+        Command::Run(Request {
+            n,
+            k,
+            q,
+            eps,
+            rule,
+            family,
+            seed,
+            trials,
+        }),
+        meta,
+    ))
 }
 
 /// Parses a rule spec: `and | threshold:<T> | balanced | centralized`.
@@ -400,10 +448,34 @@ impl ReplyLine {
     }
 }
 
-/// The line sent to a shed connection.
+/// The line sent for a request shed at the global queue bound.
 #[must_use]
 pub fn render_overloaded() -> String {
     "{\"error\":\"overloaded\",\"shed\":true}".to_owned()
+}
+
+/// The line sent for a request shed by its tenant's admission quota.
+/// The extra fields keep it parsing as [`ReplyLine::Overloaded`]
+/// while letting clients distinguish quota sheds from global ones.
+#[must_use]
+pub fn render_overloaded_tenant(tenant: &str) -> String {
+    let mut out =
+        String::from("{\"error\":\"overloaded\",\"shed\":true,\"scope\":\"tenant\",\"tenant\":");
+    json::write_escaped(&mut out, tenant);
+    out.push('}');
+    out
+}
+
+/// Renders a request with a tenant envelope field; used by the load
+/// generator's tenant lanes and the trace replayer.
+#[must_use]
+pub fn render_request_tenant(req: &Request, tenant: &str) -> String {
+    let mut out = render_request(req);
+    out.pop(); // trailing '}'
+    out.push_str(",\"tenant\":");
+    json::write_escaped(&mut out, tenant);
+    out.push('}');
+    out
 }
 
 /// The line sent for a malformed or invalid request.
@@ -535,6 +607,38 @@ mod tests {
         assert_eq!(req.trials, 1);
         assert_eq!(req.seed, 0);
         assert_eq!(req.rule, Rule::Balanced);
+    }
+
+    #[test]
+    fn tenant_meta_round_trips_and_validates() {
+        let req = sample_request();
+        let line = render_request_tenant(&req, "team-a");
+        let (cmd, meta) = parse_command_meta(&line).unwrap();
+        assert_eq!(cmd, Command::Run(req));
+        assert_eq!(meta.tenant.as_deref(), Some("team-a"));
+        // The tenant-free parser accepts the same line and drops the
+        // envelope.
+        assert_eq!(parse_command(&line), Ok(Command::Run(req)));
+        // No tenant -> default meta.
+        let (_, bare) = parse_command_meta(&render_request(&req)).unwrap();
+        assert_eq!(bare, RequestMeta::default());
+        // Admin commands carry the envelope too.
+        let (cmd, meta) = parse_command_meta("{\"cmd\":\"stats\",\"tenant\":\"ops\"}").unwrap();
+        assert_eq!(cmd, Command::Stats);
+        assert_eq!(meta.tenant.as_deref(), Some("ops"));
+        // Bad tenants are rejected before the config is looked at.
+        assert!(parse_command_meta("{\"tenant\":17,\"n\":64}").is_err());
+        assert!(parse_command_meta("{\"tenant\":\"\",\"n\":64}").is_err());
+        let long = format!("{{\"tenant\":\"{}\",\"n\":64}}", "x".repeat(65));
+        assert!(parse_command_meta(&long).is_err());
+    }
+
+    #[test]
+    fn tenant_shed_line_still_parses_as_overloaded() {
+        let line = render_overloaded_tenant("team-b");
+        assert_eq!(ReplyLine::parse(&line), Ok(ReplyLine::Overloaded));
+        assert!(line.contains("\"scope\":\"tenant\""));
+        assert!(line.contains("\"tenant\":\"team-b\""));
     }
 
     #[test]

@@ -1,51 +1,129 @@
-//! The multi-threaded TCP front end.
+//! The request-multiplexed TCP front end.
 //!
-//! One accept thread feeds a bounded queue of connections; a fixed
-//! pool of workers drains it, serving newline-delimited requests per
-//! connection until EOF. The queue bound is the overload contract:
-//! a connection that arrives while the queue is full is shed with an
-//! explicit `{"error":"overloaded","shed":true}` line rather than
-//! queued without limit (unbounded queues hide overload until memory
-//! or latency collapses) or silently reset.
+//! One accept thread hands each connection to a **shard**: an event
+//! loop that parks any number of persistent connections on nonblocking
+//! sockets, frames complete request lines, and dispatches them as
+//! individual jobs to a shared worker pool. The dispatch queue holds
+//! *requests*, not connections, so queue depth and shed decisions are
+//! per request: a full queue sheds the request with an explicit
+//! `{"error":"overloaded","shed":true}` line while the connection
+//! stays parked — idle keep-alive clients no longer occupy workers,
+//! and a shed never costs the client its connection.
+//!
+//! Workers coalesce every queued request that shares the leader's
+//! [`CacheKey`](crate::engine::CacheKey) into one
+//! [`Engine::handle_batch`] pass, so a herd of identical
+//! configurations resolves its prepared tester once. Replies are
+//! written through a per-connection reorder buffer: each request line
+//! gets a sequence number at parse time and replies release strictly
+//! in that order, so pipelined clients see answers in request order
+//! even when workers finish out of order.
+//!
+//! Admission is two-tier. A per-tenant token bucket (see
+//! [`TenantPolicy`]) sheds over-quota tenants before their requests
+//! ever reach the queue, with the shed scoped to the tenant on the
+//! wire (`"scope":"tenant"`). Above the global queue cap, an incoming
+//! higher-priority request may evict the lowest-priority queued
+//! request instead of being shed itself.
 //!
 //! Shutdown is cooperative. A `{"cmd":"shutdown"}` request flips a
-//! flag; the accept thread stops accepting, workers drain the queued
-//! connections and finish every complete request line already
-//! received, and [`ServerHandle::join`] returns once all threads
-//! exit. Workers notice the flag within one read-timeout tick
-//! (`POLL_INTERVAL`), so join latency is bounded.
+//! flag; the accept thread stops accepting, shards stop reading new
+//! lines, workers drain every queued request, and the shard loops keep
+//! each connection parked until its in-flight replies have flushed
+//! (bounded by a grace period). [`ServerHandle::join`] returns once
+//! all threads exit.
 
-use crate::engine::Engine;
+use crate::engine::{CacheKey, Engine, QueuedRequest};
 use crate::protocol::{self, Command};
 use crate::stats;
 use dut_obs::metrics::{Counter, Gauge, HistogramId};
 use dut_obs::slo::SloConfig;
-use std::collections::VecDeque;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use parking_lot::Mutex as PlMutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Read/accept poll granularity; bounds shutdown-notice latency.
+/// Worker condvar / accept backoff granularity; bounds
+/// shutdown-notice latency for threads blocked waiting for work.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
-/// Consecutive sheds that count as a burst and trigger an automatic
-/// flight-recorder dump (once per burst; the streak resets when a
-/// connection is accepted again).
+/// How long a shard sleeps after a pass in which no connection read
+/// or wrote a byte. This is the parked-connection polling latency: it
+/// is added (at most, and only on an idle shard) to a request's
+/// read-side latency, so it must stay well under the SLO target.
+const SHARD_IDLE_SLEEP: Duration = Duration::from_micros(100);
+
+/// Read chunks one connection may consume per shard pass, so one
+/// firehose client cannot starve its shard siblings.
+const READS_PER_PASS: usize = 16;
+
+/// Bytes of un-flushed reply a connection may accumulate before the
+/// server declares the client a non-reader and drops it. Bounds
+/// memory under the slow-reader attack the per-connection writer
+/// otherwise invites.
+const OUTBUF_CAP: usize = 256 * 1024;
+
+/// How long a closing connection is drained (client bytes read and
+/// discarded) after the final notice, so the notice survives instead
+/// of being destroyed by an RST from unread input.
+const DRAIN_WINDOW: Duration = Duration::from_millis(250);
+
+/// How long shards keep parked connections alive after shutdown to
+/// let in-flight replies flush before the loop exits anyway.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Consecutive shed *requests* that count as a burst and trigger an
+/// automatic flight-recorder dump (once per burst; the streak resets
+/// when a request is admitted again).
 pub const SHED_BURST_THRESHOLD: u64 = 8;
+
+/// Tenant name charged when a request carries no `tenant` field.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// One tenant's admission quota.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Tenant id as it appears on the wire.
+    pub name: String,
+    /// Sustained admissions per second (0 disables rate limiting for
+    /// this tenant).
+    pub rate: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// Priority above the global queue cap: an incoming request may
+    /// evict a queued lower-priority request instead of shedding.
+    pub priority: u8,
+}
+
+/// Multi-tenant admission policy: defaults applied to tenants with no
+/// explicit [`TenantQuota`]. The all-zero default means "no tenancy":
+/// every request is admitted without touching the tenant table.
+#[derive(Debug, Clone, Default)]
+pub struct TenantPolicy {
+    /// Default sustained rate for unlisted tenants (0 = unlimited).
+    pub default_rate: f64,
+    /// Default burst for unlisted tenants.
+    pub default_burst: f64,
+    /// Default priority for unlisted tenants.
+    pub default_priority: u8,
+    /// Explicit per-tenant quotas.
+    pub quotas: Vec<TenantQuota>,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Worker threads draining the request queue.
     pub workers: usize,
-    /// Prepared testers kept resident.
+    /// Prepared testers kept resident (across all cache shards).
     pub cache_cap: usize,
-    /// Connections waiting for a worker before the server sheds.
+    /// Requests waiting for a worker before the server sheds.
     pub queue_cap: usize,
     /// One request in this many emits a sampled `serve_trace` event
     /// (0 disables sampling).
@@ -63,6 +141,16 @@ pub struct ServeConfig {
     /// Hard cap on one request line's bytes; longer lines get
     /// `{"error":"line_too_long"}` and the connection closes.
     pub max_line_bytes: usize,
+    /// Connection-shard event loops (each parks a subset of the
+    /// persistent connections).
+    pub shards: usize,
+    /// Independent prepared-tester cache shards.
+    pub cache_shards: usize,
+    /// Max queued requests coalesced into one answer pass when they
+    /// share a [`CacheKey`] (values below 2 disable coalescing).
+    pub coalesce: usize,
+    /// Multi-tenant admission policy.
+    pub tenancy: TenantPolicy,
 }
 
 impl Default for ServeConfig {
@@ -77,36 +165,346 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             error_budget: 64,
             max_line_bytes: protocol::MAX_LINE_BYTES,
+            shards: 2,
+            cache_shards: crate::engine::DEFAULT_CACHE_SHARDS,
+            coalesce: 16,
+            tenancy: TenantPolicy::default(),
         }
     }
 }
 
-/// A queued connection: the socket plus when it entered the queue,
-/// so the dequeuing worker can charge the wait to the queue phase.
-struct QueuedConn {
+/// One reply line waiting in a connection's reorder buffer.
+struct Line {
+    text: String,
+    /// Counts against the connection's error budget when released.
+    is_error: bool,
+    /// Close the connection after this line (shutdown ack, final
+    /// notice, caught handler panic).
+    close_after: bool,
+}
+
+/// The write half of a connection: a reorder buffer keyed by request
+/// sequence number, an output byte buffer, and the error-budget
+/// ledger. Replies may be submitted from any worker in any order;
+/// they release strictly in sequence order so pipelined clients see
+/// answers in request order.
+struct ConnWriter {
     stream: TcpStream,
+    /// The next sequence number allowed to release.
+    next_release: u64,
+    /// Out-of-order replies parked until their turn.
+    ready: BTreeMap<u64, Line>,
+    /// Released bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    errors_released: u32,
+    error_budget: u32,
+    /// A close-after line released: no further lines release, and the
+    /// write side shuts down once `out` drains.
+    closing: bool,
+    /// `shutdown(Write)` already issued.
+    write_shut: bool,
+    /// The socket failed or the client stopped reading; the shard
+    /// drops the connection on its next pass.
+    dead: bool,
+}
+
+impl ConnWriter {
+    /// Moves every consecutively-sequenced reply from the reorder
+    /// buffer into the output buffer, applying the close-after and
+    /// error-budget contracts in release order (so "N errors, then
+    /// the budget notice, then EOF" holds exactly even when workers
+    /// finish out of order).
+    fn release(&mut self) {
+        while !self.closing && !self.dead {
+            let Some(line) = self.ready.remove(&self.next_release) else {
+                break;
+            };
+            self.next_release += 1;
+            self.out.extend_from_slice(line.text.as_bytes());
+            self.out.push(b'\n');
+            if line.close_after {
+                self.closing = true;
+                self.ready.clear();
+                break;
+            }
+            if line.is_error {
+                self.errors_released = self.errors_released.saturating_add(1);
+                if self.error_budget > 0 && self.errors_released >= self.error_budget {
+                    dut_obs::metrics::global().incr(Counter::ServeErrorBudget);
+                    self.out
+                        .extend_from_slice(protocol::render_error_budget_exhausted().as_bytes());
+                    self.out.push(b'\n');
+                    self.closing = true;
+                    self.ready.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the output buffer as the socket accepts
+    /// right now. Returns the bytes written this call.
+    fn flush(&mut self) -> usize {
+        let mut written = 0usize;
+        while written < self.out.len() {
+            match self.stream.write(&self.out[written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if written > 0 {
+            self.out.drain(..written);
+        }
+        if self.out.len() > OUTBUF_CAP {
+            // The client is not reading; buffering further replies
+            // only converts their stall into our memory.
+            self.dead = true;
+        }
+        written
+    }
+}
+
+/// Writer-side snapshot taken once per shard pass.
+struct WriterStatus {
+    dead: bool,
+    closing: bool,
+    write_shut: bool,
+    /// Nothing released or buffered remains unwritten.
+    drained: bool,
+    wrote: usize,
+}
+
+/// One live connection, shared between its shard (reads) and any
+/// workers holding its queued jobs (reply submission).
+struct Conn {
+    writer: PlMutex<ConnWriter>,
+    /// Requests parsed off this connection not yet answered.
+    inflight: AtomicU64,
+}
+
+impl Conn {
+    /// Submits the reply for sequence `seq` and opportunistically
+    /// flushes. Called from workers and from the shard itself; safe
+    /// to call after the connection started closing (the reply is
+    /// dropped — the close-after line already won).
+    fn submit(&self, seq: u64, text: String, is_error: bool, close_after: bool) {
+        let mut writer = self.writer.lock();
+        if writer.dead || writer.closing {
+            return;
+        }
+        writer.ready.insert(
+            seq,
+            Line {
+                text,
+                is_error,
+                close_after,
+            },
+        );
+        writer.release();
+        writer.flush();
+    }
+
+    fn is_closing(&self) -> bool {
+        let writer = self.writer.lock();
+        writer.closing || writer.dead
+    }
+
+    /// One shard-pass service step: flush pending output, start the
+    /// write-side shutdown once a closing connection drains, and
+    /// report state for the shard's keep/drop decision.
+    fn pump(&self) -> WriterStatus {
+        let mut writer = self.writer.lock();
+        let wrote = if writer.dead { 0 } else { writer.flush() };
+        if writer.closing && !writer.dead && !writer.write_shut && writer.out.is_empty() {
+            let _ = writer.stream.shutdown(Shutdown::Write);
+            writer.write_shut = true;
+        }
+        WriterStatus {
+            dead: writer.dead,
+            closing: writer.closing,
+            write_shut: writer.write_shut,
+            drained: writer.out.is_empty() && writer.ready.is_empty(),
+            wrote,
+        }
+    }
+}
+
+/// A freshly accepted connection in transit from the accept thread to
+/// its shard.
+struct NewConn {
+    stream: TcpStream,
+    conn: Arc<Conn>,
+}
+
+/// The read half of a parked connection, owned by exactly one shard.
+struct ConnReader {
+    conn: Arc<Conn>,
+    stream: TcpStream,
+    pending: Vec<u8>,
+    /// Next request sequence number on this connection. Allocated at
+    /// parse time on the shard thread, so sequences are consecutive
+    /// and the writer's reorder buffer releases without gaps.
+    next_seq: u64,
+    last_line_at: Instant,
+    peer_eof: bool,
+    /// A final notice was submitted; stop reading request lines.
+    muted: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl ConnReader {
+    fn new(item: NewConn) -> ConnReader {
+        ConnReader {
+            conn: item.conn,
+            stream: item.stream,
+            pending: Vec::new(),
+            next_seq: 0,
+            last_line_at: Instant::now(),
+            peer_eof: false,
+            muted: false,
+            drain_deadline: None,
+        }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+}
+
+/// A parsed request waiting for (or evicted from) the dispatch queue.
+struct Job {
+    conn: Arc<Conn>,
+    seq: u64,
+    req: protocol::Request,
+    key: CacheKey,
+    priority: u8,
     enqueued_at: Instant,
+}
+
+/// One tenant's token bucket and ledger.
+struct TenantState {
+    tokens: f64,
+    last_refill: Instant,
+    rate: f64,
+    burst: f64,
+    priority: u8,
+    admitted: u64,
+    shed: u64,
+}
+
+/// The tenant table. Requests with no tenant field are charged to
+/// [`DEFAULT_TENANT`]; when the policy is the all-zero default the
+/// admit path is lock-free.
+struct Tenants {
+    policy: TenantPolicy,
+    states: PlMutex<BTreeMap<String, TenantState>>,
+}
+
+impl Tenants {
+    fn new(policy: TenantPolicy) -> Tenants {
+        Tenants {
+            policy,
+            states: PlMutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn inert(&self) -> bool {
+        self.policy.default_rate <= 0.0 && self.policy.quotas.is_empty()
+    }
+
+    /// Admission decision for one request: `(admitted, priority)`.
+    fn admit(&self, tenant: Option<&str>) -> (bool, u8) {
+        if tenant.is_none() && self.inert() {
+            return (true, self.policy.default_priority);
+        }
+        let name = tenant.unwrap_or(DEFAULT_TENANT);
+        let mut states = self.states.lock();
+        let state = states.entry(name.to_owned()).or_insert_with(|| {
+            let quota = self.policy.quotas.iter().find(|q| q.name == name);
+            let (rate, burst, priority) = match quota {
+                Some(q) => (q.rate, q.burst, q.priority),
+                None => (
+                    self.policy.default_rate,
+                    self.policy.default_burst,
+                    self.policy.default_priority,
+                ),
+            };
+            TenantState {
+                tokens: burst.max(1.0),
+                last_refill: Instant::now(),
+                rate,
+                burst: burst.max(1.0),
+                priority,
+                admitted: 0,
+                shed: 0,
+            }
+        });
+        if state.rate > 0.0 {
+            let now = Instant::now();
+            let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+            state.tokens = (state.tokens + elapsed * state.rate).min(state.burst);
+            state.last_refill = now;
+            if state.tokens < 1.0 {
+                state.shed += 1;
+                return (false, state.priority);
+            }
+            state.tokens -= 1.0;
+        }
+        state.admitted += 1;
+        (true, state.priority)
+    }
+
+    fn snapshot(&self) -> Vec<stats::TenantStat> {
+        self.states
+            .lock()
+            .iter()
+            .map(|(name, state)| stats::TenantStat {
+                name: name.clone(),
+                requests: state.admitted,
+                shed: state.shed,
+            })
+            .collect()
+    }
 }
 
 struct Shared {
     engine: Engine,
-    queue: Mutex<VecDeque<QueuedConn>>,
+    queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
     queue_cap: usize,
+    coalesce: usize,
     slo: SloConfig,
-    /// Consecutive sheds since the last successful enqueue; crossing
-    /// [`SHED_BURST_THRESHOLD`] dumps the flight recorder once.
+    /// Consecutive shed requests since the last admission; crossing
+    /// [`SHED_BURST_THRESHOLD`] dumps the flight recorder once per
+    /// burst (the compare-exchange in [`streak_shed`] makes the
+    /// crossing a single atomic transition, so concurrent shedders
+    /// cannot double-fire or skip it).
     shed_streak: AtomicU64,
     idle_timeout: Duration,
     error_budget: u32,
     max_line_bytes: usize,
+    /// Per-shard hand-off boxes from the accept thread.
+    inboxes: Vec<PlMutex<Vec<NewConn>>>,
+    tenants: Tenants,
+    conn_count: AtomicU64,
 }
 
 impl Shared {
-    /// Locks the connection queue, recovering from poisoning (a
+    /// Locks the request queue, recovering from poisoning (a
     /// panicking worker must not wedge the whole server).
-    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<QueuedConn>> {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -118,6 +516,26 @@ impl Shared {
     fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
+}
+
+/// Atomically advances the shed streak by one and reports whether
+/// *this* increment crossed [`SHED_BURST_THRESHOLD`] — exactly one
+/// caller per burst observes `true`, no matter how increments and
+/// [`streak_reset`] calls interleave across threads.
+fn streak_shed(streak: &AtomicU64) -> bool {
+    let mut current = streak.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(1);
+        match streak.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return next == SHED_BURST_THRESHOLD,
+            Err(found) => current = found,
+        }
+    }
+}
+
+/// An admission ends the current burst.
+fn streak_reset(streak: &AtomicU64) {
+    streak.store(0, Ordering::Relaxed);
 }
 
 /// A running server. Dropping the handle detaches the threads; call
@@ -148,19 +566,21 @@ impl ServerHandle {
         self.shared.is_shutting_down()
     }
 
-    /// Waits for the accept thread and every worker to exit. Returns
-    /// only after a shutdown was requested (by a client or by
-    /// [`Self::request_shutdown`]) and all in-flight work drained.
+    /// Waits for the accept thread, every shard, and every worker to
+    /// exit. Returns only after a shutdown was requested (by a client
+    /// or by [`Self::request_shutdown`]) and all in-flight work
+    /// drained.
     pub fn join(self) {
         for thread in self.threads {
             // A worker that panicked already served its panic to the
-            // connection's demise; the server still drains the rest.
+            // affected requests; the server still drains the rest.
             let _ = thread.join();
         }
     }
 }
 
-/// Binds the listener and starts the accept thread and worker pool.
+/// Binds the listener and starts the accept thread, connection
+/// shards, and worker pool.
 ///
 /// # Errors
 ///
@@ -181,23 +601,36 @@ pub fn start(config: &ServeConfig) -> Result<ServerHandle, String> {
         dut_obs::global()
             .install_sink(Arc::clone(dut_obs::flight::global()) as Arc<dyn dut_obs::Sink>);
     });
+    let shards = config.shards.max(1);
     let shared = Arc::new(Shared {
-        engine: Engine::with_trace_sample(config.cache_cap, config.trace_sample),
+        engine: Engine::with_options(
+            config.cache_cap,
+            config.trace_sample,
+            config.cache_shards.max(1),
+        ),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
         queue_cap: config.queue_cap.max(1),
+        coalesce: config.coalesce.max(1),
         slo: config.slo,
         shed_streak: AtomicU64::new(0),
         idle_timeout: config.idle_timeout.max(POLL_INTERVAL),
         error_budget: config.error_budget,
         max_line_bytes: config.max_line_bytes.max(1),
+        inboxes: (0..shards).map(|_| PlMutex::new(Vec::new())).collect(),
+        tenants: Tenants::new(config.tenancy.clone()),
+        conn_count: AtomicU64::new(0),
     });
     let workers = config.workers.max(1);
-    let mut threads = Vec::with_capacity(workers + 1);
+    let mut threads = Vec::with_capacity(workers + shards + 1);
     for _ in 0..workers {
         let shared = Arc::clone(&shared);
         threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    for shard in 0..shards {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || shard_loop(&shared, shard)));
     }
     {
         let shared = Arc::clone(&shared);
@@ -207,6 +640,7 @@ pub fn start(config: &ServeConfig) -> Result<ServerHandle, String> {
         dut_obs::Event::new("serve_started")
             .with("addr", addr.to_string())
             .with("workers", workers)
+            .with("shards", shards)
             .with("queue_cap", config.queue_cap.max(1))
     });
     Ok(ServerHandle {
@@ -216,24 +650,61 @@ pub fn start(config: &ServeConfig) -> Result<ServerHandle, String> {
     })
 }
 
+fn conn_opened(shared: &Shared) {
+    let count = shared.conn_count.fetch_add(1, Ordering::AcqRel) + 1;
+    dut_obs::metrics::global().set_gauge(Gauge::ServeConnections, count);
+}
+
+fn conn_closed(shared: &Shared) {
+    let before = shared.conn_count.fetch_sub(1, Ordering::AcqRel);
+    dut_obs::metrics::global().set_gauge(Gauge::ServeConnections, before.saturating_sub(1));
+}
+
+/// Accepts connections and hands each to a shard round-robin. This
+/// thread never writes to a socket: under overload the shed decision
+/// is per *request* and happens on the shard/worker side, so a burst
+/// of slow clients cannot stall the accept path.
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut next_shard = 0usize;
     loop {
         if shared.is_shutting_down() {
             break;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // Accepted sockets inherit nonblocking on some
-                // platforms; workers want blocking reads + timeouts.
-                let _ = stream.set_nonblocking(false);
-                enqueue_or_shed(shared, stream);
+                // One-line replies must leave immediately: without
+                // nodelay the reply sits in Nagle's buffer waiting on
+                // the client's delayed ACK (~40ms a round trip).
+                let _ = stream.set_nodelay(true);
+                // Both halves share the fd, so this covers the writer
+                // clone too.
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let conn = Arc::new(Conn {
+                    writer: PlMutex::new(ConnWriter {
+                        stream: write_half,
+                        next_release: 0,
+                        ready: BTreeMap::new(),
+                        out: Vec::new(),
+                        errors_released: 0,
+                        error_budget: shared.error_budget,
+                        closing: false,
+                        write_shut: false,
+                        dead: false,
+                    }),
+                    inflight: AtomicU64::new(0),
+                });
+                conn_opened(shared);
+                shared.inboxes[next_shard]
+                    .lock()
+                    .push(NewConn { stream, conn });
+                next_shard = (next_shard + 1) % shared.inboxes.len();
             }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
@@ -244,276 +715,612 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     shared.available.notify_all();
 }
 
-fn enqueue_or_shed(shared: &Shared, mut stream: TcpStream) {
+/// Outcome of one connection's service step within a shard pass.
+struct ConnStep {
+    keep: bool,
+    /// Bytes moved in either direction (suppresses the idle sleep).
+    active: bool,
+}
+
+/// One shard: parks its connections, frames request lines, dispatches
+/// jobs, and retires connections that died, drained after EOF, or
+/// finished their closing handshake.
+fn shard_loop(shared: &Shared, shard: usize) {
+    let mut conns: Vec<ConnReader> = Vec::new();
+    let mut shutdown_deadline: Option<Instant> = None;
+    loop {
+        let fresh: Vec<NewConn> = std::mem::take(&mut *shared.inboxes[shard].lock());
+        let mut active = !fresh.is_empty();
+        conns.extend(fresh.into_iter().map(ConnReader::new));
+        let shutting = shared.is_shutting_down();
+        if shutting && shutdown_deadline.is_none() {
+            shutdown_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
+        }
+        conns.retain_mut(|reader| {
+            let step = step_conn(shared, reader, shutting);
+            if step.active {
+                active = true;
+            }
+            if !step.keep {
+                conn_closed(shared);
+            }
+            step.keep
+        });
+        if shutting {
+            let expired = shutdown_deadline.is_some_and(|deadline| Instant::now() >= deadline);
+            if conns.is_empty() || expired {
+                for _ in &conns {
+                    conn_closed(shared);
+                }
+                conns.clear();
+                break;
+            }
+        }
+        if !active {
+            std::thread::sleep(SHARD_IDLE_SLEEP);
+        }
+    }
+}
+
+/// Services one connection for one shard pass. Order matters: flush
+/// first (replies drain even off a muted or closing connection), then
+/// the closing handshake, then EOF/shutdown drain conditions, then
+/// the idle reap, and only then new reads.
+fn step_conn(shared: &Shared, reader: &mut ConnReader, shutting: bool) -> ConnStep {
+    let status = reader.conn.pump();
+    let mut active = status.wrote > 0;
+    if status.dead {
+        return ConnStep {
+            keep: false,
+            active,
+        };
+    }
+    if status.write_shut {
+        // Final notice sent and write side shut: drain (and discard)
+        // client leftovers for a bounded moment so the notice is not
+        // destroyed by an RST, then drop.
+        let deadline = *reader
+            .drain_deadline
+            .get_or_insert_with(|| Instant::now() + DRAIN_WINDOW);
+        let mut sink = [0u8; 4096];
+        loop {
+            match reader.stream.read(&mut sink) {
+                Ok(0) => {
+                    return ConnStep {
+                        keep: false,
+                        active: true,
+                    }
+                }
+                Ok(_) => active = true,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    return ConnStep {
+                        keep: false,
+                        active: true,
+                    }
+                }
+            }
+        }
+        let keep = Instant::now() < deadline;
+        return ConnStep { keep, active };
+    }
+    if status.closing {
+        // Close-after reply released but not fully flushed yet.
+        return ConnStep { keep: true, active };
+    }
+    if reader.peer_eof || shutting {
+        // Half-closed client (served until its queued work drains,
+        // then dropped → clean FIN) or server shutdown (no new reads;
+        // in-flight replies still flush).
+        let inflight = reader.conn.inflight.load(Ordering::Acquire);
+        let keep = inflight > 0 || !status.drained;
+        return ConnStep { keep, active };
+    }
+    if !reader.muted
+        && reader.conn.inflight.load(Ordering::Acquire) == 0
+        && reader.last_line_at.elapsed() >= shared.idle_timeout
+    {
+        dut_obs::metrics::global().incr(Counter::ServeReaped);
+        let seq = reader.alloc_seq();
+        reader
+            .conn
+            .submit(seq, protocol::render_idle_timeout(), false, true);
+        reader.muted = true;
+        return ConnStep {
+            keep: true,
+            active: true,
+        };
+    }
+    if reader.muted {
+        return ConnStep { keep: true, active };
+    }
+    let mut chunk = [0u8; 4096];
+    for _ in 0..READS_PER_PASS {
+        match reader.stream.read(&mut chunk) {
+            Ok(0) => {
+                reader.peer_eof = true;
+                break;
+            }
+            Ok(got) => {
+                active = true;
+                reader.pending.extend_from_slice(&chunk[..got]);
+                process_pending(shared, reader);
+                if reader.muted {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                return ConnStep {
+                    keep: false,
+                    active,
+                }
+            }
+        }
+    }
+    ConnStep { keep: true, active }
+}
+
+/// Frames and answers every complete request line buffered on the
+/// connection. A partial trailing line stays buffered (or trips the
+/// line cap). Three hostile-client defenses live here and in
+/// [`step_conn`], all with explicit final replies so a
+/// well-meaning-but-buggy client can diagnose itself: the line cap,
+/// the idle reap, and (enforced at release time by [`ConnWriter`])
+/// the error budget.
+fn process_pending(shared: &Shared, reader: &mut ConnReader) {
+    loop {
+        if reader.muted || reader.conn.is_closing() {
+            reader.pending.clear();
+            return;
+        }
+        let Some(newline) = reader.pending.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let line: Vec<u8> = reader.pending.drain(..=newline).collect();
+        reader.last_line_at = Instant::now();
+        if line.len() > shared.max_line_bytes {
+            mute_with_notice(reader, protocol::render_line_too_long());
+            return;
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        answer_parsed(shared, reader, text);
+    }
+    if reader.pending.len() > shared.max_line_bytes {
+        // A line still has no newline but already blew the cap: stop
+        // buffering it.
+        mute_with_notice(reader, protocol::render_line_too_long());
+    }
+}
+
+/// Submits a final malformed-line notice and mutes the reader.
+fn mute_with_notice(reader: &mut ConnReader, notice: String) {
+    dut_obs::metrics::global().incr(Counter::ServeMalformed);
+    let seq = reader.alloc_seq();
+    reader.conn.submit(seq, notice, false, true);
+    reader.muted = true;
+    reader.pending.clear();
+}
+
+/// Allocates the line's sequence number and evaluates it behind a
+/// panic boundary. A panicking handler must cost at most its own
+/// connection: without this, the unwind kills the shard thread and
+/// every connection parked on it.
+fn answer_parsed(shared: &Shared, reader: &mut ConnReader, text: &str) {
+    let seq = reader.alloc_seq();
+    let conn = Arc::clone(&reader.conn);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_line(shared, &conn, seq, text);
+    }));
+    if caught.is_err() {
+        dut_obs::metrics::global().incr(Counter::ServePanicsCaught);
+        conn.submit(
+            seq,
+            protocol::render_error("internal: request handler panicked"),
+            true,
+            true,
+        );
+        reader.muted = true;
+    }
+}
+
+/// Evaluates one request line: admin commands answer inline on the
+/// shard; runs pass tenant admission and enter the dispatch queue.
+fn handle_line(shared: &Shared, conn: &Arc<Conn>, seq: u64, line: &str) {
     let registry = dut_obs::metrics::global();
+    match protocol::parse_command_meta(line) {
+        Ok((Command::Run(request), meta)) => {
+            let (admitted, priority) = shared.tenants.admit(meta.tenant.as_deref());
+            if !admitted {
+                // A tenant-scoped shed: the *tenant* is over quota,
+                // not the server — it neither feeds the burst streak
+                // nor costs the connection its error budget.
+                registry.incr(Counter::ServeShed);
+                registry.incr(Counter::ServeTenantShed);
+                let name = meta.tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                conn.submit(seq, protocol::render_overloaded_tenant(name), false, false);
+                return;
+            }
+            enqueue_request(
+                shared,
+                Job {
+                    conn: Arc::clone(conn),
+                    seq,
+                    req: request,
+                    key: CacheKey::of(&request),
+                    priority,
+                    enqueued_at: Instant::now(),
+                },
+            );
+        }
+        Ok((Command::Shutdown, _meta)) => {
+            shared.begin_shutdown();
+            conn.submit(seq, protocol::render_shutdown_ack(), false, true);
+        }
+        Ok((Command::Stats, _meta)) => {
+            conn.submit(seq, render_stats(shared), false, false);
+        }
+        Ok((Command::Flight, _meta)) => {
+            conn.submit(
+                seq,
+                stats::render_flight(dut_obs::flight::global()),
+                false,
+                false,
+            );
+        }
+        Err(message) => {
+            registry.incr(Counter::ServeMalformed);
+            conn.submit(seq, protocol::render_error(&message), true, false);
+        }
+    }
+}
+
+/// Current stats with the live tenant table attached.
+fn render_stats(shared: &Shared) -> String {
+    let cached = u64::try_from(shared.engine.cached_testers()).unwrap_or(u64::MAX);
+    let mut gathered = stats::gather(cached, &shared.slo);
+    gathered.tenants = shared.tenants.snapshot();
+    gathered.render()
+}
+
+/// Queues one admitted request, or sheds. At the cap an incoming
+/// request may evict the lowest-priority queued request strictly
+/// below its own priority (the evictee gets the shed reply); equal
+/// priorities never preempt each other.
+fn enqueue_request(shared: &Shared, job: Job) {
+    let registry = dut_obs::metrics::global();
+    job.conn.inflight.fetch_add(1, Ordering::AcqRel);
     let mut queue = shared.lock_queue();
     if queue.len() >= shared.queue_cap {
-        // The gauge is authoritative on every path; a full queue is
-        // still a queue-depth observation. Written under the lock so
-        // concurrent enqueues/dequeues cannot interleave a stale
-        // value over a fresh one.
-        registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
-        drop(queue);
-        // Shed: explicit reply, then close. The write is best effort
-        // — a client that already gave up is not our problem — but
-        // the counter always moves.
-        registry.incr(Counter::ServeShed);
-        let streak = shared.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
-        if streak == SHED_BURST_THRESHOLD {
-            // A burst is in progress: capture what led up to it. The
-            // dump travels as a trace event, so file sinks record the
-            // incident context; the ring itself skips it.
-            dut_obs::global().emit_with(|| dut_obs::flight::global().dump_event("shed_burst"));
+        let victim_at = (0..queue.len())
+            .filter(|&i| queue[i].priority < job.priority)
+            .min_by_key(|&i| queue[i].priority);
+        if let Some(at) = victim_at {
+            let victim = queue.remove(at);
+            queue.push_back(job);
+            registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
+            drop(queue);
+            shared.available.notify_one();
+            if let Some(victim) = victim {
+                shed_request(shared, &victim.conn, victim.seq);
+                victim.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+        } else {
+            registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
+            drop(queue);
+            shed_request(shared, &job.conn, job.seq);
+            job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
         }
-        let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
-        let _ = writeln!(stream, "{}", protocol::render_overloaded());
     } else {
-        shared.shed_streak.store(0, Ordering::Relaxed);
-        queue.push_back(QueuedConn {
-            stream,
-            enqueued_at: Instant::now(),
-        });
+        streak_reset(&shared.shed_streak);
+        queue.push_back(job);
         registry.set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
         drop(queue);
         shared.available.notify_one();
     }
 }
 
+/// Sheds one request: explicit reply on the request's own sequence
+/// slot (the connection stays parked), plus the burst accounting.
+fn shed_request(shared: &Shared, conn: &Conn, seq: u64) {
+    dut_obs::metrics::global().incr(Counter::ServeShed);
+    if streak_shed(&shared.shed_streak) {
+        // A burst is in progress: capture what led up to it. The
+        // dump travels as a trace event, so file sinks record the
+        // incident context; the ring itself skips it.
+        dut_obs::global().emit_with(|| dut_obs::flight::global().dump_event("shed_burst"));
+    }
+    conn.submit(seq, protocol::render_overloaded(), false, false);
+}
+
 fn worker_loop(shared: &Shared) {
-    loop {
-        let conn = {
-            let mut queue = shared.lock_queue();
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    dut_obs::metrics::global()
-                        .set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
-                    break Some(conn);
-                }
-                if shared.is_shutting_down() {
-                    break None;
-                }
-                let (guard, _timed_out) = shared
-                    .available
-                    .wait_timeout(queue, POLL_INTERVAL)
-                    .unwrap_or_else(PoisonError::into_inner);
-                queue = guard;
-            }
-        };
-        match conn {
-            Some(conn) => {
-                let waited =
-                    u64::try_from(conn.enqueued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
-                dut_obs::metrics::global().observe(HistogramId::QueueWaitMicros, waited);
-                serve_connection(shared, conn.stream, waited);
-            }
-            None => break,
-        }
+    while let Some(jobs) = next_batch(shared) {
+        process_batch(shared, &jobs);
     }
 }
 
-/// Serves one connection until EOF, error, or drained shutdown.
-/// Every complete request line gets exactly one reply line; a partial
-/// line at shutdown or disconnect is dropped (never half-answered).
-///
-/// `queue_wait_micros` is how long the connection sat in the accept
-/// queue; it is charged to the *first* request only (later requests on
-/// the same connection never waited in that queue).
-///
-/// Three hostile-client defenses live here, all with explicit final
-/// replies so a well-meaning-but-buggy client can diagnose itself:
-///
-/// * **Line cap.** Bytes accumulated without a newline past
-///   `max_line_bytes` (or a drained line over it) get
-///   `{"error":"line_too_long"}` and a close — the only alternative
-///   is unbounded buffering.
-/// * **Idle reap.** No *completed line* within `idle_timeout` reaps
-///   the connection. Keying on completed lines (not raw bytes)
-///   catches slowloris drips, which send a byte at a time forever.
-/// * **Error budget.** More than `error_budget` error replies close
-///   the connection; a worker slot is not a fuzzing amplifier.
-fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait_micros: u64) {
+/// Pops the next job and coalesces every queued job sharing its
+/// [`CacheKey`] (up to the coalesce cap) into one batch. Returns
+/// `None` only when the queue is empty *and* shutdown was requested,
+/// so drain is guaranteed.
+fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut queue = shared.lock_queue();
+    loop {
+        if let Some(lead) = queue.pop_front() {
+            let key = lead.key;
+            let mut jobs = vec![lead];
+            let mut i = 0;
+            while i < queue.len() && jobs.len() < shared.coalesce {
+                if queue[i].key == key {
+                    if let Some(job) = queue.remove(i) {
+                        jobs.push(job);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            dut_obs::metrics::global().set_gauge(Gauge::ServeQueueDepth, queue.len() as u64);
+            return Some(jobs);
+        }
+        if shared.is_shutting_down() {
+            return None;
+        }
+        let (guard, _timed_out) = shared
+            .available
+            .wait_timeout(queue, POLL_INTERVAL)
+            .unwrap_or_else(PoisonError::into_inner);
+        queue = guard;
+    }
+}
+
+/// Answers one coalesced batch. The queue wait recorded here is the
+/// *request's* scheduling delay — parse to worker pickup — which is
+/// the number `queue_wait_p99` in stats actually promises.
+fn process_batch(shared: &Shared, jobs: &[Job]) {
     let registry = dut_obs::metrics::global();
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    // One-line replies must leave immediately: without nodelay the
-    // reply sits in Nagle's buffer waiting on the client's delayed
-    // ACK, turning every request into a ~40ms round trip.
-    let _ = stream.set_nodelay(true);
-    let mut queue_wait = queue_wait_micros;
-    let mut pending: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let mut last_line_at = Instant::now();
-    let mut errors_seen: u32 = 0;
-    loop {
-        if last_line_at.elapsed() >= shared.idle_timeout {
-            registry.incr(Counter::ServeReaped);
-            notice_and_close(stream, &protocol::render_idle_timeout());
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(got) => {
-                pending.extend_from_slice(&chunk[..got]);
-                while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = pending.drain(..=newline).collect();
-                    last_line_at = Instant::now();
-                    if line.len() > shared.max_line_bytes {
-                        registry.incr(Counter::ServeMalformed);
-                        notice_and_close(stream, &protocol::render_line_too_long());
-                        return;
-                    }
-                    let text = String::from_utf8_lossy(&line);
-                    let text = text.trim();
-                    if text.is_empty() {
-                        continue;
-                    }
-                    let answer = answer_line_caught(shared, text, queue_wait);
-                    queue_wait = 0;
-                    if writeln!(stream, "{}", answer.reply).is_err() {
-                        return;
-                    }
-                    if answer.close {
-                        let _ = stream.flush();
-                        return;
-                    }
-                    if answer.is_error {
-                        errors_seen = errors_seen.saturating_add(1);
-                        if shared.error_budget > 0 && errors_seen >= shared.error_budget {
-                            registry.incr(Counter::ServeErrorBudget);
-                            notice_and_close(stream, &protocol::render_error_budget_exhausted());
-                            return;
-                        }
-                    }
-                }
-                if pending.len() > shared.max_line_bytes {
-                    // A line still has no newline but already blew the
-                    // cap: stop buffering it.
-                    registry.incr(Counter::ServeMalformed);
-                    notice_and_close(stream, &protocol::render_line_too_long());
-                    return;
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle tick between requests; at shutdown every
-                // complete line was already answered, so drain done.
-                if shared.is_shutting_down() {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
+    let mut items = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let waited = u64::try_from(job.enqueued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        registry.observe(HistogramId::QueueWaitMicros, waited);
+        items.push(QueuedRequest {
+            req: job.req,
+            queue_wait_micros: waited,
+        });
     }
-    let _ = stream.flush();
-}
-
-/// Writes a final notice, then closes without destroying it: an
-/// abrupt `close(2)` with unread client bytes still queued makes the
-/// kernel send RST, which discards the notice before the client can
-/// read it. Shutting down only the write side first, then draining
-/// (and discarding) the client's leftovers for a bounded moment,
-/// lets the notice actually arrive.
-fn notice_and_close(mut stream: TcpStream, notice: &str) {
-    if writeln!(stream, "{notice}").is_err() {
-        return;
-    }
-    let _ = stream.flush();
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let deadline = Instant::now() + Duration::from_millis(250);
-    let mut sink = [0u8; 4096];
-    while Instant::now() < deadline {
-        match stream.read(&mut sink) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) => {}
-            Err(_) => break,
-        }
-    }
-}
-
-/// One evaluated request line.
-struct Answer {
-    reply: String,
-    /// Close the connection after writing the reply (shutdown ack or
-    /// a caught handler panic).
-    close: bool,
-    /// The reply is an error line; it counts against the
-    /// connection's error budget.
-    is_error: bool,
-}
-
-impl Answer {
-    fn ok(reply: String) -> Answer {
-        Answer {
-            reply,
-            close: false,
-            is_error: false,
-        }
-    }
-
-    fn error(reply: String) -> Answer {
-        Answer {
-            reply,
-            close: false,
-            is_error: true,
-        }
-    }
-}
-
-/// [`answer_line`] behind a panic boundary. A panicking handler must
-/// cost at most its own connection: without this, the unwind kills
-/// the worker thread, and enough of them wedge the whole pool.
-fn answer_line_caught(shared: &Shared, line: &str, queue_wait_micros: u64) -> Answer {
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        answer_line(shared, line, queue_wait_micros)
+        shared.engine.handle_batch(&items)
     }));
     match caught {
-        Ok(answer) => answer,
+        Ok(replies) => {
+            for (index, job) in jobs.iter().enumerate() {
+                match replies.get(index) {
+                    Some(Ok(reply)) => job.conn.submit(job.seq, reply.render(), false, false),
+                    Some(Err(message)) => {
+                        job.conn
+                            .submit(job.seq, protocol::render_error(message), true, false);
+                    }
+                    None => {
+                        job.conn.submit(
+                            job.seq,
+                            protocol::render_error("internal: missing batch reply"),
+                            true,
+                            false,
+                        );
+                    }
+                }
+            }
+        }
         Err(_panic) => {
-            dut_obs::metrics::global().incr(Counter::ServePanicsCaught);
-            Answer {
-                reply: protocol::render_error("internal: request handler panicked"),
-                close: true,
-                is_error: true,
+            registry.incr(Counter::ServePanicsCaught);
+            for job in jobs {
+                job.conn.submit(
+                    job.seq,
+                    protocol::render_error("internal: request handler panicked"),
+                    true,
+                    true,
+                );
             }
         }
     }
+    for job in jobs {
+        job.conn.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
-/// Evaluates one request line.
-fn answer_line(shared: &Shared, line: &str, queue_wait_micros: u64) -> Answer {
-    match protocol::parse_command(line) {
-        Ok(Command::Run(request)) => {
-            match shared.engine.handle_queued(&request, queue_wait_micros) {
-                Ok(reply) => Answer::ok(reply.render()),
-                Err(message) => Answer::error(protocol::render_error(&message)),
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streak_crossing_fires_exactly_once_per_burst() {
+        let streak = AtomicU64::new(0);
+        let mut fired = 0;
+        for _ in 0..(SHED_BURST_THRESHOLD * 3) {
+            if streak_shed(&streak) {
+                fired += 1;
             }
         }
-        Ok(Command::Shutdown) => {
-            shared.begin_shutdown();
-            Answer {
-                reply: protocol::render_shutdown_ack(),
-                close: true,
+        assert_eq!(fired, 1, "one crossing per uninterrupted burst");
+        streak_reset(&streak);
+        let mut refired = 0;
+        for _ in 0..SHED_BURST_THRESHOLD {
+            if streak_shed(&streak) {
+                refired += 1;
+            }
+        }
+        assert_eq!(refired, 1, "a reset starts a new burst");
+    }
+
+    #[test]
+    fn streak_crossing_is_exactly_once_under_contention() {
+        // 16 threads race SHED_BURST_THRESHOLD * 16 total increments
+        // with no resets: the threshold is crossed once, so exactly
+        // one thread may observe `true`.
+        let streak = Arc::new(AtomicU64::new(0));
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let streak = Arc::clone(&streak);
+            let fired = Arc::clone(&fired);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..SHED_BURST_THRESHOLD {
+                    if streak_shed(&streak) {
+                        fired.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("streak thread");
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            streak.load(Ordering::Relaxed),
+            SHED_BURST_THRESHOLD * 16,
+            "every increment landed exactly once"
+        );
+    }
+
+    #[test]
+    fn writer_releases_replies_in_sequence_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _peer) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        let mut writer = ConnWriter {
+            stream: server_side,
+            next_release: 0,
+            ready: BTreeMap::new(),
+            out: Vec::new(),
+            errors_released: 0,
+            error_budget: 0,
+            closing: false,
+            write_shut: false,
+            dead: false,
+        };
+        for (seq, text) in [(2u64, "third"), (0, "first")] {
+            writer.ready.insert(
+                seq,
+                Line {
+                    text: text.to_owned(),
+                    is_error: false,
+                    close_after: false,
+                },
+            );
+        }
+        writer.release();
+        assert_eq!(writer.out, b"first\n", "seq 1 gates seq 2");
+        writer.ready.insert(
+            1,
+            Line {
+                text: "second".to_owned(),
                 is_error: false,
+                close_after: false,
+            },
+        );
+        writer.release();
+        assert_eq!(writer.out, b"first\nsecond\nthird\n");
+        drop(client);
+    }
+
+    #[test]
+    fn writer_error_budget_appends_notice_in_release_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _peer) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        let mut writer = ConnWriter {
+            stream: server_side,
+            next_release: 0,
+            ready: BTreeMap::new(),
+            out: Vec::new(),
+            errors_released: 0,
+            error_budget: 2,
+            closing: false,
+            write_shut: false,
+            dead: false,
+        };
+        for seq in 0..3u64 {
+            writer.ready.insert(
+                seq,
+                Line {
+                    text: format!("err{seq}"),
+                    is_error: true,
+                    close_after: false,
+                },
+            );
+        }
+        writer.release();
+        let text = String::from_utf8(writer.out.clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "err0",
+                "err1",
+                protocol::render_error_budget_exhausted().as_str()
+            ],
+            "budget notice lands after the budget-th error, never after more"
+        );
+        assert!(writer.closing, "budget exhaustion closes the connection");
+        drop(client);
+    }
+
+    #[test]
+    fn tenant_bucket_sheds_only_the_over_quota_tenant() {
+        let tenants = Tenants::new(TenantPolicy {
+            default_rate: 0.0,
+            default_burst: 0.0,
+            default_priority: 1,
+            quotas: vec![TenantQuota {
+                name: "metered".to_owned(),
+                rate: 0.001, // effectively no refill within the test
+                burst: 3.0,
+                priority: 2,
+            }],
+        });
+        let mut metered_ok = 0;
+        let mut metered_shed = 0;
+        for _ in 0..10 {
+            let (admitted, priority) = tenants.admit(Some("metered"));
+            assert_eq!(priority, 2);
+            if admitted {
+                metered_ok += 1;
+            } else {
+                metered_shed += 1;
             }
         }
-        Ok(Command::Stats) => {
-            let cached = u64::try_from(shared.engine.cached_testers()).unwrap_or(u64::MAX);
-            Answer::ok(stats::gather(cached, &shared.slo).render())
+        assert_eq!(metered_ok, 3, "burst capacity admits exactly the bucket");
+        assert_eq!(metered_shed, 7);
+        for _ in 0..10 {
+            let (admitted, _) = tenants.admit(Some("open"));
+            assert!(admitted, "unlisted tenant with rate 0 is unlimited");
         }
-        Ok(Command::Flight) => Answer::ok(stats::render_flight(dut_obs::flight::global())),
-        Err(message) => {
-            dut_obs::metrics::global().incr(Counter::ServeMalformed);
-            Answer::error(protocol::render_error(&message))
-        }
+        let snapshot = tenants.snapshot();
+        let metered = snapshot.iter().find(|t| t.name == "metered").expect("row");
+        assert_eq!((metered.requests, metered.shed), (3, 7));
+        let open = snapshot.iter().find(|t| t.name == "open").expect("row");
+        assert_eq!((open.requests, open.shed), (10, 0));
+    }
+
+    #[test]
+    fn inert_policy_admits_without_touching_the_table() {
+        let tenants = Tenants::new(TenantPolicy::default());
+        let (admitted, _) = tenants.admit(None);
+        assert!(admitted);
+        assert!(tenants.snapshot().is_empty(), "fast path bypasses the map");
+        // A named tenant is still tracked even under the inert policy
+        // so stats can attribute traffic.
+        let (admitted, _) = tenants.admit(Some("named"));
+        assert!(admitted);
+        assert_eq!(tenants.snapshot().len(), 1);
     }
 }

@@ -19,19 +19,39 @@ pub const SHORT_WINDOW_MICROS: u64 = 10 * 1_000_000;
 /// Long burn-rate window: the "sustained, not a blip" signal.
 pub const LONG_WINDOW_MICROS: u64 = 60 * 1_000_000;
 
+/// One tenant's row in the stats reply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStat {
+    /// Tenant id as it appears on the wire.
+    pub name: String,
+    /// Requests this tenant had admitted since boot.
+    pub requests: u64,
+    /// Requests shed at this tenant's quota since boot.
+    pub shed: u64,
+}
+
 /// One stats reply, flattened for easy consumption.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Microseconds since the server's recorder epoch.
     pub uptime_micros: u64,
-    /// Connections waiting in the accept queue right now.
+    /// Requests waiting in the dispatch queue right now.
     pub queue_depth: u64,
+    /// Persistent connections currently parked on the shard loops.
+    pub connections: u64,
     /// Prepared testers resident in the LRU.
     pub cached_testers: u64,
     /// Cumulative requests answered since boot.
     pub requests: u64,
-    /// Cumulative connections shed since boot.
+    /// Cumulative requests shed since boot (global cap + tenant
+    /// quotas combined).
     pub shed: u64,
+    /// Cumulative requests answered as followers of a coalesced
+    /// batch (one prepared tester resolved for the whole batch).
+    pub coalesced: u64,
+    /// Cumulative requests shed by per-tenant admission (a subset of
+    /// `shed`).
+    pub tenant_shed: u64,
     /// Cumulative tester-cache hits since boot.
     pub cache_hits: u64,
     /// Cumulative tester-cache misses since boot.
@@ -86,6 +106,9 @@ pub struct Stats {
     pub p99_target_micros: u64,
     /// Configured shed-rate budget.
     pub max_shed_rate: f64,
+    /// Per-tenant admission rows (empty when tenancy is unused; the
+    /// wire object is omitted entirely in that case).
+    pub tenants: Vec<TenantStat>,
 }
 
 fn hist_quantile(delta: &Snapshot, id: HistogramId, p: f64) -> f64 {
@@ -115,9 +138,12 @@ pub fn gather(cached_testers: u64, slo_config: &SloConfig) -> Stats {
     Stats {
         uptime_micros: now,
         queue_depth: registry.gauge(Gauge::ServeQueueDepth),
+        connections: registry.gauge(Gauge::ServeConnections),
         cached_testers,
         requests: registry.counter(Counter::ServeRequests),
         shed: registry.counter(Counter::ServeShed),
+        coalesced: registry.counter(Counter::ServeCoalesced),
+        tenant_shed: registry.counter(Counter::ServeTenantShed),
         cache_hits: registry.counter(Counter::ServeCacheHits),
         cache_misses: registry.counter(Counter::ServeCacheMisses),
         malformed: registry.counter(Counter::ServeMalformed),
@@ -144,6 +170,9 @@ pub fn gather(cached_testers: u64, slo_config: &SloConfig) -> Stats {
         shed_burn_long: status.long.shed_burn,
         p99_target_micros: slo_config.p99_target_micros,
         max_shed_rate: slo_config.max_shed_rate,
+        // The tenant table lives in the server, not the registry; the
+        // caller attaches its snapshot.
+        tenants: Vec::new(),
     }
 }
 
@@ -164,13 +193,14 @@ impl Stats {
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
-            "{{\"stats\":{{\"uptime_us\":{},\"queue_depth\":{},\"cached_testers\":{}",
-            self.uptime_micros, self.queue_depth, self.cached_testers
+            "{{\"stats\":{{\"uptime_us\":{},\"queue_depth\":{},\"connections\":{},\"cached_testers\":{}",
+            self.uptime_micros, self.queue_depth, self.connections, self.cached_testers
         );
         let _ = write!(
             out,
-            ",\"cumulative\":{{\"requests\":{},\"shed\":{},\"cache_hits\":{},\"cache_misses\":{},\"malformed\":{},\"reaped\":{},\"error_budget_closed\":{},\"backend_per_draw\":{},\"backend_histogram\":{}}}",
-            self.requests, self.shed, self.cache_hits, self.cache_misses,
+            ",\"cumulative\":{{\"requests\":{},\"shed\":{},\"coalesced\":{},\"tenant_shed\":{},\"cache_hits\":{},\"cache_misses\":{},\"malformed\":{},\"reaped\":{},\"error_budget_closed\":{},\"backend_per_draw\":{},\"backend_histogram\":{}}}",
+            self.requests, self.shed, self.coalesced, self.tenant_shed,
+            self.cache_hits, self.cache_misses,
             self.malformed, self.reaped, self.error_budget_closed,
             self.backend_per_draw, self.backend_histogram
         );
@@ -202,7 +232,23 @@ impl Stats {
         field(&mut out, "shed_burn_long", self.shed_burn_long);
         let _ = write!(out, ",\"p99_target_us\":{}", self.p99_target_micros);
         field(&mut out, "max_shed_rate", self.max_shed_rate);
-        out.push_str("}}}");
+        out.push('}');
+        if !self.tenants.is_empty() {
+            out.push_str(",\"tenants\":{");
+            for (index, tenant) in self.tenants.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(&mut out, &tenant.name);
+                let _ = write!(
+                    out,
+                    ":{{\"requests\":{},\"shed\":{}}}",
+                    tenant.requests, tenant.shed
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
         out
     }
 
@@ -220,12 +266,28 @@ impl Stats {
         let cumulative = stats.get("cumulative").ok_or("missing `cumulative`")?;
         let window = stats.get("window").ok_or("missing `window`")?;
         let slo = stats.get("slo").ok_or("missing `slo`")?;
+        let tenants = stats
+            .get("tenants")
+            .and_then(Json::as_obj)
+            .map(|rows| {
+                rows.iter()
+                    .map(|(name, row)| TenantStat {
+                        name: name.clone(),
+                        requests: u(row, "requests"),
+                        shed: u(row, "shed"),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok(Stats {
             uptime_micros: u(stats, "uptime_us"),
             queue_depth: u(stats, "queue_depth"),
+            connections: u(stats, "connections"),
             cached_testers: u(stats, "cached_testers"),
             requests: u(cumulative, "requests"),
             shed: u(cumulative, "shed"),
+            coalesced: u(cumulative, "coalesced"),
+            tenant_shed: u(cumulative, "tenant_shed"),
             cache_hits: u(cumulative, "cache_hits"),
             cache_misses: u(cumulative, "cache_misses"),
             // `unwrap_or(0)` keeps stats lines from older servers
@@ -254,6 +316,7 @@ impl Stats {
             shed_burn_long: f(slo, "shed_burn_long"),
             p99_target_micros: u(slo, "p99_target_us"),
             max_shed_rate: f(slo, "max_shed_rate"),
+            tenants,
         })
     }
 }
@@ -266,9 +329,12 @@ mod tests {
         Stats {
             uptime_micros: 12_345_678,
             queue_depth: 3,
+            connections: 17,
             cached_testers: 4,
             requests: 1_000,
             shed: 7,
+            coalesced: 120,
+            tenant_shed: 2,
             cache_hits: 950,
             cache_misses: 50,
             malformed: 11,
@@ -295,6 +361,7 @@ mod tests {
             shed_burn_long: 0.1,
             p99_target_micros: 250_000,
             max_shed_rate: 0.05,
+            tenants: Vec::new(),
         }
     }
 
@@ -317,6 +384,39 @@ mod tests {
                 .and_then(|c| c.get("requests"))
                 .and_then(Json::as_u64),
             Some(1_000)
+        );
+    }
+
+    #[test]
+    fn tenants_round_trip_and_are_omitted_when_empty() {
+        let mut stats = sample();
+        assert!(
+            !stats.render().contains("\"tenants\""),
+            "no tenants → no wire object"
+        );
+        stats.tenants = vec![
+            TenantStat {
+                name: "alpha".to_owned(),
+                requests: 40,
+                shed: 0,
+            },
+            TenantStat {
+                name: "metered".to_owned(),
+                requests: 10,
+                shed: 5,
+            },
+        ];
+        let line = stats.render();
+        let back = Stats::parse(&line).unwrap();
+        assert_eq!(back, stats);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("stats")
+                .and_then(|s| s.get("tenants"))
+                .and_then(|t| t.get("metered"))
+                .and_then(|m| m.get("shed"))
+                .and_then(Json::as_u64),
+            Some(5)
         );
     }
 

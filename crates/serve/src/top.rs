@@ -85,6 +85,19 @@ pub fn render_frame(stats: &Stats, addr: &str) -> String {
         "traffic  {:.1} req/s   {:.2} shed/s   queue depth {}   total {} req / {} shed",
         stats.req_per_sec, stats.shed_per_sec, stats.queue_depth, stats.requests, stats.shed
     );
+    let mut tenant_note = String::new();
+    for tenant in stats.tenants.iter().take(4) {
+        let _ = write!(
+            tenant_note,
+            "   {} {}r/{}s",
+            tenant.name, tenant.requests, tenant.shed
+        );
+    }
+    let _ = writeln!(
+        out,
+        "serve    {} connections   {} coalesced   {} tenant-shed{tenant_note}",
+        stats.connections, stats.coalesced, stats.tenant_shed,
+    );
     let _ = writeln!(
         out,
         "cache    hit ratio {:.1}%   testers resident {}   lifetime {} hits / {} misses",
@@ -197,9 +210,12 @@ mod tests {
         Stats {
             uptime_micros: 12_500_000,
             queue_depth: 2,
+            connections: 16,
             cached_testers: 4,
             requests: 1_000,
             shed: 7,
+            coalesced: 120,
+            tenant_shed: 3,
             cache_hits: 950,
             cache_misses: 50,
             malformed: 13,
@@ -226,6 +242,11 @@ mod tests {
             shed_burn_long: 0.1,
             p99_target_micros: 250_000,
             max_shed_rate: 0.05,
+            tenants: vec![crate::stats::TenantStat {
+                name: "metered".to_owned(),
+                requests: 200,
+                shed: 3,
+            }],
         }
     }
 
@@ -243,7 +264,9 @@ mod tests {
         assert!(frame.contains("p99 1.02s"));
         assert!(frame.contains("13 malformed"));
         assert!(frame.contains("backend  40 per-draw / 960 histogram (96% histogram"));
-        assert_eq!(frame.lines().count(), 8);
+        assert!(frame.contains("serve    16 connections   120 coalesced   3 tenant-shed"));
+        assert!(frame.contains("metered 200r/3s"));
+        assert_eq!(frame.lines().count(), 9);
     }
 
     #[test]

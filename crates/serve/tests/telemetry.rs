@@ -98,31 +98,6 @@ fn stats_accounting_is_exact_and_queue_drains() {
 }
 
 #[test]
-fn run_checked_passes_against_a_live_server() {
-    let _traffic = TRAFFIC
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let handle = start_server(2, 64);
-    let config = loadgen::LoadgenConfig {
-        addr: handle.local_addr().to_string(),
-        rps: 400,
-        duration: Duration::from_millis(400),
-        connections: 2,
-        verify_offline: false,
-    };
-    let (report, check) = loadgen::run_checked(&config).expect("run_checked");
-    assert!(report.replies > 0);
-    assert_eq!(report.errors, 0);
-    assert!(
-        check.passed(),
-        "stats cross-check failed: {:?}",
-        check.failures
-    );
-    handle.request_shutdown();
-    handle.join();
-}
-
-#[test]
 fn flight_command_dumps_the_ring() {
     let handle = start_server(1, 8);
     let (mut stream, mut reader) = connect(&handle.local_addr());
@@ -145,6 +120,30 @@ fn flight_command_dumps_the_ring() {
     handle.join();
 }
 
+/// A request heavy enough (a couple of seconds in either build
+/// profile) to pin the single worker while queue pressure builds
+/// behind it. Its cache key is distinct from [`request`]'s, so it
+/// never coalesces with the light traffic.
+fn slow_request() -> Request {
+    // Debug builds run the trial loop roughly 6x slower; scale so the
+    // pin lasts seconds in both profiles without wasting minutes.
+    let trials = if cfg!(debug_assertions) {
+        20_000
+    } else {
+        60_000
+    };
+    Request {
+        n: 256,
+        k: 8,
+        q: 24,
+        eps: 0.5,
+        rule: Rule::Balanced,
+        family: Family::Uniform,
+        seed: 11,
+        trials,
+    }
+}
+
 #[test]
 fn shed_burst_triggers_a_flight_dump() {
     let _traffic = TRAFFIC
@@ -154,21 +153,25 @@ fn shed_burst_triggers_a_flight_dump() {
     dut_obs::global().install_sink(sink.clone());
     let handle = start_server(1, 1);
     let addr = handle.local_addr();
-    // Pin the only worker on a connection mid-request...
+    // Pin the only worker with a slow request and fill the one queue
+    // slot with a light one, both from the same connection. The pin
+    // goes first and gets a head start: sent back to back, the
+    // filler could be shed at the still-full queue instead of
+    // occupying it.
     let (mut busy, mut busy_reader) = connect(&addr);
-    let reply = send_line(&mut busy, &mut busy_reader, &render_request(&request()));
-    assert!(matches!(ReplyLine::parse(&reply), Ok(ReplyLine::Reply(_))));
-    // ...fill the queue bound with a second idle connection...
-    let (_queued, _queued_reader) = connect(&addr);
-    // ...then every further connection is shed; enough consecutive
-    // sheds cross the burst threshold and dump the flight recorder.
+    writeln!(busy, "{}", render_request(&slow_request())).expect("pin send");
+    std::thread::sleep(Duration::from_millis(200));
+    writeln!(busy, "{}", render_request(&request())).expect("filler send");
+    std::thread::sleep(Duration::from_millis(200));
+    // ...then every further request is shed; enough consecutive
+    // sheds cross the burst threshold and dump the flight recorder —
+    // once per burst, even though the victim connection stays open
+    // the whole time.
+    let (mut victim, mut victim_reader) = connect(&addr);
     for _ in 0..(SHED_BURST_THRESHOLD + 2) {
-        let (mut victim, mut victim_reader) = connect(&addr);
-        writeln!(victim, "x").ok();
-        let mut line = String::new();
-        victim_reader.read_line(&mut line).expect("shed reply");
+        let line = send_line(&mut victim, &mut victim_reader, &render_request(&request()));
         assert!(
-            matches!(ReplyLine::parse(line.trim()), Ok(ReplyLine::Overloaded)),
+            matches!(ReplyLine::parse(&line), Ok(ReplyLine::Overloaded)),
             "expected overloaded, got: {line}"
         );
     }
@@ -178,7 +181,75 @@ fn shed_burst_triggers_a_flight_dump() {
         .filter(|e| e.name == "flight_dump")
         .collect();
     assert_eq!(dumps.len(), 1, "exactly one dump per burst");
+    // Drain the pinned connection before shutdown.
+    for _ in 0..2 {
+        let mut line = String::new();
+        busy_reader.read_line(&mut line).expect("busy reply");
+        assert!(matches!(
+            ReplyLine::parse(line.trim()),
+            Ok(ReplyLine::Reply(_))
+        ));
+    }
     drop(busy);
+    drop(victim);
+    handle.request_shutdown();
+    handle.join();
+}
+
+/// Coalescing keeps the books exact: queued requests for one
+/// prepared tester answered in a single pass still count one cache
+/// lookup each (hits + misses == requests), the coalesced counter
+/// moves, and every reply stays bit-identical to the offline engine.
+#[test]
+fn coalesced_batches_keep_cache_accounting_exact() {
+    let _traffic = TRAFFIC
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let handle = start_server(1, 64);
+    let addr = handle.local_addr();
+    let pre = loadgen::fetch_stats(&addr.to_string()).expect("pre stats");
+    // Pin the single worker so the identical-key followers pile up
+    // in the queue and dequeue as one coalesced batch.
+    let (mut busy, mut busy_reader) = connect(&addr);
+    writeln!(busy, "{}", render_request(&slow_request())).expect("pin send");
+    std::thread::sleep(Duration::from_millis(100));
+    let followers = 8usize;
+    let mut conns = Vec::new();
+    for _ in 0..followers {
+        let (mut stream, reader) = connect(&addr);
+        writeln!(stream, "{}", render_request(&request())).expect("follower send");
+        conns.push((stream, reader));
+    }
+    let offline = dut_serve::engine::offline_reply(&request()).expect("offline reference");
+    for (_stream, reader) in &mut conns {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("follower reply");
+        let ReplyLine::Reply(reply) = ReplyLine::parse(line.trim()).expect("parses") else {
+            panic!("non-reply follower line: {line}");
+        };
+        assert_eq!(reply.verdict, offline.verdict);
+        assert_eq!(reply.p_hat.to_bits(), offline.p_hat.to_bits());
+    }
+    let mut line = String::new();
+    busy_reader.read_line(&mut line).expect("pin reply");
+    assert!(matches!(
+        ReplyLine::parse(line.trim()),
+        Ok(ReplyLine::Reply(_))
+    ));
+    let post = loadgen::fetch_stats(&addr.to_string()).expect("post stats");
+    let requests = post.requests - pre.requests;
+    let lookups = (post.cache_hits + post.cache_misses) - (pre.cache_hits + pre.cache_misses);
+    assert_eq!(requests, followers as u64 + 1, "pin plus the followers");
+    assert_eq!(
+        lookups, requests,
+        "hits + misses == requests, coalesced or not"
+    );
+    assert!(
+        post.coalesced > pre.coalesced,
+        "the follower batch must register as coalesced"
+    );
+    drop(busy);
+    drop(conns);
     handle.request_shutdown();
     handle.join();
 }
